@@ -1,0 +1,53 @@
+"""Ablation: SYCL sub-group size sweep (paper Section III-C).
+
+The paper "experimented with several sub-group sizes and found that the
+sub-group size of 16 had the most consistent and optimal performance" on
+the Max 1550. The trade the sweep exposes: wider sub-groups finish
+construction in fewer waves but waste more issue width during the
+single-lane walk; narrower ones invert that.
+"""
+
+from conftest import BENCH_SCALE, banner
+
+from repro.analysis.report import render_table
+from repro.core.extension import PRODUCTION_POLICY
+from repro.kernels.sycl_kernel import SUPPORTED_SUB_GROUP_SIZES, SyclLocalAssemblyKernel
+from repro.perfmodel.timing import extrapolate_profile
+from repro.simt.device import MAX1550
+
+
+def test_ablation_subgroup_size(suite, benchmark):
+    results = {}
+    for size in SUPPORTED_SUB_GROUP_SIZES:
+        kern = SyclLocalAssemblyKernel(MAX1550, sub_group_size=size,
+                                       policy=PRODUCTION_POLICY)
+        total = 0.0
+        per_k = {}
+        for k in (21, 77):
+            res = kern.run(suite.dataset(k), k, parallel_scale=BENCH_SCALE)
+            full = extrapolate_profile(res.profile, MAX1550, BENCH_SCALE)
+            per_k[k] = full
+            total += full.seconds
+        results[size] = (total, per_k)
+    kern16 = SyclLocalAssemblyKernel(MAX1550, policy=PRODUCTION_POLICY)
+    benchmark.pedantic(
+        lambda: kern16.run(suite.dataset(21), 21, parallel_scale=BENCH_SCALE),
+        rounds=1, iterations=1,
+    )
+
+    print(banner("Ablation — SYCL sub-group size (k=21 + k=77 total)"))
+    rows = [
+        [size, round(total * 1e3, 2),
+         round(per_k[21].active_lane_fraction, 3),
+         round(per_k[77].active_lane_fraction, 3)]
+        for size, (total, per_k) in results.items()
+    ]
+    print(render_table(["sub-group size", "total time (ms)",
+                        "active lanes k=21", "active lanes k=77"], rows))
+
+    # the paper's finding: 16 beats 32 (walk predication dominates)
+    assert results[16][0] < results[32][0]
+    # and narrower sub-groups always waste fewer lanes
+    assert (results[8][1][77].active_lane_fraction
+            > results[16][1][77].active_lane_fraction
+            > results[32][1][77].active_lane_fraction)

@@ -1,0 +1,36 @@
+"""Regenerates paper Figure 6: INTOP roofline per device.
+
+Paper observations reproduced as assertions: the A100 runs compute-bound
+at every k; the MI250X sits at the *lowest* intensity of the three
+(its 64-byte transactions and 8 MB L2 move the most bytes per INTOP);
+the Max 1550's intensity grows with k (its 204 MB L2 absorbs the larger
+tables). One deviation is documented in EXPERIMENTS.md: our unified
+accounting gives AMD an intensity that grows with k, where the paper's
+rocprof-based counting shrinks.
+"""
+
+from conftest import banner
+
+from repro.analysis.report import render_table
+
+
+def test_fig6_roofline(suite, benchmark):
+    suite.run_all()
+    data = benchmark(suite.figure6)
+    print(banner("Figure 6 — INTOP roofline"))
+    for name, entry in data.items():
+        rows = [[p["k"], p["II"], p["gintops_per_s"], p["bound"],
+                 p["pct_of_ceiling"]] for p in entry["points"]]
+        print(render_table(
+            ["k", "II", "GINTOP/s", "bound", "% ceiling"], rows,
+            title=(f"{name}: peak={entry['peak_gintops']} GINTOPS "
+                   f"bw={entry['hbm_gbps']} GB/s balance={entry['machine_balance']}")))
+    a100 = {p["k"]: p for p in data["A100"]["points"]}
+    amd = {p["k"]: p for p in data["MI250X"]["points"]}
+    intel = {p["k"]: p for p in data["MAX1550"]["points"]}
+    for k in a100:
+        assert a100[k]["bound"] == "compute"       # paper: A100 compute-bound
+        assert amd[k]["II"] < a100[k]["II"]        # AMD lowest intensity
+        assert amd[k]["II"] < intel[k]["II"]
+    ks = sorted(intel)
+    assert intel[ks[-1]]["II"] > intel[ks[0]]["II"]  # Intel II grows with k

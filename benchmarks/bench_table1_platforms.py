@@ -1,0 +1,12 @@
+"""Regenerates paper Table I: HPC systems, accelerators, models, compilers."""
+
+from conftest import banner
+
+from repro.analysis.report import render_dict_table
+
+
+def test_table1_platforms(suite, benchmark):
+    rows = benchmark(suite.table1)
+    print(banner("Table I"))
+    print(render_dict_table(rows))
+    assert [r["programming_model"] for r in rows] == ["CUDA", "HIP", "SYCL"]

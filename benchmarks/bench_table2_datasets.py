@@ -1,0 +1,25 @@
+"""Regenerates paper Table II: dataset characteristics (measured vs target).
+
+The generation itself is the benchmarked operation; the printed table
+compares every measured column against the scaled paper targets.
+"""
+
+from conftest import BENCH_SCALE, banner
+
+from repro.analysis.report import render_dict_table
+from repro.datasets.generate import generate_paper_dataset
+
+
+def test_table2_characteristics(suite, benchmark):
+    benchmark.pedantic(
+        lambda: generate_paper_dataset(21, scale=min(0.005, BENCH_SCALE)),
+        rounds=3, iterations=1,
+    )
+    rows = suite.table2()
+    print(banner("Table II"))
+    print(render_dict_table(rows))
+    for row in rows:
+        assert row["contigs"] == row["contigs_target"]
+        assert abs(row["insertions"] - row["insertions_target"]) <= (
+            0.08 * row["insertions_target"]
+        )

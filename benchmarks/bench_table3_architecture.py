@@ -1,0 +1,15 @@
+"""Regenerates paper Table III: architectural feature comparison."""
+
+from conftest import banner
+
+from repro.analysis.report import render_dict_table
+
+
+def test_table3_architecture(suite, benchmark):
+    rows = benchmark(suite.table3)
+    print(banner("Table III"))
+    print(render_dict_table(rows))
+    by_board = {r["board"]: r for r in rows}
+    assert by_board["NVIDIA A100"]["l2_cache_mb"] == 40
+    assert by_board["AMD MI250X"]["l2_cache_mb"] == 8  # per die
+    assert by_board["Intel MAX1550"]["l2_cache_mb"] == 204  # per tile

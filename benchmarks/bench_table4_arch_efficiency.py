@@ -1,0 +1,24 @@
+"""Regenerates paper Table IV: architectural efficiency + Pennycook P_arch.
+
+Paper values for comparison (k: A100 / MI250X / Max1550 / P_arch):
+21: 12.8 / 15.1 / 15.6 / 14.4   33: 14.9 / 15.8 / 17.3 / 15.9
+55: 14.5 / 18.8 / 16.1 / 16.3   77: 15.6 / 16.1 / 15.3 / 15.6
+(average P_arch 15.5%). Our unified INTOP accounting yields different
+absolute levels (see EXPERIMENTS.md); the cross-device spread within each
+k row is the portability signal.
+"""
+
+from conftest import banner
+
+from repro.analysis.report import render_dict_table
+
+
+def test_table4_architectural_efficiency(suite, benchmark):
+    suite.run_all()  # warm the cache so the benchmark times the metric math
+    data = benchmark(suite.table4)
+    print(banner("Table IV"))
+    print(render_dict_table(data["rows"]))
+    print(f"average P_arch: {data['average_P_arch']}% (paper: 15.5%)")
+    assert 0 < data["average_P_arch"] <= 100
+    for row in data["rows"]:
+        assert row["P_arch"] <= max(row["A100"], row["MI250X"], row["MAX1550"])

@@ -1,0 +1,25 @@
+"""Regenerates paper Table V: integer operations in the hash function.
+
+Exact closed-form reproduction (215 / 305 / 457 / 635 INTOPs for
+k = 21 / 33 / 55 / 77). The benchmarked operation is the vectorized
+MurmurHashAligned2 whose cost the table models.
+"""
+
+import numpy as np
+from conftest import banner
+
+from repro.analysis.report import render_dict_table
+from repro.hashing.murmur import murmur2_batch
+
+PAPER_TABLE_V = {21: 215, 33: 305, 55: 457, 77: 635}
+
+
+def test_table5_hash_intops(suite, benchmark):
+    keys = np.random.default_rng(0).integers(0, 4, size=(100_000, 21),
+                                             dtype=np.uint8)
+    benchmark(lambda: murmur2_batch(keys))
+    rows = suite.table5()
+    print(banner("Table V"))
+    print(render_dict_table(rows))
+    for row in rows:
+        assert row["INTOP1"] == PAPER_TABLE_V[row["k"]]

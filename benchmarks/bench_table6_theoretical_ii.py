@@ -1,0 +1,19 @@
+"""Regenerates paper Table VI: theoretical INTOP Intensity.
+
+Exact closed-form reproduction: II = 4.831 / 4.880 / 4.785 / 4.942 for
+k = 21 / 33 / 55 / 77 (Equation 4 over Tables V's INTOPs and B1+B2 bytes).
+"""
+
+from conftest import banner
+
+from repro.analysis.report import render_dict_table
+
+PAPER_TABLE_VI = {21: 4.831, 33: 4.880, 55: 4.785, 77: 4.942}
+
+
+def test_table6_theoretical_ii(suite, benchmark):
+    rows = benchmark(suite.table6)
+    print(banner("Table VI"))
+    print(render_dict_table(rows))
+    for row in rows:
+        assert abs(row["theoretical_II"] - PAPER_TABLE_VI[row["k"]]) < 0.001

@@ -1,0 +1,22 @@
+"""Regenerates paper Table VII: algorithm efficiency + Pennycook P_alg.
+
+Paper values for comparison (k: A100 / MI250X / Max1550 / P_alg):
+21: 17.1 / 55.4 / 13.4 / 18.0   33: 17.6 / 31.4 / 15.8 / 20.0
+55: 21.1 / 26.7 / 30.0 / 20.3   77: 27.2 / 28.9 / 60.9 / 19.5
+(average P_alg 19.38%). Note the paper's per-vendor profilers count
+INTOPs differently (its AMD counts carry a x64 wavefront factor), which
+our unified accounting does not reproduce; see EXPERIMENTS.md.
+"""
+
+from conftest import banner
+
+from repro.analysis.report import render_dict_table
+
+
+def test_table7_algorithm_efficiency(suite, benchmark):
+    suite.run_all()
+    data = benchmark(suite.table7)
+    print(banner("Table VII"))
+    print(render_dict_table(data["rows"]))
+    print(f"average P_alg: {data['average_P_alg']}% (paper: 19.38%)")
+    assert 0 < data["average_P_alg"] <= 100

@@ -1,0 +1,35 @@
+"""Extension: the walk-workload shape underlying the paper's analysis.
+
+Figure 4 and the binning discussion rest on two workload properties this
+bench surfaces: walk lengths grow with k (so the single-lane walk phase
+dominates at large k — the MI250X story) and vary widely within a dataset
+(so unbinned launches stall warps).
+"""
+
+from conftest import BENCH_SCALE, banner
+
+from repro.analysis.report import render_dict_table
+from repro.analysis.walkstats import collect_walk_stats, summarize_across_k
+from repro.core.extension import PRODUCTION_POLICY
+from repro.kernels import CudaLocalAssemblyKernel
+from repro.simt.device import A100
+
+
+def test_workload_shape(suite, benchmark):
+    kern = CudaLocalAssemblyKernel(A100, policy=PRODUCTION_POLICY)
+    runs = {}
+    for k in suite.config.k_values:
+        runs[k] = kern.run(suite.dataset(k), k, parallel_scale=BENCH_SCALE)
+    rows = benchmark(lambda: summarize_across_k(runs))
+
+    print(banner("Walk workload shape per k"))
+    print(render_dict_table(rows))
+
+    by_k = {r["k"]: r for r in rows}
+    ks = sorted(by_k)
+    # walks lengthen with k (the predication-dominance mechanism)
+    assert by_k[ks[-1]]["mean_len"] > by_k[ks[0]]["mean_len"]
+    # and are strongly non-uniform at every k (the binning motivation)
+    assert all(r["cv"] > 0.3 for r in rows)
+    # forks exist but are the minority outcome
+    assert all(0 <= r["fork_frac"] < 0.3 for r in rows)

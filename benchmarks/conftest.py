@@ -1,0 +1,32 @@
+"""Shared fixtures for the per-table / per-figure benches.
+
+One :class:`ExperimentSuite` is built per session (kernel runs are cached
+inside it), so printing every table costs one sweep of the (device, k)
+grid. ``BENCH_SCALE`` controls dataset size; the suite extrapolates the
+profiles back to paper-size concurrency (see DESIGN.md), and every bench
+prints the scale it ran at.
+
+Run with output:  pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.experiments import ExperimentConfig, ExperimentSuite
+
+#: Fraction of the paper's dataset sizes the benches run (override with
+#: the REPRO_BENCH_SCALE environment variable; 1.0 = paper-size).
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.01"))
+
+
+@pytest.fixture(scope="session")
+def suite() -> ExperimentSuite:
+    s = ExperimentSuite(ExperimentConfig(scale=BENCH_SCALE))
+    return s
+
+
+def banner(name: str) -> str:
+    return f"\n[{name} @ scale={BENCH_SCALE}]"

@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Instruction (INTOP) roofline analysis (paper Figures 6 and 9).
+
+Places each (device, k) kernel run on its device's INTOP roofline,
+classifies memory- vs compute-bound, and prints the potential speed-up
+coordinates of Figure 9.
+
+Run:  python examples/roofline_analysis.py
+"""
+
+from repro.analysis.experiments import ExperimentConfig, ExperimentSuite
+from repro.analysis.report import render_table
+from repro.perfmodel.speedup import iso_curve_levels
+
+suite = ExperimentSuite(ExperimentConfig(scale=0.02))
+print("running all (device, k) combinations ...")
+suite.run_all()
+
+print("\nINTOP roofline (Figure 6)")
+fig6 = suite.figure6()
+for name, entry in fig6.items():
+    print(f"\n{name}: peak {entry['peak_gintops']} GINTOPS, "
+          f"{entry['hbm_gbps']} GB/s, machine balance {entry['machine_balance']}")
+    rows = [[p["k"], p["II"], p["gintops_per_s"], p["bound"],
+             f"{p['pct_of_ceiling']}%"] for p in entry["points"]]
+    print(render_table(["k", "II (INTOP/B)", "GINTOP/s", "bound", "% ceiling"],
+                       rows))
+
+print("\nPotential speed-up plot (Figure 9)")
+rows = [
+    [p.device, p.k,
+     f"{100 * p.algorithm_efficiency:.1f}%",
+     f"{100 * p.architectural_efficiency:.1f}%",
+     f"{p.speedup_by_improving_ai:.1f}x",
+     f"{p.speedup_by_improving_performance:.1f}x"]
+    for p in suite.figure9()
+]
+print(render_table(
+    ["device", "k", "% theoretical II", "% roofline",
+     "speed-up via AI", "speed-up via perf"], rows))
+print(f"\niso-curve levels drawn in the paper's figure: "
+      f"{', '.join(f'{v}x' for v in iso_curve_levels())}")

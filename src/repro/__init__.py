@@ -1,0 +1,61 @@
+"""Reproduction of *Performance Modeling and Analysis of a de Bruijn Graph
+Based Local Assembly Kernel on Multiple Vendor GPUs* (SC-W 2024).
+
+Public API tour:
+
+* ``repro.genomics`` — DNA, k-mers, reads, contigs, simulators, I/O.
+* ``repro.hashing`` — MurmurHashAligned2 + the Table V cost model.
+* ``repro.core`` — the local assembly algorithms (CPU reference).
+* ``repro.simt`` — the simulated GPUs (A100 / MI250X / MAX1550).
+* ``repro.kernels`` — the CUDA / HIP / SYCL kernel ports on the simulator.
+* ``repro.perfmodel`` — roofline, theoretical II, Pennycook, timing.
+* ``repro.datasets`` — Table II dataset generation.
+* ``repro.analysis`` — one entry point per paper table/figure.
+
+Quickstart::
+
+    from repro import LocalAssembler, simulate_batch, ScenarioSpec
+    import numpy as np
+
+    scenarios = simulate_batch(4, ScenarioSpec(), np.random.default_rng(0))
+    results = LocalAssembler().assemble([s.contig for s in scenarios])
+    for r in results:
+        print(r.contig.name, r.contig.extended_sequence()[:60])
+"""
+
+from repro.core.pipeline import LocalAssembler
+from repro.core.extension import DEFAULT_POLICY, PRODUCTION_POLICY, WalkPolicy
+from repro.genomics.contig import Contig, End
+from repro.genomics.reads import Read, ReadSet
+from repro.genomics.simulate import ScenarioSpec, simulate_batch
+from repro.kernels import (
+    CudaLocalAssemblyKernel,
+    HipLocalAssemblyKernel,
+    SyclLocalAssemblyKernel,
+    kernel_for_device,
+)
+from repro.simt.device import A100, MAX1550, MI250X, PLATFORMS
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LocalAssembler",
+    "DEFAULT_POLICY",
+    "PRODUCTION_POLICY",
+    "WalkPolicy",
+    "Contig",
+    "End",
+    "Read",
+    "ReadSet",
+    "ScenarioSpec",
+    "simulate_batch",
+    "CudaLocalAssemblyKernel",
+    "HipLocalAssemblyKernel",
+    "SyclLocalAssemblyKernel",
+    "kernel_for_device",
+    "A100",
+    "MI250X",
+    "MAX1550",
+    "PLATFORMS",
+    "__version__",
+]

@@ -1,0 +1,6 @@
+"""Experiment harness: one entry point per paper table/figure."""
+
+from repro.analysis.experiments import ExperimentConfig, ExperimentSuite
+from repro.analysis.report import render_table
+
+__all__ = ["ExperimentConfig", "ExperimentSuite", "render_table"]

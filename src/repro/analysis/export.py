@@ -1,0 +1,108 @@
+"""Export the reproduced tables/figures as machine-readable files.
+
+``export_all`` writes one TSV per table and figure plus a ``summary.json``
+into an output directory, so the results can be plotted or diffed outside
+Python. Every file carries a header comment naming the paper artifact it
+reproduces and the dataset scale used.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.experiments import ExperimentSuite
+from repro.perfmodel.roofline import roofline_series
+from repro.perfmodel.speedup import iso_curve, iso_curve_levels
+from repro.simt.device import PLATFORMS
+
+
+def _write_tsv(path: Path, comment: str, headers: list[str],
+               rows: list[list]) -> None:
+    lines = [f"# {comment}", "\t".join(headers)]
+    for row in rows:
+        lines.append("\t".join(str(v) for v in row))
+    path.write_text("\n".join(lines) + "\n")
+
+
+def _dicts_to_tsv(path: Path, comment: str, rows: list[dict]) -> None:
+    if not rows:
+        path.write_text(f"# {comment}\n# (no rows)\n")
+        return
+    headers = list(rows[0].keys())
+    _write_tsv(path, comment, headers, [[r[h] for h in headers] for r in rows])
+
+
+def export_all(suite: ExperimentSuite, out_dir: str | Path) -> list[Path]:
+    """Run (if needed) and export every experiment; returns written paths."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    suite.run_all()
+    scale = suite.config.scale
+    written: list[Path] = []
+
+    def emit_dicts(name: str, comment: str, rows: list[dict]) -> None:
+        p = out / f"{name}.tsv"
+        _dicts_to_tsv(p, f"{comment} (scale={scale})", rows)
+        written.append(p)
+
+    emit_dicts("table1_platforms", "paper Table I", suite.table1())
+    emit_dicts("table2_datasets", "paper Table II, measured vs target",
+               suite.table2())
+    emit_dicts("table3_architecture", "paper Table III", suite.table3())
+    t4 = suite.table4()
+    emit_dicts("table4_arch_efficiency", "paper Table IV (%)", t4["rows"])
+    emit_dicts("table5_hash_intops", "paper Table V", suite.table5())
+    emit_dicts("table6_theoretical_ii", "paper Table VI", suite.table6())
+    t7 = suite.table7()
+    emit_dicts("table7_alg_efficiency", "paper Table VII (%)", t7["rows"])
+    emit_dicts("fig5_kernel_time", "paper Figure 5 (seconds)", suite.figure5())
+
+    # Figure 6: one series file per device (points + the roofline itself)
+    fig6 = suite.figure6()
+    for dev in PLATFORMS:
+        entry = fig6[dev.name]
+        p = out / f"fig6_roofline_{dev.name.lower()}.tsv"
+        rows = [[pt["k"], pt["II"], pt["gintops_per_s"], pt["bound"]]
+                for pt in entry["points"]]
+        _write_tsv(p, f"paper Figure 6 {dev.name} points (scale={scale})",
+                   ["k", "II", "gintops_per_s", "bound"], rows)
+        written.append(p)
+        ii, ceil = roofline_series(dev)
+        p2 = out / f"fig6_ceiling_{dev.name.lower()}.tsv"
+        _write_tsv(p2, f"paper Figure 6 {dev.name} roofline ceiling",
+                   ["II", "ceiling_gintops"],
+                   [[round(float(a), 5), round(float(b), 3)]
+                    for a, b in zip(ii, ceil)])
+        written.append(p2)
+
+    emit_dicts("fig7_a100_vs_mi250x", "paper Figure 7", suite.figure7())
+    emit_dicts("fig8_a100_vs_max1550", "paper Figure 8", suite.figure8())
+
+    fig9_rows = [
+        {"device": pt.device, "k": pt.k,
+         "pct_theoretical_II": round(100 * pt.algorithm_efficiency, 2),
+         "pct_roofline": round(100 * pt.architectural_efficiency, 2)}
+        for pt in suite.figure9()
+    ]
+    emit_dicts("fig9_potential_speedup", "paper Figure 9", fig9_rows)
+    iso_rows = [[lvl, x, y] for lvl in iso_curve_levels()
+                for x, y in iso_curve(lvl)]
+    p = out / "fig9_iso_curves.tsv"
+    _write_tsv(p, "paper Figure 9 iso speed-up curves",
+               ["level", "x", "y"],
+               [[lvl, round(x, 4), round(y, 4)] for lvl, x, y in iso_rows])
+    written.append(p)
+
+    summary = {
+        "scale": scale,
+        "k_values": list(suite.config.k_values),
+        "average_P_arch_pct": t4["average_P_arch"],
+        "average_P_alg_pct": t7["average_P_alg"],
+        "figure5_seconds": suite.figure5(),
+        "files": [str(w.name) for w in written],
+    }
+    sp = out / "summary.json"
+    sp.write_text(json.dumps(summary, indent=2) + "\n")
+    written.append(sp)
+    return written

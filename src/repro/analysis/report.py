@@ -1,0 +1,59 @@
+"""Plain-text rendering of experiment results (tables and series).
+
+The benches print through these helpers so every table/figure
+reproduction emits the same row/series structure the paper reports,
+readable in a terminal and diffable in CI.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
+    """Render an aligned ASCII table."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+    out.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    out.append(sep)
+    for r in cells:
+        out.append(" | ".join(c.rjust(w) for c, w in zip(r, widths)))
+    return "\n".join(out)
+
+
+def render_dict_table(rows: Sequence[dict], title: str = "") -> str:
+    """Render a list of homogeneous dicts as a table (keys become headers)."""
+    if not rows:
+        return title
+    headers = list(rows[0].keys())
+    return render_table(headers, [[r[h] for h in headers] for r in rows], title)
+
+
+def render_series(name: str, xs: Sequence, ys: Sequence, x_label: str = "x",
+                  y_label: str = "y") -> str:
+    """Render an (x, y) series as labelled rows (one figure line)."""
+    lines = [f"{name}:"]
+    for x, y in zip(xs, ys):
+        lines.append(f"  {x_label}={_fmt(x)}  {y_label}={_fmt(y)}")
+    return "\n".join(lines)

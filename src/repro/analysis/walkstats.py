@@ -1,0 +1,96 @@
+"""Walk-outcome statistics: the workload-shape evidence behind Figure 4.
+
+The paper's binning and predication arguments both rest on the *shape* of
+the mer-walk workload: walk lengths are non-deterministic and grow with
+k, which is why warps stall without binning and why the single-lane walk
+phase dominates at large k. This module extracts those distributions from
+kernel results so benches and examples can show them.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.extension import WalkState
+from repro.kernels.base import KernelRunResult
+
+
+@dataclass
+class WalkStatistics:
+    """Distribution of walk outcomes for one kernel run.
+
+    Attributes:
+        k: k-mer size of the run.
+        lengths: extension length of every walk (both ends, contig order).
+        states: terminal-state counts.
+    """
+
+    k: int
+    lengths: np.ndarray
+    states: Counter = field(default_factory=Counter)
+
+    @property
+    def n_walks(self) -> int:
+        return int(self.lengths.size)
+
+    @property
+    def mean_length(self) -> float:
+        return float(self.lengths.mean()) if self.lengths.size else 0.0
+
+    @property
+    def max_length(self) -> int:
+        return int(self.lengths.max()) if self.lengths.size else 0
+
+    @property
+    def coefficient_of_variation(self) -> float:
+        """Std/mean of walk lengths — the warp-stall risk the binning
+        phase mitigates (walks in one launch finish together iff this is
+        small)."""
+        if self.lengths.size == 0 or self.lengths.mean() == 0:
+            return 0.0
+        return float(self.lengths.std() / self.lengths.mean())
+
+    def state_fraction(self, state: WalkState) -> float:
+        return self.states[state.value] / self.n_walks if self.n_walks else 0.0
+
+    def length_histogram(self, n_bins: int = 10) -> list[tuple[int, int, int]]:
+        """(lo, hi, count) rows over the length range."""
+        if self.lengths.size == 0:
+            return []
+        hi = max(1, self.max_length)
+        counts, edges = np.histogram(self.lengths, bins=n_bins, range=(0, hi))
+        return [(int(edges[i]), int(edges[i + 1]), int(counts[i]))
+                for i in range(n_bins)]
+
+
+def collect_walk_stats(result: KernelRunResult) -> WalkStatistics:
+    """Extract walk statistics from a kernel run's functional output."""
+    lengths = []
+    states: Counter = Counter()
+    for side in (result.right, result.left):
+        for bases, state in side:
+            lengths.append(len(bases))
+            states[state.value] += 1
+    return WalkStatistics(k=result.k,
+                          lengths=np.asarray(lengths, dtype=np.int64),
+                          states=states)
+
+
+def summarize_across_k(results: dict[int, KernelRunResult]) -> list[dict]:
+    """One row per k: the walk-shape table (used by the workload bench)."""
+    rows = []
+    for k in sorted(results):
+        s = collect_walk_stats(results[k])
+        rows.append({
+            "k": k,
+            "walks": s.n_walks,
+            "mean_len": round(s.mean_length, 1),
+            "max_len": s.max_length,
+            "cv": round(s.coefficient_of_variation, 2),
+            "fork_frac": round(s.state_fraction(WalkState.FORK), 3),
+            "missing_frac": round(s.state_fraction(WalkState.MISSING), 3),
+        })
+    return rows

@@ -1,0 +1,152 @@
+"""Command-line interface: ``repro-locassm`` / ``python -m repro``.
+
+Sub-commands::
+
+    run         run local assembly on a .dat file (like the artifact's
+                ``./ht_loc <input> <k> <output>``)
+    generate    generate a Table II-shaped dataset into a .dat file
+    experiment  regenerate a paper table or figure (table1..table7,
+                fig5..fig9, all)
+    export      write every table/figure as TSV + summary.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.analysis.experiments import ExperimentConfig, ExperimentSuite
+from repro.analysis.report import render_dict_table, render_table
+from repro.core.extension import PRODUCTION_POLICY
+from repro.datasets.generate import generate_paper_dataset
+from repro.genomics.io import read_dat, write_dat, write_fasta
+from repro.kernels import kernel_for_device
+from repro.simt.device import PLATFORMS, device_by_name
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    contigs = read_dat(args.input)
+    device = device_by_name(args.device)
+    kernel = kernel_for_device(device, policy=PRODUCTION_POLICY)
+    result = kernel.run(contigs, args.k)
+    records = []
+    for i, c in enumerate(contigs):
+        right, rstate = result.right[i]
+        left, lstate = result.left[i]
+        records.append(
+            (f"{c.name} left={lstate.value} right={rstate.value}",
+             left + c.sequence + right)
+        )
+    write_fasta(records, args.output)
+    p = result.profile
+    print(f"{len(contigs)} contigs, {p.inserts} insertions, "
+          f"{p.extension_bases} extension bases -> {args.output}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    contigs = generate_paper_dataset(args.k, scale=args.scale, seed=args.seed)
+    write_dat(contigs, args.output)
+    reads = sum(c.depth for c in contigs)
+    print(f"wrote {len(contigs)} contigs / {reads} reads to {args.output}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    suite = ExperimentSuite(ExperimentConfig(scale=args.scale, seed=args.seed))
+    names = (
+        ["table1", "table2", "table3", "table4", "table5", "table6", "table7",
+         "fig5", "fig6", "fig7", "fig8", "fig9"]
+        if args.name == "all"
+        else [args.name]
+    )
+    for name in names:
+        print(f"=== {name} (scale={args.scale}) ===")
+        if name in ("table1", "table2", "table3", "table5", "table6"):
+            rows = getattr(suite, name)()
+            print(render_dict_table(rows))
+        elif name in ("table4", "table7"):
+            data = getattr(suite, name)()
+            print(render_dict_table(data["rows"]))
+            key = "average_P_arch" if name == "table4" else "average_P_alg"
+            print(f"{key}: {data[key]}%")
+        elif name == "fig5":
+            print(render_dict_table(suite.figure5()))
+        elif name == "fig6":
+            print(json.dumps(suite.figure6(), indent=2))
+        elif name in ("fig7", "fig8"):
+            rows = suite.figure7() if name == "fig7" else suite.figure8()
+            print(render_dict_table(rows))
+        elif name == "fig9":
+            rows = [
+                {
+                    "device": p.device, "k": p.k,
+                    "pct_theoretical_II": round(100 * p.algorithm_efficiency, 1),
+                    "pct_roofline": round(100 * p.architectural_efficiency, 1),
+                    "speedup_by_AI": round(p.speedup_by_improving_ai, 2),
+                    "speedup_by_perf": round(p.speedup_by_improving_performance, 2),
+                }
+                for p in suite.figure9()
+            ]
+            print(render_dict_table(rows))
+        else:
+            print(f"unknown experiment {name!r}", file=sys.stderr)
+            return 2
+        print()
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.analysis.export import export_all
+
+    suite = ExperimentSuite(ExperimentConfig(scale=args.scale, seed=args.seed))
+    written = export_all(suite, args.out_dir)
+    print(f"wrote {len(written)} files to {args.out_dir}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(
+        prog="repro-locassm",
+        description="de Bruijn local-assembly kernel reproduction (SC-W 2024)",
+    )
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run local assembly on a .dat file")
+    p_run.add_argument("input")
+    p_run.add_argument("k", type=int)
+    p_run.add_argument("output")
+    p_run.add_argument("--device", default="A100",
+                       choices=[d.name for d in PLATFORMS])
+    p_run.set_defaults(func=_cmd_run)
+
+    p_gen = sub.add_parser("generate", help="generate a Table II-style dataset")
+    p_gen.add_argument("k", type=int, choices=(21, 33, 55, 77))
+    p_gen.add_argument("output")
+    p_gen.add_argument("--scale", type=float, default=0.01)
+    p_gen.add_argument("--seed", type=int, default=2024)
+    p_gen.set_defaults(func=_cmd_generate)
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p_exp.add_argument("name", help="table1..table7, fig5..fig9, or 'all'")
+    p_exp.add_argument("--scale", type=float, default=0.02)
+    p_exp.add_argument("--seed", type=int, default=2024)
+    p_exp.set_defaults(func=_cmd_experiment)
+
+    p_export = sub.add_parser("export",
+                              help="write all tables/figures as TSV files")
+    p_export.add_argument("out_dir")
+    p_export.add_argument("--scale", type=float, default=0.02)
+    p_export.add_argument("--seed", type=int, default=2024)
+    p_export.set_defaults(func=_cmd_export)
+    return ap
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

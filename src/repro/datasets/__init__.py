@@ -1,0 +1,15 @@
+"""Dataset substrate: Table II targets and the synthetic generator."""
+
+from repro.datasets.characteristics import (
+    TABLE_II,
+    DatasetCharacteristics,
+    measure_characteristics,
+)
+from repro.datasets.generate import generate_paper_dataset
+
+__all__ = [
+    "TABLE_II",
+    "DatasetCharacteristics",
+    "measure_characteristics",
+    "generate_paper_dataset",
+]

@@ -1,0 +1,89 @@
+"""Dataset characteristics (paper Table II) and their measurement.
+
+The paper's four datasets are extracts of intermediate MetaHipMer state,
+one per production k-mer size. Table II records their shapes; the
+generator in :mod:`repro.datasets.generate` synthesizes datasets matching
+these shapes (scaled), and :func:`measure_characteristics` recomputes the
+same columns from any contig list so benches can print measured-vs-target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.construct import insertions_for
+from repro.errors import DatasetError
+from repro.genomics.contig import Contig
+
+
+@dataclass(frozen=True)
+class DatasetCharacteristics:
+    """One row of Table II.
+
+    ``avg_extn_length`` and ``total_extns`` describe the *output* of local
+    assembly on the dataset (total extension bases per contig and across
+    all contigs); the rest describe the input.
+    """
+
+    kmer_size: int
+    total_contigs: int
+    total_reads: int
+    average_read_length: float
+    total_hash_insertions: int
+    average_extn_length: float
+    total_extns: int
+
+    @property
+    def reads_per_contig(self) -> float:
+        return self.total_reads / self.total_contigs
+
+    def scaled(self, scale: float) -> "DatasetCharacteristics":
+        """Targets for a ``scale``-sized extract (contig count scales;
+        per-contig shape — read length, depth, extensions — does not)."""
+        if scale <= 0:
+            raise DatasetError(f"scale must be positive, got {scale}")
+        n_contigs = max(1, round(self.total_contigs * scale))
+        factor = n_contigs / self.total_contigs
+        return DatasetCharacteristics(
+            kmer_size=self.kmer_size,
+            total_contigs=n_contigs,
+            total_reads=max(1, round(self.total_reads * factor)),
+            average_read_length=self.average_read_length,
+            total_hash_insertions=round(self.total_hash_insertions * factor),
+            average_extn_length=self.average_extn_length,
+            total_extns=round(self.total_extns * factor),
+        )
+
+
+#: Paper Table II, verbatim.
+TABLE_II: dict[int, DatasetCharacteristics] = {
+    21: DatasetCharacteristics(21, 14195, 74159, 155, 10_011_465, 48.2, 684_100),
+    33: DatasetCharacteristics(33, 4394, 20421, 159, 2_593_467, 88.2, 387_283),
+    55: DatasetCharacteristics(55, 3319, 13160, 166, 1_473_920, 161.0, 534_206),
+    77: DatasetCharacteristics(77, 2544, 7838, 175, 775_962, 227.0, 577_496),
+}
+
+
+def measure_characteristics(
+    contigs: list[Contig], k: int
+) -> DatasetCharacteristics:
+    """Recompute the Table II columns for a contig list.
+
+    Extension columns are 0 unless the contigs carry extension records
+    (i.e. local assembly already ran on them).
+    """
+    if not contigs:
+        raise DatasetError("cannot measure an empty dataset")
+    total_reads = sum(c.depth for c in contigs)
+    total_bases = sum(sum(len(r) for r in c.reads) for c in contigs)
+    insertions = sum(insertions_for(c.reads, k) for c in contigs)
+    ext_total = sum(c.total_extension_length() for c in contigs)
+    return DatasetCharacteristics(
+        kmer_size=k,
+        total_contigs=len(contigs),
+        total_reads=total_reads,
+        average_read_length=total_bases / total_reads if total_reads else 0.0,
+        total_hash_insertions=insertions,
+        average_extn_length=ext_total / len(contigs),
+        total_extns=ext_total,
+    )

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the failing subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SequenceError(ReproError):
+    """Raised for malformed DNA sequences or invalid bases."""
+
+
+class KmerError(ReproError):
+    """Raised for invalid k-mer parameters (e.g. k longer than sequence)."""
+
+
+class HashTableFullError(ReproError):
+    """Raised when an open-addressing hash table runs out of free slots.
+
+    Mirrors the ``*hashtable full*`` condition printed by the GPU kernel
+    (Appendix A of the paper); the Python implementations raise instead of
+    printing so callers can size tables correctly.
+    """
+
+
+class DatasetError(ReproError):
+    """Raised for malformed or inconsistent dataset files / descriptors."""
+
+
+class DeviceError(ReproError):
+    """Raised for invalid simulated-device configurations."""
+
+
+class KernelError(ReproError):
+    """Raised when a simulated kernel is mis-launched or fails invariants."""
+
+
+class ModelError(ReproError):
+    """Raised for invalid performance-model inputs (e.g. zero runtimes)."""

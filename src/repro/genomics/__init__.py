@@ -1,0 +1,55 @@
+"""Genomics substrate: DNA encoding, k-mers, reads, contigs, simulators, I/O.
+
+This subpackage provides everything the local-assembly kernel needs from
+the bioinformatics domain, implemented from scratch:
+
+* :mod:`repro.genomics.dna` — 2-bit DNA encoding/decoding, complements.
+* :mod:`repro.genomics.kmer` — k-mer extraction, canonicalization,
+  packing into 64-bit fingerprint words.
+* :mod:`repro.genomics.reads` — sequencing reads with phred qualities.
+* :mod:`repro.genomics.contig` — contigs and extension records.
+* :mod:`repro.genomics.simulate` — synthetic genome / metagenome / read
+  simulators used to regenerate the paper's datasets.
+* :mod:`repro.genomics.io` — serialization of local-assembly inputs in a
+  ``.dat``-style text format plus FASTA/FASTQ helpers.
+"""
+
+from repro.genomics.dna import (
+    BASES,
+    complement,
+    decode,
+    encode,
+    is_valid_sequence,
+    random_sequence,
+    reverse_complement,
+)
+from repro.genomics.kmer import (
+    canonical_kmer,
+    count_kmers,
+    iter_kmers,
+    kmer_fingerprints,
+    kmers_of,
+    pack_kmer,
+)
+from repro.genomics.reads import Read, ReadSet
+from repro.genomics.contig import Contig, ContigExtension
+
+__all__ = [
+    "BASES",
+    "complement",
+    "decode",
+    "encode",
+    "is_valid_sequence",
+    "random_sequence",
+    "reverse_complement",
+    "canonical_kmer",
+    "count_kmers",
+    "iter_kmers",
+    "kmer_fingerprints",
+    "kmers_of",
+    "pack_kmer",
+    "Read",
+    "ReadSet",
+    "Contig",
+    "ContigExtension",
+]

@@ -1,0 +1,133 @@
+"""Serialization of local-assembly inputs.
+
+The paper's artifact ships datasets in a ``.dat`` text format consumed as
+``./ht_loc <input file> <k-mer length> <output file>``. We define an
+equivalent self-describing text format (documented below) plus minimal
+FASTA/FASTQ writers for interoperability.
+
+``.dat`` format (one record per contig)::
+
+    #locassm v1
+    <n_contigs>
+    >NAME DEPTH
+    CONTIG_SEQUENCE
+    READ_SEQUENCE TAB QUALITY_STRING     (DEPTH lines)
+
+Quality strings use Sanger phred+33 encoding.
+"""
+
+from __future__ import annotations
+
+import io as _io
+from pathlib import Path
+
+from repro.errors import DatasetError
+from repro.genomics.contig import Contig
+from repro.genomics.reads import Read, ReadSet
+
+_MAGIC = "#locassm v1"
+
+
+def write_dat(contigs: list[Contig], path: str | Path) -> None:
+    """Serialize contigs + assigned reads to ``path`` in ``.dat`` format."""
+    buf = _io.StringIO()
+    buf.write(f"{_MAGIC}\n{len(contigs)}\n")
+    for c in contigs:
+        buf.write(f">{c.name} {len(c.reads)}\n{c.sequence}\n")
+        for r in c.reads:
+            buf.write(f"{r.sequence}\t{r.quality_string}\n")
+    Path(path).write_text(buf.getvalue())
+
+
+def read_dat(path: str | Path) -> list[Contig]:
+    """Parse a ``.dat`` file back into contigs with reads."""
+    lines = Path(path).read_text().splitlines()
+    if not lines or lines[0] != _MAGIC:
+        raise DatasetError(f"{path}: missing {_MAGIC!r} header")
+    try:
+        n_contigs = int(lines[1])
+    except (IndexError, ValueError) as exc:
+        raise DatasetError(f"{path}: bad contig count line") from exc
+    pos = 2
+    contigs: list[Contig] = []
+    for _ in range(n_contigs):
+        if pos >= len(lines) or not lines[pos].startswith(">"):
+            raise DatasetError(f"{path}: expected '>' header at line {pos + 1}")
+        header = lines[pos][1:].rsplit(" ", 1)
+        if len(header) != 2:
+            raise DatasetError(f"{path}: malformed contig header at line {pos + 1}")
+        name, depth_s = header
+        try:
+            depth = int(depth_s)
+        except ValueError as exc:
+            raise DatasetError(f"{path}: bad read count in header {lines[pos]!r}") from exc
+        if pos + 1 >= len(lines):
+            raise DatasetError(f"{path}: contig {name!r} missing sequence line")
+        contig = Contig.from_string(name, lines[pos + 1])
+        pos += 2
+        reads = ReadSet()
+        for j in range(depth):
+            if pos >= len(lines):
+                raise DatasetError(f"{path}: contig {name!r} truncated at read {j}")
+            parts = lines[pos].split("\t")
+            if len(parts) != 2:
+                raise DatasetError(f"{path}: malformed read line {pos + 1}")
+            seq, quals = parts
+            if len(seq) != len(quals):
+                raise DatasetError(
+                    f"{path}: read/quality length mismatch at line {pos + 1}"
+                )
+            reads.append(Read.from_strings(f"{name}/r{j}", seq, quals))
+            pos += 1
+        contig.reads = reads
+        contigs.append(contig)
+    return contigs
+
+
+def write_fasta(records: list[tuple[str, str]], path: str | Path, width: int = 80) -> None:
+    """Write ``(name, sequence)`` records as FASTA with line wrapping."""
+    with open(path, "w") as fh:
+        for name, seq in records:
+            fh.write(f">{name}\n")
+            for i in range(0, len(seq), width):
+                fh.write(seq[i : i + width] + "\n")
+
+
+def read_fasta(path: str | Path) -> list[tuple[str, str]]:
+    """Parse FASTA into ``(name, sequence)`` records."""
+    records: list[tuple[str, str]] = []
+    name: str | None = None
+    chunks: list[str] = []
+    for line in Path(path).read_text().splitlines():
+        if line.startswith(">"):
+            if name is not None:
+                records.append((name, "".join(chunks)))
+            name = line[1:].strip()
+            chunks = []
+        elif line.strip():
+            if name is None:
+                raise DatasetError(f"{path}: sequence before first FASTA header")
+            chunks.append(line.strip())
+    if name is not None:
+        records.append((name, "".join(chunks)))
+    return records
+
+
+def write_fastq(reads: ReadSet, path: str | Path) -> None:
+    """Write a ReadSet as FASTQ (Sanger quality encoding)."""
+    with open(path, "w") as fh:
+        for r in reads:
+            fh.write(f"@{r.name}\n{r.sequence}\n+\n{r.quality_string}\n")
+
+
+def read_fastq(path: str | Path) -> ReadSet:
+    """Parse FASTQ into a ReadSet."""
+    lines = Path(path).read_text().splitlines()
+    if len(lines) % 4 != 0:
+        raise DatasetError(f"{path}: FASTQ line count not a multiple of 4")
+    reads = ReadSet()
+    for i in range(0, len(lines), 4):
+        if not lines[i].startswith("@") or not lines[i + 2].startswith("+"):
+            raise DatasetError(f"{path}: malformed FASTQ record at line {i + 1}")
+        reads.append(Read.from_strings(lines[i][1:], lines[i + 1], lines[i + 3]))
+    return reads

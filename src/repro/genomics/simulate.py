@@ -1,0 +1,188 @@
+"""Synthetic genome / read / local-assembly-scenario simulators.
+
+The paper's datasets are extracts of intermediate MetaHipMer state: for
+each contig, the reads that aligned to its ends. We do not have those
+proprietary extracts, so this module fabricates statistically equivalent
+inputs (the substitution is documented in DESIGN.md):
+
+* a random "true" genomic region per contig,
+* the contig itself as an interior slice of that region (so that real
+  sequence extends beyond both contig ends),
+* reads sampled to cover the contig ends and the flanking true sequence,
+  with Illumina-like error/quality profiles.
+
+A correct mer-walk over such inputs recovers (a prefix of) the true
+flanking sequence, which gives the test suite a ground truth to assert
+against and lets the dataset generator hit the paper's Table II
+characteristics (reads per contig, read length, hash insertions,
+extension lengths).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SequenceError
+from repro.genomics.contig import Contig
+from repro.genomics.dna import ALPHABET_SIZE, random_sequence
+from repro.genomics.reads import MAX_PHRED, Read, ReadSet
+
+
+@dataclass(frozen=True)
+class ErrorProfile:
+    """Illumina-like sequencing error model.
+
+    Attributes:
+        error_rate: per-base substitution probability.
+        hi_quality: phred score assigned to correct, confident bases.
+        lo_quality: phred score assigned to error-prone bases. Errors are
+            preferentially placed on low-quality bases, as in real data.
+        lo_quality_fraction: fraction of bases flagged low-quality.
+    """
+
+    error_rate: float = 0.005
+    hi_quality: int = 38
+    lo_quality: int = 12
+    lo_quality_fraction: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.error_rate < 1.0:
+            raise SequenceError(f"error_rate must be in [0,1), got {self.error_rate}")
+        if not 0 <= self.lo_quality <= self.hi_quality <= MAX_PHRED:
+            raise SequenceError("require 0 <= lo_quality <= hi_quality <= MAX_PHRED")
+
+
+PERFECT_READS = ErrorProfile(error_rate=0.0, lo_quality_fraction=0.0)
+
+
+def simulate_genome(length: int, rng: np.random.Generator) -> np.ndarray:
+    """Uniform random genome of ``length`` encoded bases."""
+    return random_sequence(length, rng)
+
+
+def sequence_read(
+    genome: np.ndarray,
+    start: int,
+    length: int,
+    rng: np.random.Generator,
+    profile: ErrorProfile = ErrorProfile(),
+    name: str = "read",
+) -> Read:
+    """Sample one read of ``length`` bases from ``genome`` at ``start``.
+
+    Substitution errors flip a base to one of the three other bases and are
+    placed preferentially at low-quality positions.
+    """
+    if start < 0 or start + length > len(genome):
+        raise SequenceError(
+            f"read window [{start},{start + length}) outside genome of {len(genome)}"
+        )
+    codes = genome[start : start + length].copy()
+    quals = np.full(length, profile.hi_quality, dtype=np.uint8)
+    if profile.lo_quality_fraction > 0.0:
+        lo = rng.random(length) < profile.lo_quality_fraction
+        quals[lo] = profile.lo_quality
+    if profile.error_rate > 0.0:
+        # Errors land on low-quality bases with 10x the rate of high-quality ones.
+        lo_mask = quals == profile.lo_quality
+        rate = np.where(lo_mask, min(1.0, 10 * profile.error_rate), profile.error_rate)
+        err = rng.random(length) < rate
+        if err.any():
+            shift = rng.integers(1, ALPHABET_SIZE, size=int(err.sum()), dtype=np.uint8)
+            codes[err] = (codes[err] + shift) % ALPHABET_SIZE
+    return Read(name=name, codes=codes, quals=quals)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Parameters for one synthetic local-assembly contig scenario.
+
+    Attributes:
+        contig_length: bases in the (un-extended) contig.
+        flank_length: true sequence available beyond each contig end; the
+            upper bound on any correct extension.
+        read_length: bases per read.
+        depth: target read coverage over each contig end region.
+        seed_window: how far (in bases) from the contig end a read may
+            start/end and still be assigned to that end.
+    """
+
+    contig_length: int = 500
+    flank_length: int = 120
+    read_length: int = 150
+    depth: int = 8
+    seed_window: int = 100
+
+
+@dataclass
+class ContigScenario:
+    """A generated contig, its reads, and the ground-truth flanks."""
+
+    contig: Contig
+    true_left_flank: str
+    true_right_flank: str
+    region: np.ndarray
+
+
+def simulate_contig_scenario(
+    spec: ScenarioSpec,
+    rng: np.random.Generator,
+    profile: ErrorProfile = ErrorProfile(),
+    name: str = "contig",
+) -> ContigScenario:
+    """Generate one contig + end-aligned reads with known true flanks.
+
+    The underlying *region* is ``flank | contig | flank``. Reads are
+    sampled so that both junction neighbourhoods are covered at roughly
+    ``spec.depth`` coverage, mimicking the read-to-contig-end assignment
+    MetaHipMer's alignment phase performs.
+    """
+    from repro.genomics.dna import decode  # local import to avoid cycle at module load
+
+    region_len = spec.contig_length + 2 * spec.flank_length
+    if spec.read_length > region_len:
+        raise SequenceError("read_length exceeds scenario region length")
+    region = simulate_genome(region_len, rng)
+    contig_codes = region[spec.flank_length : spec.flank_length + spec.contig_length]
+    contig = Contig(name=name, codes=contig_codes.copy())
+
+    # Read start windows that overlap each contig end.
+    ends = [
+        (max(0, spec.flank_length - spec.seed_window),
+         min(region_len - spec.read_length, spec.flank_length + spec.seed_window)),
+        (max(0, spec.flank_length + spec.contig_length - spec.read_length - spec.seed_window),
+         min(region_len - spec.read_length,
+             spec.flank_length + spec.contig_length - spec.read_length + spec.seed_window)),
+    ]
+    idx = 0
+    for lo, hi in ends:
+        hi = max(hi, lo)
+        span = hi - lo + spec.read_length
+        n_reads = max(1, int(round(spec.depth * span / spec.read_length)))
+        for _ in range(n_reads):
+            start = int(rng.integers(lo, hi + 1))
+            contig.reads.append(
+                sequence_read(region, start, spec.read_length, rng, profile,
+                              name=f"{name}/r{idx}")
+            )
+            idx += 1
+
+    left = decode(region[: spec.flank_length])
+    right = decode(region[spec.flank_length + spec.contig_length :])
+    return ContigScenario(contig=contig, true_left_flank=left,
+                          true_right_flank=right, region=region)
+
+
+def simulate_batch(
+    n_contigs: int,
+    spec: ScenarioSpec,
+    rng: np.random.Generator,
+    profile: ErrorProfile = ErrorProfile(),
+) -> list[ContigScenario]:
+    """Generate ``n_contigs`` independent scenarios."""
+    return [
+        simulate_contig_scenario(spec, rng, profile, name=f"contig{i}")
+        for i in range(n_contigs)
+    ]

@@ -1,0 +1,70 @@
+"""Integer-operation cost model for the hash path (paper Table V).
+
+The paper counts the integer operations executed per hash-table access:
+a fixed initialization and cleanup cost, a mix-loop cost proportional to
+the number of 4-byte words of the k-mer, and key-handling work (reading /
+comparing the k-mer bytes) proportional to k. The closed form
+
+``INTOP1(k) = 33 + 25 * (k // 4) + 31 + (5 * k) // 4``
+
+reproduces Table V exactly: 215 / 305 / 457 / 635 INTOPs for
+k = 21 / 33 / 55 / 77. Lookups during the mer-walk (Algorithm 2) execute
+the same hash function, so ``INTOP2(k) == INTOP1(k)`` (Table VI uses
+``INTOP1 + INTOP2 = 2 * INTOP1`` per loop cycle).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelError
+
+#: Fixed integer ops to set up the hash state (Table V "Initialization").
+INIT_INTOPS = 33
+
+#: Fixed integer ops in the avalanche/cleanup phase (Table V "Cleanup").
+CLEANUP_INTOPS = 31
+
+#: Integer ops per 4-byte word in the mix loop (Table V "Mix Loop" / (k//4)).
+MIX_INTOPS_PER_WORD = 25
+
+#: Integer ops per 4 bases of key handling (load + compare), i.e. 5k/4 total.
+KEY_HANDLING_INTOPS_PER_4_BASES = 5
+
+
+def _check_k(k: int) -> None:
+    if k <= 0:
+        raise ModelError(f"k must be positive, got {k}")
+
+
+def mix_loop_intops(k: int) -> int:
+    """Integer ops spent in the MurmurHash2 mix loop for a k-base key."""
+    _check_k(k)
+    return MIX_INTOPS_PER_WORD * (k // 4)
+
+
+def key_handling_intops(k: int) -> int:
+    """Integer ops spent loading/comparing the k-mer bytes themselves."""
+    _check_k(k)
+    return (KEY_HANDLING_INTOPS_PER_4_BASES * k) // 4
+
+
+def hash_intops(k: int) -> int:
+    """Total integer operations per hash-table access for k-base keys.
+
+    This is the paper's ``INTOP1`` (construction insert) and, equivalently,
+    ``INTOP2`` (walk lookup): Table V gives 215/305/457/635 for
+    k = 21/33/55/77.
+    """
+    _check_k(k)
+    return INIT_INTOPS + mix_loop_intops(k) + CLEANUP_INTOPS + key_handling_intops(k)
+
+
+def hash_intops_breakdown(k: int) -> dict[str, int]:
+    """Per-phase INTOP breakdown, keyed like Table V's rows."""
+    _check_k(k)
+    return {
+        "initialization": INIT_INTOPS,
+        "mix_loop": mix_loop_intops(k),
+        "cleanup": CLEANUP_INTOPS,
+        "key_handling": key_handling_intops(k),
+        "total": hash_intops(k),
+    }

@@ -1,0 +1,46 @@
+"""SIMT kernel ports of the local assembly kernel (paper Appendix A).
+
+Three variants, differing exactly where the paper's ports differ:
+
+* :class:`repro.kernels.cuda_kernel.CudaLocalAssemblyKernel` — fixed
+  32-wide warps; thread collisions resolved *within* a probe iteration via
+  ``__match_any_sync`` + ``__syncwarp(mask)``.
+* :class:`repro.kernels.hip_kernel.HipLocalAssemblyKernel` — 64-wide
+  wavefronts; a per-lane ``done`` flag with ``__all`` checks, so colliding
+  lanes retry on the *next* iteration.
+* :class:`repro.kernels.sycl_kernel.SyclLocalAssemblyKernel` —
+  configurable sub-group size (default 16, the paper's best) with a
+  sub-group barrier per iteration; colliding lanes also retry.
+
+All three run on the vectorized SIMT machinery in
+:mod:`repro.kernels.vectortable` / :mod:`repro.kernels.base` and produce
+identical *functional* results (extensions); they differ in measured
+iteration counts, instruction counts, synchronization counts, and
+predication statistics.
+"""
+
+from repro.kernels.base import KernelRunResult, LocalAssemblyKernel, ProtocolCosts
+from repro.kernels.cuda_kernel import CudaLocalAssemblyKernel
+from repro.kernels.hip_kernel import HipLocalAssemblyKernel
+from repro.kernels.sycl_kernel import SyclLocalAssemblyKernel
+from repro.kernels.vectortable import WarpHashTables
+
+__all__ = [
+    "KernelRunResult",
+    "LocalAssemblyKernel",
+    "ProtocolCosts",
+    "CudaLocalAssemblyKernel",
+    "HipLocalAssemblyKernel",
+    "SyclLocalAssemblyKernel",
+    "WarpHashTables",
+]
+
+
+def kernel_for_device(device, **kwargs):
+    """The kernel variant matching a device's programming model."""
+    table = {
+        "CUDA": CudaLocalAssemblyKernel,
+        "HIP": HipLocalAssemblyKernel,
+        "SYCL": SyclLocalAssemblyKernel,
+    }
+    return table[device.programming_model](device, **kwargs)

@@ -1,0 +1,41 @@
+"""CUDA port of the local assembly kernel (the paper's original code).
+
+Implements the Appendix-A ``ht_get_atomic`` semantics: ``atomicCAS`` on
+the slot tag, ``__match_any_sync(__activemask(), slot_address)`` to find
+the lanes colliding on the same slot, and ``__syncwarp(mask)`` so that
+lanes that lost the CAS to a *same-key* winner can merge their votes in
+the same probe iteration. Warp size is fixed at 32 — the CUDA code
+assumes it implicitly (the paper notes this assumption had to be removed
+for the HIP port).
+"""
+
+from __future__ import annotations
+
+from repro.errors import KernelError
+from repro.kernels.base import LocalAssemblyKernel, ProtocolCosts
+from repro.simt.device import DeviceSpec
+
+#: CUDA warp width, hard-wired into the original kernel.
+CUDA_WARP_SIZE = 32
+
+
+class CudaLocalAssemblyKernel(LocalAssemblyKernel):
+    """The original optimized CUDA implementation, on the SIMT simulator."""
+
+    protocol = ProtocolCosts(
+        name="CUDA",
+        # __activemask + address arithmetic for match_any, mask bookkeeping
+        iteration_intops=8,
+        # __match_any_sync + __syncwarp(mask)
+        iteration_syncs=2,
+        merges_in_iteration=True,
+    )
+
+    def __init__(self, device: DeviceSpec, warp_size: int | None = None, **kwargs):
+        if warp_size is not None and warp_size != CUDA_WARP_SIZE:
+            raise KernelError(
+                f"the CUDA kernel assumes {CUDA_WARP_SIZE}-wide warps "
+                f"(got {warp_size}); this is the portability hazard the "
+                "paper describes"
+            )
+        super().__init__(device, warp_size=CUDA_WARP_SIZE, **kwargs)

@@ -1,0 +1,35 @@
+"""HIP port of the local assembly kernel (hipify + manual fixes).
+
+HIP on AMD GPUs has no ``__match_any_sync``, so the Appendix-A HIP
+``ht_get_atomic`` gives every lane a ``done`` flag and loops until
+``__all(done)``: lanes that lose an ``atomicCAS`` re-read the slot on the
+*next* iteration instead of merging immediately, and every iteration pays
+two ``__all`` wavefront votes plus the flag bookkeeping — the extra cost
+the protocol constants encode. Wavefronts are 64 wide (the manual fix the
+paper calls out: the CUDA code's implicit 32 assumption had to be
+removed).
+"""
+
+from __future__ import annotations
+
+from repro.kernels.base import LocalAssemblyKernel, ProtocolCosts
+from repro.simt.device import DeviceSpec
+
+#: AMD wavefront width (CDNA2).
+AMD_WAVEFRONT_SIZE = 64
+
+
+class HipLocalAssemblyKernel(LocalAssemblyKernel):
+    """The hipified kernel with the done-flag insert loop."""
+
+    protocol = ProtocolCosts(
+        name="HIP",
+        # done-flag reads/writes + two __all ballots' operand setup per trip
+        iteration_intops=14,
+        # __all(done) at loop head and after the insert attempt
+        iteration_syncs=2,
+        merges_in_iteration=False,
+    )
+
+    def __init__(self, device: DeviceSpec, warp_size: int | None = None, **kwargs):
+        super().__init__(device, warp_size=warp_size or AMD_WAVEFRONT_SIZE, **kwargs)

@@ -1,0 +1,49 @@
+"""SYCL port of the local assembly kernel (SYCLomatic + manual rewrite).
+
+The Appendix-A SYCL ``ht_get_atomic`` uses
+``dpct::atomic_compare_exchange_strong`` plus a sub-group barrier
+(``sg.barrier()``) each probe iteration; like the HIP port, colliding
+lanes retry on the next iteration. SYCL sub-groups are variable-width —
+the paper swept sizes and found 16 the most consistent, so 16 is the
+default here and the sweep is reproduced by
+``benchmarks/bench_ablation_subgroup_size.py``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import KernelError
+from repro.kernels.base import LocalAssemblyKernel, ProtocolCosts
+from repro.simt.device import DeviceSpec
+
+#: Sub-group size the paper found optimal on the Max 1550.
+DEFAULT_SUB_GROUP_SIZE = 16
+
+#: Sub-group sizes Intel hardware supports (the ablation sweep domain).
+SUPPORTED_SUB_GROUP_SIZES = (8, 16, 32)
+
+
+class SyclLocalAssemblyKernel(LocalAssemblyKernel):
+    """The SYCL kernel with sub-group barriers and configurable width."""
+
+    protocol = ProtocolCosts(
+        name="SYCL",
+        # generic-space atomic wrapper + barrier bookkeeping
+        iteration_intops=11,
+        # sg.barrier() once per iteration
+        iteration_syncs=1,
+        merges_in_iteration=False,
+    )
+
+    def __init__(self, device: DeviceSpec, warp_size: int | None = None,
+                 sub_group_size: int | None = None, **kwargs):
+        size = sub_group_size or warp_size or DEFAULT_SUB_GROUP_SIZE
+        if size not in SUPPORTED_SUB_GROUP_SIZES:
+            raise KernelError(
+                f"sub-group size {size} unsupported; pick one of "
+                f"{SUPPORTED_SUB_GROUP_SIZES}"
+            )
+        super().__init__(device, warp_size=size, **kwargs)
+
+    @property
+    def sub_group_size(self) -> int:
+        return self.warp_size

@@ -1,0 +1,117 @@
+"""Vectorized per-warp hash tables (the device-memory ``loc_ht`` arrays).
+
+Every warp of a launch owns one open-addressing table; all tables live in
+flat structure-of-arrays storage so that one NumPy operation services a
+probe iteration across *every* pending lane of *every* warp — the
+warp-synchronous vectorized execution style DESIGN.md decision #1 calls
+out (per the HPC-Python guides: the hot loop is over probe iterations,
+never over lanes).
+
+Keys are identified by 64-bit fingerprints (see
+:mod:`repro.genomics.kmer`); byte-level key comparison cost is still
+charged by the memory model, the fingerprint only replaces *storage* of
+the key bytes, like the GPU struct's ``start_ptr`` indirection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import HashTableFullError, KernelError
+from repro.simt.intrinsics import elect_one_per_slot
+
+#: Bytes of the slot struct read by a probe (key tag: ptr + length).
+SLOT_TAG_BYTES = 16
+
+#: Bytes of the vote/value region written by an insertion
+#: (hi_q_exts + low_q_exts + ext + count, as in the GPU struct).
+SLOT_VALUE_BYTES = 16
+
+#: Full slot footprint in device memory.
+SLOT_BYTES = SLOT_TAG_BYTES + SLOT_VALUE_BYTES
+
+
+class WarpHashTables:
+    """All per-warp hash tables of one kernel launch.
+
+    Args:
+        capacities: per-warp slot counts (int array, one per warp).
+        k: key length in bases.
+    """
+
+    def __init__(self, capacities: np.ndarray, k: int) -> None:
+        capacities = np.asarray(capacities, dtype=np.int64)
+        if capacities.ndim != 1 or capacities.size == 0:
+            raise KernelError("capacities must be a non-empty 1-D array")
+        if (capacities <= 0).any():
+            raise KernelError("all table capacities must be positive")
+        self.capacities = capacities
+        self.k = int(k)
+        self.offsets = np.zeros(capacities.size + 1, dtype=np.int64)
+        np.cumsum(capacities, out=self.offsets[1:])
+        total = int(self.offsets[-1])
+        self.fp = np.zeros(total, dtype=np.uint64)
+        self.occupied = np.zeros(total, dtype=bool)
+        self.hi_q = np.zeros((total, 4), dtype=np.int32)
+        self.low_q = np.zeros((total, 4), dtype=np.int32)
+        self.count = np.zeros(total, dtype=np.int32)
+
+    @property
+    def n_warps(self) -> int:
+        return self.capacities.size
+
+    @property
+    def total_slots(self) -> int:
+        return int(self.offsets[-1])
+
+    @property
+    def total_bytes(self) -> int:
+        """Device-memory footprint of all tables (cold-miss floor)."""
+        return self.total_slots * SLOT_BYTES
+
+    def slot_of(self, warps: np.ndarray, homes: np.ndarray,
+                probes: np.ndarray) -> np.ndarray:
+        """Global slot index for (warp, home hash, probe offset) triples."""
+        caps = self.capacities[warps]
+        if (np.asarray(probes) >= caps).any():
+            raise HashTableFullError("probe offset wrapped a full table")
+        return self.offsets[warps] + (homes.astype(np.int64) + probes) % caps
+
+    def inspect(self, slots: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Read (occupied, fingerprint) for each slot — one probe load."""
+        return self.occupied[slots], self.fp[slots]
+
+    def claim(self, slots: np.ndarray, fps: np.ndarray) -> np.ndarray:
+        """atomicCAS claim of empty slots; returns the winner mask.
+
+        Callers pass only slots observed empty this iteration. Exactly one
+        lane per distinct slot wins; winners' fingerprints are installed.
+        """
+        winners = elect_one_per_slot(slots)
+        ws = slots[winners]
+        self.occupied[ws] = True
+        self.fp[ws] = fps[winners]
+        return winners
+
+    def vote(self, slots: np.ndarray, exts: np.ndarray, hi_mask: np.ndarray) -> None:
+        """Atomic vote accumulation (atomicAdd on the value region)."""
+        hi_rows = slots[hi_mask]
+        lo_rows = slots[~hi_mask]
+        np.add.at(self.hi_q, (hi_rows, exts[hi_mask].astype(np.int64)), 1)
+        np.add.at(self.low_q, (lo_rows, exts[~hi_mask].astype(np.int64)), 1)
+        np.add.at(self.count, slots, 1)
+
+    def votes_at(self, slots: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Gather (hi_q, low_q) count rows for walk-step resolution."""
+        return self.hi_q[slots], self.low_q[slots]
+
+    def occupancy(self) -> float:
+        """Fraction of slots holding a key (post-construction check)."""
+        return float(self.occupied.mean()) if self.total_slots else 0.0
+
+    def keys_per_warp(self) -> np.ndarray:
+        """Distinct keys stored per warp (for invariant tests)."""
+        out = np.zeros(self.n_warps, dtype=np.int64)
+        warp_of_slot = np.repeat(np.arange(self.n_warps), self.capacities)
+        np.add.at(out, warp_of_slot[self.occupied], 1)
+        return out

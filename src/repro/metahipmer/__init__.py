@@ -1,0 +1,44 @@
+"""The MetaHipMer pipeline around the local-assembly kernel (Figure 2).
+
+The paper studies one phase of MetaHipMer; this subpackage implements the
+rest of the (single-node form of the) pipeline so that local assembly can
+be exercised in its real context, end-to-end from raw reads:
+
+* :mod:`repro.metahipmer.kmer_analysis` — k-mer counting with a Bloom
+  prefilter and the "drop k-mers that occur once" error filter.
+* :mod:`repro.metahipmer.global_graph` — the global de Bruijn graph and
+  unitig-style contig generation.
+* :mod:`repro.metahipmer.alignment` — seed-and-extend read-to-contig
+  alignment and the assignment of reads to contig *ends* that the local
+  assembly module consumes.
+* :mod:`repro.metahipmer.pipeline` — the iterative de novo assembler:
+  k-mer analysis → graph → contigs → alignment → local assembly, over the
+  k = 21, 33, 55, 77 schedule.
+"""
+
+from repro.metahipmer.kmer_analysis import BloomFilter, KmerSpectrum, count_kmers_filtered
+from repro.metahipmer.global_graph import GlobalDeBruijnGraph, generate_contigs
+from repro.metahipmer.alignment import AlignmentHit, ReadAligner, assign_reads_to_ends
+from repro.metahipmer.pipeline import AssemblyStats, DeNovoAssembler, n50
+from repro.metahipmer.smith_waterman import (
+    BandedAligner,
+    LocalAlignment,
+    smith_waterman,
+)
+
+__all__ = [
+    "BandedAligner",
+    "LocalAlignment",
+    "smith_waterman",
+    "BloomFilter",
+    "KmerSpectrum",
+    "count_kmers_filtered",
+    "GlobalDeBruijnGraph",
+    "generate_contigs",
+    "AlignmentHit",
+    "ReadAligner",
+    "assign_reads_to_ends",
+    "AssemblyStats",
+    "DeNovoAssembler",
+    "n50",
+]

@@ -1,0 +1,193 @@
+"""Read-to-contig alignment and read-to-end assignment (Figure 2, stage 4).
+
+After contig generation, MetaHipMer aligns the reads back to the contigs;
+reads that align to (or overhang) a contig *end* are handed to local
+assembly. This module implements the single-node equivalent:
+
+* a seed index over contig k-mers,
+* gapless seed-and-extend alignment (substitutions only — matching the
+  Illumina-style error model used throughout),
+* end classification with overhang detection, producing exactly the
+  ``(contig.reads, contig.read_end_hints)`` structure the local-assembly
+  kernels consume.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SequenceError
+from repro.genomics.contig import Contig, End
+from repro.genomics.dna import reverse_complement
+from repro.genomics.reads import Read, ReadSet
+
+#: Seed length for the contig k-mer index.
+DEFAULT_SEED_LEN = 17
+
+#: Maximum mismatch fraction for an accepted alignment.
+DEFAULT_MAX_MISMATCH_FRAC = 0.1
+
+#: Reads whose alignment starts/ends within this many bases of a contig
+#: boundary (or overhangs it) are assigned to that end.
+DEFAULT_END_WINDOW = 100
+
+
+@dataclass(frozen=True)
+class AlignmentHit:
+    """One read-to-contig alignment.
+
+    Attributes:
+        contig_index: which contig.
+        position: contig coordinate of the read's first base (may be
+            negative: the read overhangs the left end).
+        reverse: read aligned as its reverse complement.
+        mismatches: substitutions in the overlapping region.
+        overlap: aligned bases (read ∩ contig).
+    """
+
+    contig_index: int
+    position: int
+    reverse: bool
+    mismatches: int
+    overlap: int
+
+    @property
+    def identity(self) -> float:
+        return 1.0 - self.mismatches / self.overlap if self.overlap else 0.0
+
+
+class ReadAligner:
+    """Seed-and-extend aligner over a fixed contig set.
+
+    Args:
+        contigs: target contigs (indexed once, at construction).
+        seed_len: exact-match seed length.
+        max_mismatch_frac: acceptance threshold on the extended alignment.
+    """
+
+    def __init__(
+        self,
+        contigs: list[Contig],
+        seed_len: int = DEFAULT_SEED_LEN,
+        max_mismatch_frac: float = DEFAULT_MAX_MISMATCH_FRAC,
+    ) -> None:
+        if seed_len <= 0:
+            raise SequenceError(f"seed_len must be positive, got {seed_len}")
+        self.contigs = contigs
+        self.seed_len = seed_len
+        self.max_mismatch_frac = max_mismatch_frac
+        self._index: dict[bytes, list[tuple[int, int]]] = defaultdict(list)
+        for ci, contig in enumerate(contigs):
+            codes = contig.codes
+            for i in range(0, max(0, len(codes) - seed_len + 1)):
+                self._index[codes[i : i + seed_len].tobytes()].append((ci, i))
+
+    def _extend(self, read_codes: np.ndarray, ci: int, pos: int,
+                reverse: bool) -> AlignmentHit | None:
+        contig_codes = self.contigs[ci].codes
+        lo = max(0, pos)
+        hi = min(len(contig_codes), pos + len(read_codes))
+        overlap = hi - lo
+        if overlap < self.seed_len:
+            return None
+        mism = int(np.count_nonzero(
+            read_codes[lo - pos : hi - pos] != contig_codes[lo:hi]
+        ))
+        if mism > self.max_mismatch_frac * overlap:
+            return None
+        return AlignmentHit(contig_index=ci, position=pos, reverse=reverse,
+                            mismatches=mism, overlap=overlap)
+
+    def align(self, read: Read, max_seeds: int = 8) -> AlignmentHit | None:
+        """Best alignment of ``read`` (either strand) or None.
+
+        Seeds are sampled across the read; candidates are deduplicated by
+        (contig, diagonal) and the highest-overlap, fewest-mismatch hit
+        wins.
+        """
+        best: AlignmentHit | None = None
+        for reverse in (False, True):
+            codes = read.codes if not reverse else reverse_complement(read.codes)
+            n_seeds = max(1, min(max_seeds,
+                                 (len(codes) - self.seed_len + 1) // self.seed_len + 1))
+            if len(codes) < self.seed_len:
+                continue
+            offsets = np.unique(np.linspace(
+                0, len(codes) - self.seed_len, n_seeds, dtype=np.int64))
+            tried: set[tuple[int, int]] = set()
+            for off in offsets:
+                seed = codes[off : off + self.seed_len].tobytes()
+                for ci, cpos in self._index.get(seed, ()):
+                    key = (ci, int(cpos) - int(off))
+                    if key in tried:
+                        continue
+                    tried.add(key)
+                    hit = self._extend(codes, ci, cpos - int(off), reverse)
+                    if hit and (best is None
+                                or (hit.overlap - 3 * hit.mismatches)
+                                > (best.overlap - 3 * best.mismatches)):
+                        best = hit
+        return best
+
+    def classify_end(self, hit: AlignmentHit, read_len: int,
+                     end_window: int = DEFAULT_END_WINDOW) -> End | None:
+        """Which contig end (if any) the aligned read belongs to.
+
+        A read belongs to the LEFT end if it overhangs or starts within
+        ``end_window`` of position 0; to the RIGHT end symmetrically. Ties
+        (short contigs) go to the nearer end.
+        """
+        contig_len = len(self.contigs[hit.contig_index])
+        start = hit.position
+        end_pos = hit.position + read_len
+        near_left = start < end_window
+        near_right = end_pos > contig_len - end_window
+        if near_left and near_right:
+            return End.LEFT if start + (end_pos - contig_len) < 0 else End.RIGHT
+        if near_left:
+            return End.LEFT
+        if near_right:
+            return End.RIGHT
+        return None
+
+
+def assign_reads_to_ends(
+    contigs: list[Contig],
+    reads: ReadSet,
+    seed_len: int = DEFAULT_SEED_LEN,
+    end_window: int = DEFAULT_END_WINDOW,
+) -> dict[str, int]:
+    """Align every read and attach end-assigned reads to their contigs.
+
+    Populates each contig's ``reads`` / ``read_end_hints`` in place
+    (replacing any previous assignment). Reads are stored in their
+    contig-forward orientation so the local-assembly kernels never see
+    strand. Returns assignment statistics.
+    """
+    aligner = ReadAligner(contigs, seed_len=seed_len)
+    for c in contigs:
+        c.reads = ReadSet()
+        c.read_end_hints = []
+    stats = {"aligned": 0, "unaligned": 0, "interior": 0, "assigned": 0}
+    for read in reads:
+        hit = aligner.align(read)
+        if hit is None:
+            stats["unaligned"] += 1
+            continue
+        stats["aligned"] += 1
+        end = aligner.classify_end(hit, len(read), end_window)
+        if end is None:
+            stats["interior"] += 1
+            continue
+        contig = contigs[hit.contig_index]
+        if hit.reverse:
+            read = Read(name=read.name + "/rc",
+                        codes=reverse_complement(read.codes),
+                        quals=read.quals[::-1].copy())
+        contig.reads.append(read)
+        contig.read_end_hints.append(end)
+        stats["assigned"] += 1
+    return stats

@@ -1,0 +1,55 @@
+"""Performance modeling: roofline, theoretical II, portability, timing.
+
+* :mod:`repro.perfmodel.theoretical` — the paper's closed-form theoretical
+  INTOP intensity (Tables V & VI).
+* :mod:`repro.perfmodel.roofline` — the integer-operations roofline model
+  (Figure 6).
+* :mod:`repro.perfmodel.timing` — predicts kernel time from measured
+  counters (feeds Figure 5 and everything downstream).
+* :mod:`repro.perfmodel.efficiency` — architectural & algorithm
+  efficiency (Tables IV & VII).
+* :mod:`repro.perfmodel.portability` — the Pennycook metric.
+* :mod:`repro.perfmodel.speedup` — potential-speed-up coordinates (Figure 9).
+"""
+
+from repro.perfmodel.theoretical import (
+    bytes_per_loop_cycle,
+    construct_bytes,
+    intops_per_loop_cycle,
+    lookup_bytes,
+    theoretical_ii,
+)
+from repro.perfmodel.roofline import (
+    RooflinePoint,
+    roofline_ceiling,
+    roofline_point,
+    roofline_series,
+)
+from repro.perfmodel.timing import TimingBreakdown, apply_timing, predict_time
+from repro.perfmodel.efficiency import (
+    algorithm_efficiency,
+    architectural_efficiency,
+)
+from repro.perfmodel.portability import pennycook
+from repro.perfmodel.speedup import SpeedupPoint, iso_curve_levels, speedup_point
+
+__all__ = [
+    "bytes_per_loop_cycle",
+    "construct_bytes",
+    "intops_per_loop_cycle",
+    "lookup_bytes",
+    "theoretical_ii",
+    "RooflinePoint",
+    "roofline_ceiling",
+    "roofline_point",
+    "roofline_series",
+    "TimingBreakdown",
+    "apply_timing",
+    "predict_time",
+    "algorithm_efficiency",
+    "architectural_efficiency",
+    "pennycook",
+    "SpeedupPoint",
+    "iso_curve_levels",
+    "speedup_point",
+]

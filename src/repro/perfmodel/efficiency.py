@@ -1,0 +1,35 @@
+"""Architectural and algorithm efficiency (paper Tables IV and VII).
+
+* **Architectural efficiency** — the fraction of the INTOP roofline the
+  run achieved at its *measured* intensity:
+  ``e_arch = achieved / min(peak, II_emp * BW)``. It asks "how well does
+  this implementation use this machine, given how it moves data?".
+* **Algorithm efficiency** — the fraction of the *theoretical* INTOP
+  intensity the run achieved: ``e_alg = II_emp / II_theory(k)`` (capped
+  at 1). It asks "how close is the data movement to the algorithm's ideal
+  on a perfectly cached machine?" — the metric of [18] adapted to integer
+  workloads.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelError
+from repro.perfmodel.roofline import roofline_ceiling
+from repro.perfmodel.theoretical import theoretical_ii
+from repro.simt.counters import KernelProfile
+from repro.simt.device import DeviceSpec
+
+
+def architectural_efficiency(profile: KernelProfile, device: DeviceSpec) -> float:
+    """``e_arch``: achieved GINTOP/s over the roofline at the measured II."""
+    achieved = profile.gintops_per_second
+    ceiling = roofline_ceiling(device, profile.intop_intensity)
+    eff = achieved / ceiling
+    if eff < 0:
+        raise ModelError("negative efficiency — inconsistent profile")
+    return min(eff, 1.0)
+
+
+def algorithm_efficiency(profile: KernelProfile, k: int) -> float:
+    """``e_alg``: measured II over the theoretical II for this k."""
+    return min(profile.intop_intensity / theoretical_ii(k), 1.0)

@@ -1,0 +1,37 @@
+"""The Pennycook performance-portability metric [8, 19].
+
+For an application ``a`` solving problem ``p`` on a platform set ``H``::
+
+    P(a, p, H) = |H| / sum_{i in H} 1 / e_i(a, p)    if a runs on all i
+               = 0                                    otherwise
+
+— the harmonic mean of the per-platform efficiencies ``e_i``, which is 0
+if any platform fails (an unsupported platform has e = 0). Any measurable
+efficiency works; the paper uses architectural efficiency (Table IV) and
+algorithm efficiency (Table VII).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import ModelError
+
+
+def pennycook(efficiencies: Iterable[float]) -> float:
+    """Harmonic-mean performance portability of per-platform efficiencies.
+
+    Args:
+        efficiencies: one efficiency in [0, 1] per platform; a zero (the
+            application does not run there) makes the metric 0, per the
+            definition's second case.
+    """
+    effs = list(efficiencies)
+    if not effs:
+        raise ModelError("pennycook metric needs at least one platform")
+    for e in effs:
+        if e < 0 or e > 1:
+            raise ModelError(f"efficiency {e} outside [0, 1]")
+    if any(e == 0 for e in effs):
+        return 0.0
+    return len(effs) / sum(1.0 / e for e in effs)

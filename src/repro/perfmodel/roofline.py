@@ -1,0 +1,81 @@
+"""The integer-operations (INTOP) roofline model (paper Section V-B).
+
+The paper simplifies the Instruction Roofline Model [Ding & Williams,
+PMBS'19] by counting integer *operations* instead of instructions, which
+makes the model portable across vendors whose profilers disagree about
+what an "instruction" is. Performance (GINTOP/s) is bounded by::
+
+    ceiling(II) = min(peak_GINTOPS, II * HBM_bandwidth)
+
+with ``II = INTOPs / HBM bytes`` the INTOP Intensity. The ridge point
+``peak / bandwidth`` is the machine balance; kernels left of it are
+memory-bound, right of it compute-bound (Figure 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.simt.counters import KernelProfile
+from repro.simt.device import DeviceSpec
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel run placed on a device's INTOP roofline.
+
+    Attributes:
+        device: device name.
+        ii: empirical INTOP intensity (x-coordinate).
+        gintops_per_s: achieved performance (y-coordinate).
+        ceiling_gintops: the roofline bound at this II.
+        bound: "memory" or "compute", by which side of the ridge II falls.
+    """
+
+    device: str
+    ii: float
+    gintops_per_s: float
+    ceiling_gintops: float
+    bound: str
+
+    @property
+    def fraction_of_ceiling(self) -> float:
+        """Achieved / attainable — the paper's architectural efficiency.
+
+        Capped at 1: the Max 1550's timing model sustains more than its
+        Advisor-measured roofline ceiling (see
+        ``DeviceSpec.timing_peak_gintops``), so its points can touch the
+        ceiling; a kernel cannot meaningfully exceed it.
+        """
+        return min(1.0, self.gintops_per_s / self.ceiling_gintops)
+
+
+def roofline_ceiling(device: DeviceSpec, ii: float) -> float:
+    """Attainable GINTOP/s at intensity ``ii`` on ``device``."""
+    if ii <= 0:
+        raise ModelError(f"II must be positive, got {ii}")
+    return min(device.peak_gintops, ii * device.hbm_bw_gbps)
+
+
+def roofline_point(profile: KernelProfile, device: DeviceSpec) -> RooflinePoint:
+    """Place a profiled kernel run on the device's roofline."""
+    ii = profile.intop_intensity
+    perf = profile.gintops_per_second
+    ceiling = roofline_ceiling(device, ii)
+    bound = "memory" if ii < device.machine_balance else "compute"
+    return RooflinePoint(device=device.name, ii=ii, gintops_per_s=perf,
+                         ceiling_gintops=ceiling, bound=bound)
+
+
+def roofline_series(
+    device: DeviceSpec, ii_min: float = 1e-2, ii_max: float = 1e1, n: int = 64
+) -> tuple[np.ndarray, np.ndarray]:
+    """(II, ceiling) arrays tracing the roofline for plotting (Figure 6)."""
+    if ii_min <= 0 or ii_max <= ii_min:
+        raise ModelError("require 0 < ii_min < ii_max")
+    ii = np.logspace(np.log10(ii_min), np.log10(ii_max), n)
+    ceil = np.minimum(device.peak_gintops, ii * device.hbm_bw_gbps)
+    return ii, ceil

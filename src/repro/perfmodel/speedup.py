@@ -1,0 +1,72 @@
+"""The architecture-oblivious potential speed-up plot (paper Figure 9).
+
+Unifies the two efficiencies on one chart: x = algorithm efficiency (how
+much of the theoretical INTOP intensity is achieved), y = architectural
+efficiency (how much of the roofline is achieved). The reciprocal axes
+give *potential speed-up*: a point at (25 %, 20 %) could go 4x faster by
+fixing data locality and 5x faster by fixing execution — the iso-curves
+of constant combined speed-up are the hyperbolas ``x * y = const``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class SpeedupPoint:
+    """One (device, dataset) point of Figure 9."""
+
+    device: str
+    k: int
+    algorithm_efficiency: float   # x, in [0, 1]
+    architectural_efficiency: float  # y, in [0, 1]
+
+    def __post_init__(self) -> None:
+        for v in (self.algorithm_efficiency, self.architectural_efficiency):
+            if not 0.0 <= v <= 1.0:
+                raise ModelError(f"efficiency {v} outside [0, 1]")
+
+    @property
+    def speedup_by_improving_ai(self) -> float:
+        """Top-axis reading: potential gain from better data locality."""
+        if self.algorithm_efficiency == 0:
+            return float("inf")
+        return 1.0 / self.algorithm_efficiency
+
+    @property
+    def speedup_by_improving_performance(self) -> float:
+        """Right-axis reading: potential gain from better execution."""
+        if self.architectural_efficiency == 0:
+            return float("inf")
+        return 1.0 / self.architectural_efficiency
+
+    @property
+    def combined_potential(self) -> float:
+        """Product of both potentials (distance from the ideal corner)."""
+        return (self.speedup_by_improving_ai
+                * self.speedup_by_improving_performance)
+
+
+def speedup_point(device_name: str, k: int, alg_eff: float,
+                  arch_eff: float) -> SpeedupPoint:
+    """Build a Figure-9 point from the two efficiencies."""
+    return SpeedupPoint(device=device_name, k=k,
+                        algorithm_efficiency=alg_eff,
+                        architectural_efficiency=arch_eff)
+
+
+def iso_curve_levels() -> tuple[float, ...]:
+    """The speed-up iso-levels Figure 9 draws (1x .. 32x)."""
+    return (1.0, 1.33, 2.0, 4.0, 8.0, 16.0, 32.0)
+
+
+def iso_curve(level: float, n: int = 33) -> list[tuple[float, float]]:
+    """Points (x, y) of the ``1/(x*y) = level`` iso-curve within the unit box."""
+    if level < 1.0:
+        raise ModelError(f"speed-up level must be >= 1, got {level}")
+    xs = [max(1.0 / level, 0.01) + i * (1.0 - max(1.0 / level, 0.01)) / (n - 1)
+          for i in range(n)]
+    return [(x, min(1.0, 1.0 / (level * x))) for x in xs]

@@ -1,0 +1,51 @@
+"""The paper's theoretical INTOP Intensity model (Section V-D2, Tables V/VI).
+
+One "loop cycle" is one construction insert (Algorithm 1) plus one walk
+lookup (Algorithm 2) — the walk runs every time construction runs, so the
+paper sums the two and takes the ratio, which removes any dependence on
+dataset size:
+
+* ``INTOP1 = INTOP2 = hash_intops(k)`` (Table V),
+* ``B1 = 2k + 13`` bytes per insert (read k-mer + quality, write the
+  4-byte key pointer, 1-byte extension, 4-byte quality, 4-byte count),
+* ``B2 = k + 13`` bytes per lookup (read k-mer, read the same 13 bytes),
+* ``II = (INTOP1 + INTOP2) / (B1 + B2)`` (Table VI).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelError
+from repro.hashing.opcount import hash_intops
+
+#: Fixed bytes of the hash-table value region the paper's model charges:
+#: 4-byte key pointer + 1-byte extension + 4-byte quality + 4-byte count.
+VALUE_BYTES = 13
+
+
+def construct_bytes(k: int) -> int:
+    """``B1``: HBM bytes per hash-table insertion (Equation 2)."""
+    if k <= 0:
+        raise ModelError(f"k must be positive, got {k}")
+    return 2 * k + VALUE_BYTES
+
+
+def lookup_bytes(k: int) -> int:
+    """``B2``: HBM bytes per walk lookup (Equation 3)."""
+    if k <= 0:
+        raise ModelError(f"k must be positive, got {k}")
+    return k + VALUE_BYTES
+
+
+def intops_per_loop_cycle(k: int) -> int:
+    """``INTOP1 + INTOP2`` (Table VI column 2): 430/610/914/1270."""
+    return 2 * hash_intops(k)
+
+
+def bytes_per_loop_cycle(k: int) -> int:
+    """``B1 + B2`` (Table VI column 3): 89/125/191/257."""
+    return construct_bytes(k) + lookup_bytes(k)
+
+
+def theoretical_ii(k: int) -> float:
+    """Theoretical INTOP Intensity (Table VI column 4, Equation 4)."""
+    return intops_per_loop_cycle(k) / bytes_per_loop_cycle(k)

@@ -1,0 +1,134 @@
+"""Kernel time prediction from measured counters.
+
+The simulated device has no wall clock, so time is *modeled* from the
+counters the kernels measure, using the same resource-bound reasoning the
+roofline embodies:
+
+* **Construction issue time** — all lanes are active, so the sustained
+  integer pipeline (``peak * pipeline_efficiency``) processes the
+  construction thread-ops directly.
+* **Walk issue time** — one lane per warp is active, but the warp still
+  occupies its full issue width: the walk's thread-ops are charged
+  ``warp_size`` issue slots each. This is the quantitative form of the
+  paper's predication analysis — AMD's 64-wide wavefronts pay twice the
+  A100's walk cost and four times the 16-wide Intel sub-groups'.
+* **Memory time** — HBM bytes over sustained bandwidth.
+* **Latency floors** — the dependent chains (lockstep probe iterations
+  and walk steps) times the cache-hit-weighted access latency; a device
+  whose tables fit in cache walks on short leashes, one that misses to
+  HBM cannot hide its own serial chain.
+
+The two phases serialize inside a launch, so::
+
+    T = max(T_construct_issue + T_walk_issue, T_memory,
+            T_construct_latency + T_walk_latency)
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+from repro.simt.counters import KernelProfile
+from repro.simt.device import DeviceSpec
+
+
+@dataclass(frozen=True)
+class TimingBreakdown:
+    """Per-resource times (seconds) and the binding resource."""
+
+    construct_issue: float
+    walk_issue: float
+    memory: float
+    construct_latency: float
+    walk_latency: float
+
+    @property
+    def issue(self) -> float:
+        return self.construct_issue + self.walk_issue
+
+    @property
+    def latency(self) -> float:
+        return self.construct_latency + self.walk_latency
+
+    @property
+    def total(self) -> float:
+        return max(self.issue, self.memory, self.latency)
+
+    @property
+    def bound(self) -> str:
+        """Which resource binds: "issue", "memory" or "latency"."""
+        t = self.total
+        if t == self.issue:
+            return "issue"
+        return "memory" if t == self.memory else "latency"
+
+
+def predict_time(profile: KernelProfile, device: DeviceSpec) -> TimingBreakdown:
+    """Model the kernel time for a profiled run on ``device``."""
+    if profile.intops <= 0:
+        raise ModelError("cannot time an empty profile")
+    timing_peak = device.timing_peak_gintops or device.peak_gintops
+    sustained_ops = timing_peak * 1e9 * device.pipeline_efficiency
+    sustained_bw = device.hbm_bw_gbps * 1e9 * device.memory_efficiency
+    clock_hz = device.clock_ghz * 1e9
+    return TimingBreakdown(
+        construct_issue=profile.construct_intops / sustained_ops,
+        walk_issue=profile.walk_intops * profile.walk_issue_width / sustained_ops,
+        memory=profile.hbm_bytes / sustained_bw,
+        construct_latency=profile.construct_chain_cycles / clock_hz,
+        walk_latency=profile.walk_chain_cycles / clock_hz,
+    )
+
+
+def apply_timing(profile: KernelProfile, device: DeviceSpec,
+                 parallel_scale: float = 1.0) -> TimingBreakdown:
+    """Compute and store the predicted time on the profile.
+
+    ``parallel_scale``: fraction of the paper-size dataset that was
+    actually run. Throughput terms (issue, memory) scale with work and are
+    extrapolated by ``1/scale``; the latency terms are per-launch serial
+    chains whose length is scale-invariant (a bin's longest walk doesn't
+    shrink when there are fewer bins' worth of contigs), so they are not
+    scaled. With ``parallel_scale=1`` this is exact, not extrapolation.
+    """
+    bd = predict_time(profile, device)
+    if parallel_scale != 1.0:
+        bd = TimingBreakdown(
+            construct_issue=bd.construct_issue / parallel_scale,
+            walk_issue=bd.walk_issue / parallel_scale,
+            memory=bd.memory / parallel_scale,
+            construct_latency=bd.construct_latency,
+            walk_latency=bd.walk_latency,
+        )
+    profile.seconds = bd.total
+    return bd
+
+
+def extrapolate_profile(profile: KernelProfile, device: DeviceSpec,
+                        parallel_scale: float) -> KernelProfile:
+    """Full-scale view of a profile measured on a scaled dataset.
+
+    Work-proportional counters (INTOPs, bytes, inserts, ...) scale by
+    ``1/parallel_scale``; per-launch chain cycles do not (see
+    :func:`apply_timing`). The returned profile's counters and time are
+    mutually consistent, so every downstream metric (roofline point,
+    efficiencies, GINTOP/s) reads as a full-size run.
+    """
+    if not 0.0 < parallel_scale <= 1.0:
+        raise ModelError(f"parallel_scale must be in (0, 1], got {parallel_scale}")
+    full = copy.deepcopy(profile)
+    inv = 1.0 / parallel_scale
+    for name in (
+        "intops", "warp_instructions", "lane_instructions", "inserts",
+        "insert_probe_iterations", "lookups", "lookup_probe_iterations",
+        "walk_steps", "sync_ops", "atomics", "contigs", "extension_bases",
+        "construct_intops", "walk_intops",
+    ):
+        setattr(full, name, int(round(getattr(profile, name) * inv)))
+    full.hbm_bytes = profile.hbm_bytes * inv
+    full.l1_hit_bytes = profile.l1_hit_bytes * inv
+    full.l2_hit_bytes = profile.l2_hit_bytes * inv
+    apply_timing(full, device)  # chains already full-size; counters now too
+    return full

@@ -1,0 +1,208 @@
+"""Simulated device specifications (paper Tables I and III, Figure 6 peaks).
+
+Each :class:`DeviceSpec` bundles the architectural numbers the paper's
+analysis depends on: warp/sub-group width, compute-unit count, cache
+capacities and line sizes, HBM capacity/bandwidth, the integer-operation
+peak and the machine balance of the INTOP roofline, plus the calibration
+constants of the timing model (documented per field).
+
+The MI250X spec models **one GCD** and the Max 1550 spec **one tile**,
+exactly as the paper's experiments do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import DeviceError
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+
+@dataclass(frozen=True)
+class CacheSpec:
+    """One cache level.
+
+    Attributes:
+        size_bytes: capacity.
+        line_bytes: granularity of a memory transaction at this level
+            (NVIDIA counts 32 B sectors; AMD and Intel move 64 B lines).
+        latency_cycles: load-to-use latency on a hit.
+    """
+
+    size_bytes: int
+    line_bytes: int
+    latency_cycles: int
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.line_bytes <= 0 or self.latency_cycles <= 0:
+            raise DeviceError(f"invalid cache spec: {self}")
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """A simulated GPU (one die/tile, matching the paper's setup).
+
+    Architectural fields come straight from Tables I/III and Figure 6.
+    ``pipeline_efficiency`` and ``memory_efficiency`` are the two
+    calibration constants of the timing model: the sustained fraction of
+    the INTOP peak / HBM bandwidth an irregular integer kernel achieves.
+    They are device properties (issue width, atomics throughput, memory
+    controller behaviour), not per-dataset knobs.
+    """
+
+    name: str
+    vendor: str
+    programming_model: str
+    compiler: str
+    hpc_system: str
+    warp_size: int
+    compute_units: int
+    l1: CacheSpec
+    l2: CacheSpec
+    hbm_bytes: int
+    hbm_bw_gbps: float          # GB/s (Figure 6 ceilings)
+    peak_gintops: float         # warp-level G INTOP/s (Figure 6 ceilings)
+    clock_ghz: float
+    hbm_latency_cycles: int
+    max_resident_warps_per_cu: int
+    pipeline_efficiency: float
+    memory_efficiency: float
+    #: Cycles per dependent integer operation (the mer-walk's hash is a
+    #: serial dependency chain; superscalar issue cannot parallelize it).
+    dependent_cpi: float = 1.0
+    #: Sustained integer-issue rate for the *timing* model, when it differs
+    #: from the roofline ceiling. The Max 1550's Figure 6 ceiling
+    #: (Advisor-measured at sub-group-16 occupancy) understates the
+    #: scalar/predicated issue rate the Xe vector engines sustain on this
+    #: kernel; None means "same as peak_gintops".
+    timing_peak_gintops: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.warp_size <= 0 or self.compute_units <= 0:
+            raise DeviceError(f"invalid device spec for {self.name}")
+        if not 0.0 < self.pipeline_efficiency <= 1.0:
+            raise DeviceError(f"{self.name}: pipeline_efficiency out of (0,1]")
+        if not 0.0 < self.memory_efficiency <= 1.0:
+            raise DeviceError(f"{self.name}: memory_efficiency out of (0,1]")
+
+    @property
+    def machine_balance(self) -> float:
+        """Ridge point of the INTOP roofline (INTOP/byte), as in Figure 6."""
+        return self.peak_gintops / self.hbm_bw_gbps
+
+    @property
+    def total_resident_warps(self) -> int:
+        """Warp slots across the device (occupancy upper bound)."""
+        return self.compute_units * self.max_resident_warps_per_cu
+
+    def with_(self, **kwargs) -> "DeviceSpec":
+        """A modified copy (used by ablation benches, e.g. cache sweeps)."""
+        return replace(self, **kwargs)
+
+
+#: NVIDIA A100 (Perlmutter): CUDA 12.0. 108 SMs, 192 KB L1/SM, 40 MB L2.
+A100 = DeviceSpec(
+    name="A100",
+    vendor="NVIDIA",
+    programming_model="CUDA",
+    compiler="CUDA 12.0",
+    hpc_system="Perlmutter (NERSC)",
+    warp_size=32,
+    compute_units=108,
+    l1=CacheSpec(size_bytes=192 * KB, line_bytes=32, latency_cycles=35),
+    l2=CacheSpec(size_bytes=40 * MB, line_bytes=32, latency_cycles=200),
+    hbm_bytes=40 * GB,
+    hbm_bw_gbps=1555.0,
+    peak_gintops=358.0,
+    clock_ghz=1.41,
+    hbm_latency_cycles=500,
+    max_resident_warps_per_cu=32,
+    pipeline_efficiency=1.0,
+    memory_efficiency=0.60,
+)
+
+#: AMD MI250X, one GCD (Frontier): HIP / ROCm 5.3.0. 110 CUs per GCD,
+#: 16 KB L1/CU, 8 MB L2 per die, 64-wide wavefronts.
+MI250X = DeviceSpec(
+    name="MI250X",
+    vendor="AMD",
+    programming_model="HIP",
+    compiler="ROCm 5.3.0",
+    hpc_system="Frontier (OLCF)",
+    warp_size=64,
+    compute_units=110,
+    l1=CacheSpec(size_bytes=16 * KB, line_bytes=64, latency_cycles=60),
+    l2=CacheSpec(size_bytes=8 * MB, line_bytes=64, latency_cycles=250),
+    hbm_bytes=64 * GB,
+    hbm_bw_gbps=1600.0,
+    peak_gintops=374.0,
+    clock_ghz=1.70,
+    hbm_latency_cycles=600,
+    max_resident_warps_per_cu=24,
+    pipeline_efficiency=1.0,
+    memory_efficiency=0.55,
+)
+
+#: Intel Data Center GPU Max 1550, one tile (Sunspot): SYCL / DPC++ 2023.
+#: 64 Xe-cores per tile, 204 MB L2 per tile, sub-group size 16.
+MAX1550 = DeviceSpec(
+    name="MAX1550",
+    vendor="Intel",
+    programming_model="SYCL",
+    compiler="Intel DPC++ 2023",
+    hpc_system="Sunspot (ALCF)",
+    warp_size=16,
+    compute_units=64,
+    l1=CacheSpec(size_bytes=512 * KB, line_bytes=64, latency_cycles=50),
+    l2=CacheSpec(size_bytes=204 * MB, line_bytes=64, latency_cycles=220),
+    hbm_bytes=64 * GB,
+    hbm_bw_gbps=1176.21,
+    peak_gintops=105.0,
+    clock_ghz=1.60,
+    hbm_latency_cycles=550,
+    max_resident_warps_per_cu=64,
+    pipeline_efficiency=1.0,
+    memory_efficiency=0.55,
+    timing_peak_gintops=230.0,
+)
+
+#: The paper's three platforms (Table I order).
+PLATFORMS: tuple[DeviceSpec, ...] = (A100, MI250X, MAX1550)
+
+
+def full_board(device: DeviceSpec) -> DeviceSpec:
+    """The whole-board variant of a multi-die device.
+
+    The paper deliberately uses one MI250X GCD and one Max 1550 tile; this
+    helper models the full board (both dies/tiles working on one launch)
+    by doubling compute units, L2 capacity, HBM capacity/bandwidth, and
+    the integer peaks. The A100 is a single die and is returned unchanged.
+    Cross-die effects (Infinity Fabric / tile-to-tile traffic) are not
+    modeled — this is the optimistic scaling bound.
+    """
+    if device.name == "A100":
+        return device
+    return device.with_(
+        name=f"{device.name}-full",
+        compute_units=device.compute_units * 2,
+        l2=CacheSpec(device.l2.size_bytes * 2, device.l2.line_bytes,
+                     device.l2.latency_cycles),
+        hbm_bytes=device.hbm_bytes * 2,
+        hbm_bw_gbps=device.hbm_bw_gbps * 2,
+        peak_gintops=device.peak_gintops * 2,
+        timing_peak_gintops=(device.timing_peak_gintops * 2
+                             if device.timing_peak_gintops else None),
+    )
+
+
+def device_by_name(name: str) -> DeviceSpec:
+    """Look a platform up by (case-insensitive) name."""
+    for dev in PLATFORMS:
+        if dev.name.lower() == name.lower():
+            return dev
+    raise DeviceError(
+        f"unknown device {name!r}; available: {[d.name for d in PLATFORMS]}"
+    )

@@ -1,0 +1,266 @@
+"""Memory-hierarchy models: trace-driven cache simulation + analytic model.
+
+Two models, per DESIGN.md decision #2:
+
+* :class:`CacheSim` — an exact set-associative LRU cache usable as L1 or
+  L2, fed with address traces. Exact but O(trace length) in Python, so it
+  is used for small inputs, unit tests, and for validating the analytic
+  model's hit rates.
+* :class:`AnalyticCacheModel` — a capacity/working-set model evaluated per
+  *access category* (random table probes, random key compares, streaming
+  read-buffer traffic, ...). For a random-access category whose per-CU
+  working set is ``W`` and cache capacity ``C``, the hit probability is
+  the resident fraction ``min(1, C / W)`` — the standard fully-associative
+  approximation for uniform random access — applied level by level.
+  Streaming categories hit with a fixed high probability (hardware
+  prefetchers handle them) but always pay compulsory traffic.
+
+The analytic model also enforces the *compulsory floor*: a batch can
+never move fewer HBM bytes than its cold footprint (every byte of the
+tables and read buffers must cross the bus at least once).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.simt.device import CacheSpec, DeviceSpec
+
+#: Hit probability of streaming (sequential, prefetchable) accesses in L1.
+STREAM_L1_HIT = 0.90
+
+#: Hit probability of streaming accesses in L2 given an L1 miss.
+STREAM_L2_HIT = 0.80
+
+
+@dataclass(frozen=True)
+class AccessCategory:
+    """One class of memory accesses a kernel performs.
+
+    Attributes:
+        name: label ("table_probe", "key_compare", "read_stream", ...).
+        accesses: number of accesses in the batch.
+        bytes_per_access: logical payload bytes per access.
+        working_set_per_warp: bytes of distinct data one warp touches in
+            this category (drives the capacity model).
+        pattern: "random" or "stream".
+        writes: whether the accesses are stores (write-allocate +
+            write-back doubles their HBM cost on a miss).
+        atomic: atomic operations execute at the L2 on every GPU modeled
+            here (atomicCAS / atomicAdd bypass the L1 entirely), so atomic
+            categories never hit L1.
+    """
+
+    name: str
+    accesses: int
+    bytes_per_access: float
+    working_set_per_warp: float
+    pattern: str = "random"
+    writes: bool = False
+    atomic: bool = False
+
+    def __post_init__(self) -> None:
+        if self.pattern not in ("random", "stream"):
+            raise ModelError(f"unknown access pattern {self.pattern!r}")
+        if self.accesses < 0 or self.bytes_per_access < 0:
+            raise ModelError(f"negative access counts in category {self.name!r}")
+
+
+@dataclass
+class MemoryTraffic:
+    """Per-level byte accounting for one batch."""
+
+    l1_bytes: float = 0.0
+    l2_bytes: float = 0.0
+    hbm_bytes: float = 0.0
+    by_category: dict = field(default_factory=dict)
+
+    @property
+    def total_accessed_bytes(self) -> float:
+        return self.l1_bytes + self.l2_bytes + self.hbm_bytes
+
+
+def _lines(payload: float, line_bytes: int) -> float:
+    """Transaction bytes needed to move ``payload`` at line granularity."""
+    if payload <= 0:
+        return 0.0
+    return float(np.ceil(payload / line_bytes)) * line_bytes
+
+
+class AnalyticCacheModel:
+    """Working-set cache model for one device.
+
+    Args:
+        device: the simulated GPU.
+        warps_in_flight: warps whose data competes for the L2 during the
+            batch (the batch's warp count — tables stay resident in global
+            memory for the whole launch, so the full batch footprint
+            pressures the L2 even though only ``max_resident`` warps
+            execute at any instant).
+        l2_churn: multiplier on the effective L2 working set, accounting
+            for conflict misses and the interleaving of probe, vote and
+            stream traffic in one shared cache (calibration constant).
+    """
+
+    def __init__(self, device: DeviceSpec, warps_in_flight: int,
+                 l2_churn: float = 1.0) -> None:
+        if warps_in_flight <= 0:
+            raise ModelError("warps_in_flight must be positive")
+        if l2_churn < 1.0:
+            raise ModelError("l2_churn must be >= 1")
+        self.device = device
+        self.warps_in_flight = warps_in_flight
+        self.l2_churn = l2_churn
+        # Warps sharing one CU's L1.
+        self.warps_per_cu = max(
+            1,
+            min(
+                device.max_resident_warps_per_cu,
+                -(-warps_in_flight // device.compute_units),  # ceil div
+            ),
+        )
+
+    def hit_rates(self, cat: AccessCategory) -> tuple[float, float]:
+        """(L1 hit prob, L2 hit prob given L1 miss) for a category."""
+        if cat.pattern == "stream":
+            return STREAM_L1_HIT, STREAM_L2_HIT
+        if cat.atomic:
+            l1_hit = 0.0
+        else:
+            l1_ws = cat.working_set_per_warp * self.warps_per_cu
+            l1_hit = min(1.0, self.device.l1.size_bytes / l1_ws) if l1_ws > 0 else 1.0
+        l2_ws = cat.working_set_per_warp * self.warps_in_flight * self.l2_churn
+        l2_hit = min(1.0, self.device.l2.size_bytes / l2_ws) if l2_ws > 0 else 1.0
+        return l1_hit, l2_hit
+
+    def traffic(
+        self, categories: list[AccessCategory], cold_footprint_bytes: float = 0.0
+    ) -> MemoryTraffic:
+        """Evaluate all categories; returns per-level byte totals.
+
+        ``cold_footprint_bytes`` is the batch's distinct data footprint;
+        HBM traffic is floored at it (compulsory misses), attributed to a
+        synthetic ``"compulsory"`` category when the floor binds.
+        """
+        out = MemoryTraffic()
+        for cat in categories:
+            l1_hit, l2_hit = self.hit_rates(cat)
+            l1_tx = _lines(cat.bytes_per_access, self.device.l1.line_bytes)
+            l2_tx = _lines(cat.bytes_per_access, self.device.l2.line_bytes)
+            write_factor = 2.0 if cat.writes else 1.0
+            l1_b = cat.accesses * l1_hit * l1_tx
+            l2_b = cat.accesses * (1 - l1_hit) * l2_hit * l2_tx
+            hbm_b = cat.accesses * (1 - l1_hit) * (1 - l2_hit) * l2_tx * write_factor
+            out.l1_bytes += l1_b
+            out.l2_bytes += l2_b
+            out.hbm_bytes += hbm_b
+            out.by_category[cat.name] = hbm_b
+        if out.hbm_bytes < cold_footprint_bytes:
+            out.by_category["compulsory"] = cold_footprint_bytes - out.hbm_bytes
+            out.hbm_bytes = cold_footprint_bytes
+        return out
+
+
+class CacheSim:
+    """Exact set-associative LRU cache (trace-driven).
+
+    Usable standalone as one level, or stacked via :meth:`access_trace`'s
+    returned miss addresses. Addresses are byte addresses; each access
+    touches a single line (callers expand multi-line accesses).
+    """
+
+    def __init__(self, spec: CacheSpec, ways: int = 8) -> None:
+        if ways <= 0:
+            raise ModelError("ways must be positive")
+        n_lines = spec.size_bytes // spec.line_bytes
+        if n_lines < ways:
+            raise ModelError("cache too small for the requested associativity")
+        self.spec = spec
+        self.ways = ways
+        self.n_sets = max(1, n_lines // ways)
+        # tags[set, way]; -1 marks invalid. lru[set, way]: higher = more recent.
+        self._tags = np.full((self.n_sets, ways), -1, dtype=np.int64)
+        self._lru = np.zeros((self.n_sets, ways), dtype=np.int64)
+        self._clock = 0
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, address: int) -> bool:
+        """Access one byte address; returns True on hit."""
+        line = address // self.spec.line_bytes
+        s = line % self.n_sets
+        self._clock += 1
+        ways = self._tags[s]
+        hit = np.nonzero(ways == line)[0]
+        if hit.size:
+            self._lru[s, hit[0]] = self._clock
+            self.hits += 1
+            return True
+        victim = int(np.argmin(self._lru[s]))
+        self._tags[s, victim] = line
+        self._lru[s, victim] = self._clock
+        self.misses += 1
+        return False
+
+    def access_trace(self, addresses: np.ndarray) -> np.ndarray:
+        """Access a sequence of addresses; returns the boolean hit vector."""
+        addresses = np.asarray(addresses, dtype=np.int64)
+        return np.fromiter(
+            (self.access(int(a)) for a in addresses), dtype=bool, count=len(addresses)
+        )
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+
+class CacheHierarchy:
+    """Composed L1 -> L2 -> HBM trace simulation for one device.
+
+    Accesses try the L1 first; misses fall through to the L2; L2 misses
+    count HBM transactions. ``atomic`` accesses bypass the L1 (as on the
+    real GPUs). One instance models a single CU's L1 plus the shared L2 —
+    trace-replay validation runs one warp stream at a time, which is what
+    the tests and the validation bench need.
+    """
+
+    def __init__(self, device: DeviceSpec, ways: int = 8) -> None:
+        self.device = device
+        self.l1 = CacheSim(device.l1, ways=ways)
+        self.l2 = CacheSim(device.l2, ways=max(ways, 16))
+        self.hbm_transactions = 0
+
+    def access(self, address: int, atomic: bool = False) -> str:
+        """Access one address; returns the serving level: "l1"/"l2"/"hbm"."""
+        if not atomic and self.l1.access(address):
+            return "l1"
+        if self.l2.access(address):
+            return "l2"
+        self.hbm_transactions += 1
+        return "hbm"
+
+    def access_trace(self, addresses: np.ndarray,
+                     atomic: bool = False) -> dict[str, int]:
+        """Replay a trace; returns per-level hit counts."""
+        counts = {"l1": 0, "l2": 0, "hbm": 0}
+        for a in np.asarray(addresses, dtype=np.int64):
+            counts[self.access(int(a), atomic=atomic)] += 1
+        return counts
+
+    @property
+    def hbm_bytes(self) -> int:
+        """Bytes moved over the memory bus (line-granular)."""
+        return self.hbm_transactions * self.device.l2.line_bytes
+
+    def reset_stats(self) -> None:
+        self.l1.reset_stats()
+        self.l2.reset_stats()
+        self.hbm_transactions = 0

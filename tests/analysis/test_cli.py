@@ -1,0 +1,57 @@
+"""End-to-end tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.genomics.io import read_fasta
+
+
+class TestGenerate:
+    def test_generate_writes_dat(self, tmp_path, capsys):
+        out = tmp_path / "d.dat"
+        rc = main(["generate", "21", str(out), "--scale", "0.001"])
+        assert rc == 0
+        assert out.exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_generate_rejects_bad_k(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", "42", str(tmp_path / "x.dat")])
+
+
+class TestRun:
+    def test_run_assembles_dat(self, tmp_path, capsys):
+        dat = tmp_path / "in.dat"
+        fasta = tmp_path / "out.fa"
+        assert main(["generate", "21", str(dat), "--scale", "0.001"]) == 0
+        rc = main(["run", str(dat), "21", str(fasta)])
+        assert rc == 0
+        records = read_fasta(fasta)
+        assert records
+        # extended sequences carry the walk states in their headers
+        assert all("right=" in name and "left=" in name for name, _ in records)
+
+    def test_run_on_other_device(self, tmp_path):
+        dat = tmp_path / "in.dat"
+        main(["generate", "33", str(dat), "--scale", "0.001"])
+        assert main(["run", str(dat), "33", str(tmp_path / "o.fa"),
+                     "--device", "MI250X"]) == 0
+
+
+class TestExperiment:
+    def test_static_tables(self, capsys):
+        assert main(["experiment", "table5"]) == 0
+        out = capsys.readouterr().out
+        assert "635" in out  # INTOP1 at k=77
+
+    def test_table6(self, capsys):
+        assert main(["experiment", "table6"]) == 0
+        assert "4.831" in capsys.readouterr().out
+
+    def test_measured_figure(self, capsys):
+        assert main(["experiment", "fig5", "--scale", "0.002"]) == 0
+        out = capsys.readouterr().out
+        assert "A100" in out and "MI250X" in out and "MAX1550" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiment", "figure99"]) == 2

@@ -1,0 +1,123 @@
+"""Tests for the experiment suite (table/figure regeneration)."""
+
+import pytest
+
+from repro.analysis.experiments import ExperimentConfig, ExperimentSuite
+from repro.simt.device import PLATFORMS
+
+# One tiny suite shared by every test in this module (runs are cached).
+CONFIG = ExperimentConfig(scale=0.005, k_values=(21, 77))
+
+
+@pytest.fixture(scope="module")
+def suite():
+    s = ExperimentSuite(CONFIG)
+    s.run_all()
+    return s
+
+
+class TestStaticTables:
+    def test_table1(self, suite):
+        rows = suite.table1()
+        assert [r["programming_model"] for r in rows] == ["CUDA", "HIP", "SYCL"]
+
+    def test_table3(self, suite):
+        rows = suite.table3()
+        assert rows[0]["l2_cache_mb"] == 40
+        assert rows[1]["warp_size"] == 64
+        assert rows[2]["l2_cache_mb"] == 204
+
+    def test_table5_exact(self, suite):
+        rows = {r["k"]: r for r in suite.table5()}
+        assert rows[21]["INTOP1"] == 215
+        assert rows[77]["INTOP1"] == 635
+
+    def test_table6_exact(self, suite):
+        rows = {r["k"]: r for r in suite.table6()}
+        assert rows[21]["theoretical_II"] == pytest.approx(4.831, abs=0.001)
+        assert rows[77]["theoretical_II"] == pytest.approx(4.942, abs=0.001)
+
+
+class TestMeasuredTables:
+    def test_table2_within_tolerance(self, suite):
+        for row in suite.table2():
+            assert row["contigs"] == row["contigs_target"]
+            assert row["insertions"] == pytest.approx(
+                row["insertions_target"], rel=0.08
+            )
+
+    def test_table4_structure(self, suite):
+        data = suite.table4()
+        assert len(data["rows"]) == len(CONFIG.k_values)
+        for row in data["rows"]:
+            for dev in PLATFORMS:
+                assert 0 < row[dev.name] <= 100
+            assert 0 < row["P_arch"] <= 100
+        assert 0 < data["average_P_arch"] <= 100
+
+    def test_table7_structure(self, suite):
+        data = suite.table7()
+        for row in data["rows"]:
+            assert 0 < row["P_alg"] <= 100
+
+
+class TestFigures:
+    def test_figure5_paper_ordering(self, suite):
+        """The headline Figure 5 relations: AMD slowest at large k."""
+        rows = {r["k"]: r for r in suite.figure5()}
+        assert rows[77]["MI250X"] > rows[77]["A100"]
+        assert rows[77]["MI250X"] > rows[77]["MAX1550"]
+        assert rows[77]["MAX1550"] <= rows[77]["A100"]
+        # AMD's characteristic blow-up between small and large k
+        assert rows[77]["MI250X"] > rows[21]["MI250X"]
+
+    def test_figure6_structure_and_bounds(self, suite):
+        data = suite.figure6()
+        assert set(data) == {d.name for d in PLATFORMS}
+        for dev in PLATFORMS:
+            entry = data[dev.name]
+            assert entry["machine_balance"] == pytest.approx(
+                dev.machine_balance, abs=0.001
+            )
+            for p in entry["points"]:
+                assert p["bound"] in ("memory", "compute")
+                assert 0 < p["pct_of_ceiling"] <= 100
+
+    def test_figure6_amd_lowest_ii(self, suite):
+        """AMD's 64-byte lines + small L2 give it the lowest intensity."""
+        data = suite.figure6()
+        for i, k in enumerate(CONFIG.k_values):
+            amd = data["MI250X"]["points"][i]["II"]
+            assert amd < data["A100"]["points"][i]["II"]
+            assert amd < data["MAX1550"]["points"][i]["II"]
+
+    def test_figure7_amd_moves_more_bytes(self, suite):
+        """Figure 7b: dots above the diagonal — AMD moves more than A100."""
+        for row in suite.figure7():
+            assert row["MI250X_gbytes"] > row["A100_gbytes"]
+
+    def test_figure8_columns(self, suite):
+        for row in suite.figure8():
+            assert row["A100_gbytes"] > 0 and row["MAX1550_gbytes"] > 0
+
+    def test_figure9_points(self, suite):
+        points = suite.figure9()
+        assert len(points) == len(PLATFORMS) * len(CONFIG.k_values)
+        for p in points:
+            assert 0 <= p.algorithm_efficiency <= 1
+            assert 0 <= p.architectural_efficiency <= 1
+
+    def test_timing_breakdown_rows(self, suite):
+        rows = suite.timing_breakdown()
+        assert len(rows) == len(PLATFORMS) * len(CONFIG.k_values)
+        assert all(r["bound"] in ("issue", "memory", "latency") for r in rows)
+
+
+class TestCaching:
+    def test_run_is_memoized(self, suite):
+        a = suite.run(PLATFORMS[0], 21)
+        b = suite.run(PLATFORMS[0], 21)
+        assert a is b
+
+    def test_dataset_cached(self, suite):
+        assert suite.dataset(21) is suite.dataset(21)

@@ -1,0 +1,66 @@
+"""Tests for the TSV/JSON export of tables and figures."""
+
+import json
+
+import pytest
+
+from repro.analysis.experiments import ExperimentConfig, ExperimentSuite
+from repro.analysis.export import export_all
+
+
+@pytest.fixture(scope="module")
+def exported(tmp_path_factory):
+    out = tmp_path_factory.mktemp("figs")
+    suite = ExperimentSuite(ExperimentConfig(scale=0.004, k_values=(21,)))
+    written = export_all(suite, out)
+    return out, written
+
+
+class TestExport:
+    def test_all_files_written(self, exported):
+        out, written = exported
+        names = {p.name for p in written}
+        for expected in (
+            "table1_platforms.tsv", "table5_hash_intops.tsv",
+            "table6_theoretical_ii.tsv", "fig5_kernel_time.tsv",
+            "fig6_roofline_a100.tsv", "fig6_ceiling_mi250x.tsv",
+            "fig9_iso_curves.tsv", "summary.json",
+        ):
+            assert expected in names
+            assert (out / expected).exists()
+
+    def test_tsv_structure(self, exported):
+        out, _ = exported
+        lines = (out / "table6_theoretical_ii.tsv").read_text().splitlines()
+        assert lines[0].startswith("#")
+        headers = lines[1].split("\t")
+        assert "theoretical_II" in headers
+        first = dict(zip(headers, lines[2].split("\t")))
+        assert float(first["theoretical_II"]) == pytest.approx(4.831, abs=0.001)
+
+    def test_summary_json(self, exported):
+        out, _ = exported
+        summary = json.loads((out / "summary.json").read_text())
+        assert summary["scale"] == 0.004
+        assert summary["k_values"] == [21]
+        assert 0 < summary["average_P_arch_pct"] <= 100
+        assert len(summary["files"]) >= 18
+
+    def test_fig5_rows_parse(self, exported):
+        out, _ = exported
+        lines = (out / "fig5_kernel_time.tsv").read_text().splitlines()
+        headers = lines[1].split("\t")
+        row = dict(zip(headers, lines[2].split("\t")))
+        assert float(row["A100"]) > 0
+        assert float(row["MI250X"]) > float(row["A100"])
+
+    def test_scale_recorded_in_comments(self, exported):
+        out, _ = exported
+        assert "scale=0.004" in (out / "fig5_kernel_time.tsv").read_text()
+
+    def test_cli_export(self, tmp_path, capsys):
+        from repro.cli import main
+
+        rc = main(["export", str(tmp_path / "out"), "--scale", "0.003"])
+        assert rc == 0
+        assert (tmp_path / "out" / "summary.json").exists()

@@ -1,0 +1,47 @@
+"""Tests for the ASCII report renderers."""
+
+from repro.analysis.report import render_dict_table, render_series, render_table
+
+
+class TestRenderTable:
+    def test_basic(self):
+        out = render_table(["a", "bb"], [[1, 2.5], [30, 4]])
+        lines = out.splitlines()
+        assert lines[0].split(" | ")[0].strip() == "a"
+        assert "-+-" in lines[1]
+        assert len(lines) == 4
+
+    def test_title(self):
+        out = render_table(["x"], [[1]], title="T")
+        assert out.startswith("T\n")
+
+    def test_empty_rows(self):
+        out = render_table(["col"], [])
+        assert "col" in out
+
+    def test_number_formatting(self):
+        out = render_table(["v"], [[1234567], [0.00123], [12.345]])
+        assert "1,234,567" in out
+        assert "0.001" in out
+        assert "12.3" in out
+
+    def test_alignment_consistent(self):
+        out = render_table(["name", "val"], [["a", 1], ["long-name", 22]])
+        widths = {len(line) for line in out.splitlines()}
+        assert len(widths) == 1  # all lines same width
+
+
+class TestRenderDictTable:
+    def test_keys_become_headers(self):
+        out = render_dict_table([{"k": 21, "t": 0.5}, {"k": 33, "t": 0.7}])
+        assert out.splitlines()[0].startswith("k")
+
+    def test_empty(self):
+        assert render_dict_table([], title="none") == "none"
+
+
+class TestRenderSeries:
+    def test_rows(self):
+        out = render_series("fig", [1, 2], [10.0, 20.0], "k", "ms")
+        assert "fig:" in out
+        assert "k=1" in out and "ms=20" in out

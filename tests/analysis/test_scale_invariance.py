@@ -1,0 +1,52 @@
+"""Scale-invariance of the reproduction: results must not depend on the
+dataset scale the benches happen to run at.
+
+The extrapolation machinery (cache-model full-size pressure + profile
+scaling) exists precisely so that a 0.5 % run predicts what a 2 % run
+predicts; this test pins that property for the headline metrics.
+"""
+
+import pytest
+
+from repro.analysis.experiments import ExperimentConfig, ExperimentSuite
+from repro.simt.device import PLATFORMS
+
+K = 21
+
+
+@pytest.fixture(scope="module")
+def two_scales():
+    small = ExperimentSuite(ExperimentConfig(scale=0.005, k_values=(K,)))
+    large = ExperimentSuite(ExperimentConfig(scale=0.02, k_values=(K,)))
+    return small, large
+
+
+class TestScaleInvariance:
+    def test_times_stable(self, two_scales):
+        small, large = two_scales
+        ts = {r["k"]: r for r in small.figure5()}[K]
+        tl = {r["k"]: r for r in large.figure5()}[K]
+        for dev in PLATFORMS:
+            assert ts[dev.name] == pytest.approx(tl[dev.name], rel=0.15)
+
+    def test_intensity_stable(self, two_scales):
+        small, large = two_scales
+        for dev in PLATFORMS:
+            ps = small.run(dev, K).full_profile
+            pl = large.run(dev, K).full_profile
+            assert ps.intop_intensity == pytest.approx(pl.intop_intensity,
+                                                       rel=0.15)
+
+    def test_device_ordering_stable(self, two_scales):
+        small, large = two_scales
+        for suite in two_scales:
+            t = {r["k"]: r for r in suite.figure5()}[K]
+            assert t["MI250X"] > t["A100"]
+
+    def test_extrapolated_intops_match_scale_ratio(self, two_scales):
+        small, large = two_scales
+        for dev in PLATFORMS[:1]:
+            ps = small.run(dev, K).full_profile
+            pl = large.run(dev, K).full_profile
+            # both extrapolate to full size -> total INTOPs agree
+            assert ps.intops == pytest.approx(pl.intops, rel=0.1)

@@ -1,0 +1,69 @@
+"""Tests for walk-outcome statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.walkstats import (
+    WalkStatistics,
+    collect_walk_stats,
+    summarize_across_k,
+)
+from repro.core.extension import PRODUCTION_POLICY, WalkState
+from repro.datasets.generate import generate_paper_dataset
+from repro.kernels import CudaLocalAssemblyKernel
+from repro.simt.device import A100
+
+
+@pytest.fixture(scope="module")
+def runs():
+    kern = CudaLocalAssemblyKernel(A100, policy=PRODUCTION_POLICY)
+    out = {}
+    for k in (21, 77):
+        contigs = generate_paper_dataset(k, scale=0.004)
+        out[k] = kern.run(contigs, k)
+    return out
+
+
+class TestWalkStatistics:
+    def test_counts_both_ends(self, runs):
+        s = collect_walk_stats(runs[21])
+        assert s.n_walks == 2 * runs[21].profile.contigs
+
+    def test_states_partition_walks(self, runs):
+        s = collect_walk_stats(runs[21])
+        assert sum(s.states.values()) == s.n_walks
+
+    def test_lengths_match_profile(self, runs):
+        s = collect_walk_stats(runs[21])
+        assert int(s.lengths.sum()) == runs[21].profile.extension_bases
+
+    def test_mean_length_grows_with_k(self, runs):
+        """Table II's workload shape: k=77 walks are several times longer."""
+        s21 = collect_walk_stats(runs[21])
+        s77 = collect_walk_stats(runs[77])
+        assert s77.mean_length > 2 * s21.mean_length
+
+    def test_cv_shows_imbalance(self, runs):
+        s = collect_walk_stats(runs[21])
+        assert s.coefficient_of_variation > 0.3  # walks are NOT uniform
+
+    def test_histogram_covers_all_walks(self, runs):
+        s = collect_walk_stats(runs[21])
+        hist = s.length_histogram(8)
+        assert len(hist) == 8
+        assert sum(c for _, _, c in hist) == s.n_walks
+
+    def test_summary_rows(self, runs):
+        rows = summarize_across_k(runs)
+        assert [r["k"] for r in rows] == [21, 77]
+        for r in rows:
+            assert 0 <= r["fork_frac"] <= 1
+            assert r["mean_len"] > 0
+
+    def test_empty_stats(self):
+        s = WalkStatistics(k=21, lengths=np.empty(0, dtype=np.int64))
+        assert s.mean_length == 0.0
+        assert s.max_length == 0
+        assert s.coefficient_of_variation == 0.0
+        assert s.length_histogram() == []
+        assert s.state_fraction(WalkState.END) == 0.0

@@ -1,0 +1,90 @@
+"""Tests for contig binning (Figure 3 pre-processing)."""
+
+import numpy as np
+import pytest
+
+from repro.core.binning import Bin, bin_contigs, binning_imbalance
+from repro.core.construct import insertions_for
+from repro.genomics.contig import Contig
+from repro.genomics.reads import Read, ReadSet
+
+
+def _contig(name, n_reads, read_len=60):
+    c = Contig.from_string(name, "ACGT" * 30)
+    c.reads = ReadSet(
+        [Read.from_strings(f"{name}/r{i}", "ACGT" * (read_len // 4)) for i in range(n_reads)]
+    )
+    return c
+
+
+class TestBinning:
+    def test_every_contig_in_exactly_one_bin(self):
+        contigs = [_contig(f"c{i}", n) for i, n in enumerate([1, 2, 50, 51, 5, 100])]
+        bins = bin_contigs(contigs, k=21)
+        seen = sorted(i for b in bins for i in b.contig_indices)
+        assert seen == list(range(len(contigs)))
+
+    def test_similar_depth_grouped(self):
+        contigs = [_contig(f"c{i}", n) for i, n in enumerate([4, 5, 4, 100, 110])]
+        bins = bin_contigs(contigs, k=21, depth_ratio=2.0)
+        assert len(bins) == 2
+        depths = [{contigs[i].depth for i in b.contig_indices} for b in bins]
+        assert depths[0] == {4, 5}
+        assert depths[1] == {100, 110}
+
+    def test_depth_ratio_respected(self):
+        contigs = [_contig(f"c{i}", n) for i, n in enumerate([1, 2, 4, 8, 16, 32])]
+        for b in bin_contigs(contigs, k=21, depth_ratio=2.0):
+            assert b.max_depth <= max(1, b.min_depth) * 2.0
+
+    def test_memory_cap_splits_bins(self):
+        contigs = [_contig(f"c{i}", 10) for i in range(6)]
+        per = insertions_for(contigs[0].reads, 21)
+        bins = bin_contigs(contigs, k=21, max_batch_insertions=per * 2)
+        assert all(b.total_insertions <= per * 2 for b in bins)
+        assert len(bins) == 3
+
+    def test_table_slots_align_with_indices(self):
+        contigs = [_contig("a", 3), _contig("b", 30)]
+        bins = bin_contigs(contigs, k=21)
+        for b in bins:
+            assert len(b.table_slots) == len(b.contig_indices)
+            for idx, slots in zip(b.contig_indices, b.table_slots):
+                assert slots >= insertions_for(contigs[idx].reads, 21)
+
+    def test_empty_input(self):
+        assert bin_contigs([], k=21) == []
+
+    def test_zero_read_contig_handled(self):
+        bins = bin_contigs([_contig("empty", 0)], k=21)
+        assert len(bins) == 1 and bins[0].table_slots[0] >= 16
+
+    def test_bad_depth_ratio(self):
+        with pytest.raises(ValueError):
+            bin_contigs([_contig("a", 1)], k=21, depth_ratio=0.5)
+
+    def test_bins_sorted_by_depth(self):
+        rng = np.random.default_rng(0)
+        contigs = [_contig(f"c{i}", int(n)) for i, n in
+                   enumerate(rng.integers(1, 200, size=30))]
+        bins = bin_contigs(contigs, k=21)
+        maxes = [b.max_depth for b in bins]
+        mins = [b.min_depth for b in bins]
+        assert all(mins[i] >= maxes[i - 1] for i in range(1, len(bins)))
+
+
+class TestImbalance:
+    def test_binning_reduces_imbalance(self):
+        rng = np.random.default_rng(1)
+        contigs = [_contig(f"c{i}", int(n)) for i, n in
+                   enumerate(rng.integers(1, 300, size=40))]
+        one_bin = [Bin(contig_indices=list(range(len(contigs))))]
+        binned = bin_contigs(contigs, k=21, depth_ratio=1.5)
+        assert binning_imbalance(contigs, binned, 21) < binning_imbalance(
+            contigs, one_bin, 21
+        )
+
+    def test_perfectly_uniform_is_one(self):
+        contigs = [_contig(f"c{i}", 7) for i in range(5)]
+        bins = bin_contigs(contigs, k=21)
+        assert binning_imbalance(contigs, bins, 21) == pytest.approx(1.0)

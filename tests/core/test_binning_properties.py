@@ -1,0 +1,65 @@
+"""Property-based tests for contig binning invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.binning import bin_contigs
+from repro.core.construct import insertions_for
+from repro.genomics.contig import Contig
+from repro.genomics.reads import Read, ReadSet
+
+
+@st.composite
+def contig_set(draw):
+    n = draw(st.integers(1, 25))
+    contigs = []
+    for i in range(n):
+        c = Contig.from_string(f"c{i}", "ACGT" * 20)
+        depth = draw(st.integers(0, 40))
+        c.reads = ReadSet([Read.from_strings(f"c{i}/r{j}", "ACGT" * 15)
+                           for j in range(depth)])
+        contigs.append(c)
+    return contigs
+
+
+@settings(max_examples=25, deadline=None)
+@given(contig_set(), st.floats(1.0, 8.0))
+def test_partition_property(contigs, ratio):
+    """Every contig lands in exactly one bin, regardless of parameters."""
+    bins = bin_contigs(contigs, 21, depth_ratio=ratio)
+    seen = sorted(i for b in bins for i in b.contig_indices)
+    assert seen == list(range(len(contigs)))
+
+
+@settings(max_examples=25, deadline=None)
+@given(contig_set(), st.floats(1.0, 8.0))
+def test_depth_ratio_invariant(contigs, ratio):
+    for b in bin_contigs(contigs, 21, depth_ratio=ratio):
+        assert b.max_depth <= max(1, b.min_depth) * ratio + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(contig_set(), st.integers(100, 5000))
+def test_memory_cap_invariant(contigs, cap):
+    """No bin exceeds the insertion cap unless a single contig does."""
+    for b in bin_contigs(contigs, 21, max_batch_insertions=cap):
+        if len(b) > 1:
+            assert b.total_insertions <= cap
+
+
+@settings(max_examples=25, deadline=None)
+@given(contig_set())
+def test_total_insertions_conserved(contigs):
+    bins = bin_contigs(contigs, 21)
+    assert sum(b.total_insertions for b in bins) == sum(
+        insertions_for(c.reads, 21) for c in contigs
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(contig_set())
+def test_tighter_ratio_never_fewer_bins(contigs):
+    loose = bin_contigs(contigs, 21, depth_ratio=8.0)
+    tight = bin_contigs(contigs, 21, depth_ratio=1.5)
+    assert len(tight) >= len(loose)

@@ -1,0 +1,116 @@
+"""Tests for extension votes and the walk-resolution rule."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.extension import (
+    DEFAULT_POLICY,
+    ExtensionVotes,
+    WalkPolicy,
+    WalkState,
+    describe_votes,
+    resolve_extension,
+)
+
+
+def _votes(hi=(0, 0, 0, 0), lo=(0, 0, 0, 0)):
+    v = ExtensionVotes()
+    v.hi_q = np.array(hi, dtype=np.int64)
+    v.low_q = np.array(lo, dtype=np.int64)
+    v.count = int(sum(hi) + sum(lo))
+    return v
+
+
+class TestVoting:
+    def test_vote_high_quality(self):
+        v = ExtensionVotes()
+        v.vote(2, 30)
+        assert v.hi_q[2] == 1 and v.low_q[2] == 0 and v.count == 1
+
+    def test_vote_low_quality(self):
+        v = ExtensionVotes()
+        v.vote(1, 10)
+        assert v.low_q[1] == 1 and v.hi_q[1] == 0
+
+    def test_vote_threshold_boundary(self):
+        v = ExtensionVotes()
+        v.vote(0, 20)  # default threshold is >= 20
+        assert v.hi_q[0] == 1
+
+    def test_merge(self):
+        a = _votes(hi=(1, 0, 0, 0))
+        b = _votes(hi=(2, 0, 0, 0), lo=(0, 1, 0, 0))
+        a.merge(b)
+        assert a.hi_q[0] == 3 and a.low_q[1] == 1 and a.count == 4
+
+
+class TestResolve:
+    def test_clear_winner_extends(self):
+        state, code = resolve_extension(_votes(hi=(5, 0, 0, 0)))
+        assert state is WalkState.EXTEND and code == 0
+
+    def test_insufficient_depth_ends(self):
+        state, _ = resolve_extension(_votes(hi=(1, 0, 0, 0)))
+        assert state is WalkState.END  # min_depth=2 by default
+
+    def test_tie_is_fork(self):
+        state, _ = resolve_extension(_votes(hi=(3, 3, 0, 0)))
+        assert state is WalkState.FORK
+
+    def test_competitive_runner_is_fork(self):
+        # 4 vs 3 with dominance 2: 3*2 > 4 -> fork
+        state, _ = resolve_extension(_votes(hi=(4, 3, 0, 0)))
+        assert state is WalkState.FORK
+
+    def test_dominant_winner_extends(self):
+        state, code = resolve_extension(_votes(hi=(7, 3, 0, 0)))
+        assert state is WalkState.EXTEND and code == 0
+
+    def test_low_quality_pool_used_when_hi_thin(self):
+        # hi max is 1 < hi_q_min_depth=2 -> pool hi+low: T has 1+3=4
+        state, code = resolve_extension(_votes(hi=(0, 0, 0, 1), lo=(0, 0, 0, 3)))
+        assert state is WalkState.EXTEND and code == 3
+
+    def test_hi_quality_overrides_noisy_low(self):
+        # hi counts trusted (max>=2): A wins 3-0 despite low-q C majority.
+        state, code = resolve_extension(_votes(hi=(3, 0, 0, 0), lo=(0, 9, 0, 0)))
+        assert state is WalkState.EXTEND and code == 0
+
+    def test_zero_votes_end(self):
+        state, _ = resolve_extension(_votes())
+        assert state is WalkState.END
+
+    def test_custom_policy_min_depth_one(self):
+        policy = WalkPolicy(min_depth=1, hi_q_min_depth=1)
+        state, code = resolve_extension(_votes(hi=(0, 1, 0, 0)), policy)
+        assert state is WalkState.EXTEND and code == 1
+
+    def test_custom_dominance(self):
+        policy = WalkPolicy(dominance=1)  # any strict winner extends
+        state, code = resolve_extension(_votes(hi=(4, 3, 0, 0)), policy)
+        assert state is WalkState.EXTEND and code == 0
+
+    @given(st.lists(st.integers(0, 50), min_size=4, max_size=4),
+           st.lists(st.integers(0, 50), min_size=4, max_size=4))
+    def test_resolution_total(self, hi, lo):
+        """Every vote combination resolves to exactly one defined state."""
+        state, code = resolve_extension(_votes(hi=tuple(hi), lo=tuple(lo)))
+        assert state in (WalkState.EXTEND, WalkState.END, WalkState.FORK)
+        if state is WalkState.EXTEND:
+            assert 0 <= code <= 3
+        else:
+            assert code == -1
+
+    @given(st.integers(0, 3), st.integers(2, 40))
+    def test_unanimous_always_extends(self, base, n):
+        hi = [0, 0, 0, 0]
+        hi[base] = n
+        state, code = resolve_extension(_votes(hi=tuple(hi)))
+        assert state is WalkState.EXTEND and code == base
+
+
+def test_describe_votes():
+    s = describe_votes(_votes(hi=(3, 0, 1, 0), lo=(1, 0, 0, 2)))
+    assert s == "A:3+1 C:0+0 G:1+0 T:0+2 (7 reads)"

@@ -1,0 +1,133 @@
+"""Tests for the end-to-end local-assembly pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.extension import WalkPolicy
+from repro.core.pipeline import DEFAULT_K_SCHEDULE, LocalAssembler
+from repro.errors import KmerError
+from repro.genomics.contig import End
+from repro.genomics.simulate import (
+    PERFECT_READS,
+    ErrorProfile,
+    ScenarioSpec,
+    simulate_batch,
+    simulate_contig_scenario,
+)
+
+SPEC = ScenarioSpec(contig_length=260, flank_length=80, read_length=100,
+                    depth=10, seed_window=60)
+
+
+def _assembler(ks=(21, 33)):
+    return LocalAssembler(k_schedule=ks)
+
+
+class TestConstruction:
+    def test_default_schedule(self):
+        assert LocalAssembler().k_schedule == DEFAULT_K_SCHEDULE
+
+    def test_rejects_empty_schedule(self):
+        with pytest.raises(KmerError):
+            LocalAssembler(k_schedule=())
+
+    def test_rejects_non_increasing_schedule(self):
+        with pytest.raises(KmerError):
+            LocalAssembler(k_schedule=(33, 21))
+        with pytest.raises(KmerError):
+            LocalAssembler(k_schedule=(21, 21))
+
+
+class TestExtension:
+    def test_right_extension_matches_truth(self):
+        rng = np.random.default_rng(42)
+        sc = simulate_contig_scenario(SPEC, rng, PERFECT_READS)
+        res = _assembler().assemble_contig(sc.contig)
+        ext = sc.contig.right_extension
+        assert ext is not None and len(ext.bases) > 10
+        assert sc.true_right_flank.startswith(ext.bases)
+
+    def test_left_extension_matches_truth(self):
+        rng = np.random.default_rng(43)
+        sc = simulate_contig_scenario(SPEC, rng, PERFECT_READS)
+        _assembler().assemble_contig(sc.contig)
+        ext = sc.contig.left_extension
+        assert ext is not None and len(ext.bases) > 10
+        assert sc.true_left_flank.endswith(ext.bases)
+
+    def test_extended_sequence_is_region_substring(self):
+        rng = np.random.default_rng(44)
+        sc = simulate_contig_scenario(SPEC, rng, PERFECT_READS)
+        _assembler().assemble_contig(sc.contig)
+        from repro.genomics.dna import decode
+
+        assert sc.contig.extended_sequence() in decode(sc.region)
+
+    def test_extensions_with_sequencing_errors(self):
+        """Majority voting should still recover true flank prefixes."""
+        rng = np.random.default_rng(45)
+        profile = ErrorProfile(error_rate=0.003)
+        spec = ScenarioSpec(contig_length=260, flank_length=80, read_length=100,
+                            depth=16, seed_window=60)
+        ok = 0
+        for _ in range(5):
+            sc = simulate_contig_scenario(spec, rng, profile)
+            _assembler().assemble_contig(sc.contig)
+            ext = sc.contig.right_extension
+            if ext.bases and sc.true_right_flank.startswith(ext.bases):
+                ok += 1
+        assert ok >= 3
+
+    def test_batch_assemble(self):
+        rng = np.random.default_rng(46)
+        scs = simulate_batch(4, SPEC, rng, PERFECT_READS)
+        results = _assembler().assemble([sc.contig for sc in scs])
+        assert len(results) == 4
+        assert all(r.contig.right_extension is not None for r in results)
+
+    def test_walks_recorded_per_k(self):
+        rng = np.random.default_rng(47)
+        sc = simulate_contig_scenario(SPEC, rng, PERFECT_READS)
+        res = _assembler((21, 33)).assemble_contig(sc.contig)
+        assert 1 <= len(res.right_walks) <= 2
+        assert res.extension_length == sc.contig.total_extension_length()
+
+    def test_contig_shorter_than_k(self):
+        rng = np.random.default_rng(48)
+        spec = ScenarioSpec(contig_length=30, flank_length=40, read_length=50,
+                            depth=6, seed_window=20)
+        sc = simulate_contig_scenario(spec, rng, PERFECT_READS)
+        res = LocalAssembler(k_schedule=(21, 33, 55)).assemble_contig(sc.contig)
+        # k=33,55 exceed the contig; only k=21 should have been tried
+        assert all(w.k == 21 for w in res.right_walks)
+
+    def test_fork_triggers_next_k(self):
+        """Figure 1: a fork at small k is resolved at larger k.
+
+        Two source sequences share a 25-base core, so k=21 walks hit a
+        fork inside the shared region but k=33 distinguishes them.
+        """
+        rng = np.random.default_rng(49)
+        from repro.genomics.dna import decode, random_sequence
+        from repro.genomics.reads import Read, ReadSet
+        from repro.genomics.contig import Contig
+
+        core = decode(random_sequence(25, rng))
+        a_pre = decode(random_sequence(60, rng))
+        b_pre = decode(random_sequence(60, rng))
+        a_post = decode(random_sequence(60, rng))
+        b_post = decode(random_sequence(60, rng))
+        seq_a = a_pre + core + a_post
+        seq_b = b_pre + core + b_post
+        contig = Contig.from_string("c", a_pre + core)
+        reads = ReadSet()
+        for i in range(4):
+            reads.append(Read.from_strings(f"a{i}", seq_a))
+            reads.append(Read.from_strings(f"b{i}", seq_b))
+        contig.reads = reads
+        res = LocalAssembler(k_schedule=(21, 33)).assemble_contig(contig)
+        states = [w.state.value for w in res.right_walks]
+        assert states[0] == "fork"
+        assert contig.right_extension.kmer_size == 33
+        assert contig.right_extension.bases  # resolved at k=33
+        assert a_post.startswith(contig.right_extension.bases)

@@ -1,0 +1,70 @@
+"""Tests for the dict-based reference implementation and differential checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.extension import WalkPolicy, WalkState
+from repro.core.pipeline import LocalAssembler
+from repro.core.reference import reference_extend, reference_table, reference_walk
+from repro.genomics.contig import Contig, End
+from repro.genomics.reads import Read, ReadSet
+from repro.genomics.simulate import PERFECT_READS, ScenarioSpec, simulate_contig_scenario
+
+RELAXED = WalkPolicy(min_depth=1, hi_q_min_depth=1)
+
+
+class TestReferenceTable:
+    def test_counts(self):
+        rs = ReadSet([Read.from_strings("r", "AAAA")])
+        t = reference_table(rs, 2)
+        assert t["AA"].count == 2  # positions 0,1 have following bases
+
+    def test_votes_quality_split(self):
+        r = Read.from_strings("r", "ACG")
+        r.quals = np.array([40, 40, 5], dtype=np.uint8)
+        t = reference_table(ReadSet([r]), 2)
+        assert t["AC"].low_q[2] == 1  # next base G with qual 5
+
+
+class TestReferenceWalk:
+    def test_linear(self):
+        rs = ReadSet([Read.from_strings("r", "GATTACA")])
+        t = reference_table(rs, 3)
+        bases, state, steps = reference_walk(t, "GAT", policy=RELAXED)
+        assert bases == "TACA"
+        assert state is WalkState.END
+
+    def test_missing(self):
+        bases, state, _ = reference_walk({}, "AAA", policy=RELAXED)
+        assert state is WalkState.MISSING and bases == ""
+
+    def test_max_len(self):
+        rs = ReadSet([Read.from_strings("r", "GATTCCGGA")])
+        t = reference_table(rs, 3)
+        bases, state, _ = reference_walk(t, "GAT", max_walk_len=2, policy=RELAXED)
+        assert state is WalkState.MAX_LEN and len(bases) == 2
+
+
+class TestDifferentialPipeline:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_pipeline_matches_reference_single_k(self, seed):
+        """The optimized pipeline at a single k equals reference_extend."""
+        rng = np.random.default_rng(seed)
+        spec = ScenarioSpec(contig_length=150, flank_length=50, read_length=70,
+                            depth=6, seed_window=40)
+        sc = simulate_contig_scenario(spec, rng, PERFECT_READS)
+        k = 21
+        ref = reference_extend(sc.contig, k)
+        asm = LocalAssembler(k_schedule=(k,))
+        asm.assemble_contig(sc.contig)
+        got_right = sc.contig.right_extension
+        got_left = sc.contig.left_extension
+        ref_right_bases, ref_right_state = ref[End.RIGHT]
+        ref_left_bases, ref_left_state = ref[End.LEFT]
+        assert got_right.bases == ref_right_bases
+        assert got_right.walk_state == ref_right_state.value
+        assert got_left.bases == ref_left_bases
+        assert got_left.walk_state == ref_left_state.value

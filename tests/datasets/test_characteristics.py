@@ -1,0 +1,79 @@
+"""Tests for Table II characteristics and their measurement."""
+
+import pytest
+
+from repro.datasets.characteristics import (
+    TABLE_II,
+    DatasetCharacteristics,
+    measure_characteristics,
+)
+from repro.errors import DatasetError
+from repro.genomics.contig import Contig
+from repro.genomics.reads import Read, ReadSet
+
+
+class TestTableII:
+    def test_verbatim_paper_values(self):
+        assert TABLE_II[21].total_contigs == 14195
+        assert TABLE_II[21].total_hash_insertions == 10_011_465
+        assert TABLE_II[33].total_reads == 20421
+        assert TABLE_II[55].average_extn_length == 161.0
+        assert TABLE_II[77].total_extns == 577_496
+
+    def test_reads_per_contig(self):
+        assert TABLE_II[21].reads_per_contig == pytest.approx(74159 / 14195)
+
+    def test_internal_consistency_insertions(self):
+        """Insertions ~ reads * (read_len - k) for every paper row."""
+        for k, row in TABLE_II.items():
+            approx = row.total_reads * (row.average_read_length - k)
+            assert row.total_hash_insertions == pytest.approx(approx, rel=0.05)
+
+
+class TestScaling:
+    def test_scaled_counts(self):
+        half = TABLE_II[21].scaled(0.5)
+        assert half.total_contigs == round(14195 * 0.5)
+        assert half.average_read_length == 155  # per-contig shape preserved
+        assert half.average_extn_length == 48.2
+
+    def test_scale_one_is_identity(self):
+        assert TABLE_II[33].scaled(1.0) == TABLE_II[33]
+
+    def test_tiny_scale_floors_at_one_contig(self):
+        t = TABLE_II[77].scaled(1e-9)
+        assert t.total_contigs == 1
+        assert t.total_reads >= 1
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(DatasetError):
+            TABLE_II[21].scaled(0)
+
+
+class TestMeasure:
+    def _contig(self, seqs):
+        c = Contig.from_string("c", "ACGT" * 30)
+        c.reads = ReadSet([Read.from_strings(f"r{i}", s) for i, s in enumerate(seqs)])
+        return c
+
+    def test_measures_counts(self):
+        contigs = [self._contig(["ACGT" * 10, "ACGT" * 5]),
+                   self._contig(["ACGT" * 10])]
+        m = measure_characteristics(contigs, 21)
+        assert m.total_contigs == 2
+        assert m.total_reads == 3
+        assert m.average_read_length == pytest.approx((40 + 20 + 40) / 3)
+        assert m.total_hash_insertions == (40 - 21) + 0 + (40 - 21)
+
+    def test_rejects_empty(self):
+        with pytest.raises(DatasetError):
+            measure_characteristics([], 21)
+
+    def test_extensions_counted_when_present(self):
+        from repro.genomics.contig import ContigExtension, End
+
+        c = self._contig(["ACGT" * 10])
+        c.right_extension = ContigExtension(End.RIGHT, "ACGTA", "end", 21)
+        m = measure_characteristics([c], 21)
+        assert m.total_extns == 5
+        assert m.average_extn_length == 5.0

@@ -1,0 +1,124 @@
+"""Unit + property tests for 2-bit DNA encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SequenceError
+from repro.genomics import dna
+
+dna_strings = st.text(alphabet="ACGT", min_size=0, max_size=200)
+
+
+class TestEncodeDecode:
+    def test_encode_basic(self):
+        np.testing.assert_array_equal(dna.encode("ACGT"), [0, 1, 2, 3])
+
+    def test_encode_lowercase(self):
+        np.testing.assert_array_equal(dna.encode("acgt"), [0, 1, 2, 3])
+
+    def test_encode_empty(self):
+        assert dna.encode("").size == 0
+
+    def test_encode_bytes(self):
+        np.testing.assert_array_equal(dna.encode(b"TGCA"), [3, 2, 1, 0])
+
+    def test_encode_passthrough_array(self):
+        arr = np.array([0, 3, 1], dtype=np.uint8)
+        assert dna.encode(arr) is arr
+
+    def test_encode_rejects_ambiguity_codes(self):
+        with pytest.raises(SequenceError, match="invalid DNA base 'N'"):
+            dna.encode("ACGNT")
+
+    def test_encode_rejects_unicode(self):
+        with pytest.raises(SequenceError):
+            dna.encode("ACGé")
+
+    def test_encode_rejects_bad_dtype(self):
+        with pytest.raises(SequenceError, match="uint8"):
+            dna.encode(np.array([0, 1], dtype=np.int64))
+
+    def test_encode_rejects_code_out_of_range(self):
+        with pytest.raises(SequenceError):
+            dna.encode(np.array([0, 7], dtype=np.uint8))
+
+    def test_decode_basic(self):
+        assert dna.decode(np.array([3, 3, 0, 2], dtype=np.uint8)) == "TTAG"
+
+    def test_decode_rejects_out_of_range(self):
+        with pytest.raises(SequenceError):
+            dna.decode(np.array([4], dtype=np.uint8))
+
+    @given(dna_strings)
+    def test_roundtrip(self, s):
+        assert dna.decode(dna.encode(s)) == s
+
+
+class TestValidation:
+    def test_valid(self):
+        assert dna.is_valid_sequence("GATTACA")
+
+    def test_invalid(self):
+        assert not dna.is_valid_sequence("GATTACA!")
+
+    def test_empty_is_valid(self):
+        assert dna.is_valid_sequence("")
+
+
+class TestComplement:
+    def test_complement(self):
+        np.testing.assert_array_equal(
+            dna.complement(dna.encode("ACGT")), dna.encode("TGCA")
+        )
+
+    def test_reverse_complement_string(self):
+        assert dna.reverse_complement("AACG") == "CGTT"
+
+    def test_reverse_complement_array(self):
+        out = dna.reverse_complement(dna.encode("AACG"))
+        assert isinstance(out, np.ndarray)
+        assert dna.decode(out) == "CGTT"
+
+    @given(dna_strings)
+    def test_reverse_complement_involution(self, s):
+        assert dna.reverse_complement(dna.reverse_complement(s)) == s
+
+    @given(dna_strings)
+    def test_complement_preserves_length(self, s):
+        assert len(dna.reverse_complement(s)) == len(s)
+
+
+class TestRandomSequence:
+    def test_length_and_range(self):
+        rng = np.random.default_rng(0)
+        seq = dna.random_sequence(1000, rng)
+        assert len(seq) == 1000
+        assert seq.dtype == np.uint8
+        assert set(np.unique(seq)) <= {0, 1, 2, 3}
+
+    def test_deterministic_with_seed(self):
+        a = dna.random_sequence(64, np.random.default_rng(7))
+        b = dna.random_sequence(64, np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(SequenceError):
+            dna.random_sequence(-1, np.random.default_rng(0))
+
+    def test_uses_all_bases(self):
+        seq = dna.random_sequence(4000, np.random.default_rng(1))
+        assert set(np.unique(seq)) == {0, 1, 2, 3}
+
+
+class TestHamming:
+    def test_equal(self):
+        assert dna.hamming_distance(dna.encode("ACGT"), dna.encode("ACGT")) == 0
+
+    def test_differs(self):
+        assert dna.hamming_distance(dna.encode("ACGT"), dna.encode("ACGA")) == 1
+
+    def test_length_mismatch(self):
+        with pytest.raises(SequenceError):
+            dna.hamming_distance(dna.encode("AC"), dna.encode("ACG"))

@@ -1,0 +1,105 @@
+"""Tests for dataset / FASTA / FASTQ serialization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.genomics import io as gio
+from repro.genomics.contig import Contig
+from repro.genomics.reads import Read, ReadSet
+from repro.genomics.simulate import ScenarioSpec, simulate_batch
+
+
+def _sample_contigs():
+    rng = np.random.default_rng(11)
+    spec = ScenarioSpec(contig_length=100, flank_length=30, read_length=50, depth=3)
+    return [sc.contig for sc in simulate_batch(3, spec, rng)]
+
+
+class TestDat:
+    def test_roundtrip(self, tmp_path):
+        contigs = _sample_contigs()
+        p = tmp_path / "x.dat"
+        gio.write_dat(contigs, p)
+        back = gio.read_dat(p)
+        assert len(back) == len(contigs)
+        for a, b in zip(contigs, back):
+            assert a.name == b.name
+            assert a.sequence == b.sequence
+            assert len(a.reads) == len(b.reads)
+            for ra, rb in zip(a.reads, b.reads):
+                assert ra.sequence == rb.sequence
+                np.testing.assert_array_equal(ra.quals, rb.quals)
+
+    def test_empty_roundtrip(self, tmp_path):
+        p = tmp_path / "empty.dat"
+        gio.write_dat([], p)
+        assert gio.read_dat(p) == []
+
+    def test_missing_magic(self, tmp_path):
+        p = tmp_path / "bad.dat"
+        p.write_text("nope\n0\n")
+        with pytest.raises(DatasetError, match="header"):
+            gio.read_dat(p)
+
+    def test_truncated_reads(self, tmp_path):
+        p = tmp_path / "trunc.dat"
+        p.write_text("#locassm v1\n1\n>c0 2\nACGT\nACG\tIII\n")
+        with pytest.raises(DatasetError, match="truncated"):
+            gio.read_dat(p)
+
+    def test_read_qual_mismatch(self, tmp_path):
+        p = tmp_path / "mm.dat"
+        p.write_text("#locassm v1\n1\n>c0 1\nACGT\nACG\tIIII\n")
+        with pytest.raises(DatasetError, match="mismatch"):
+            gio.read_dat(p)
+
+    def test_bad_count(self, tmp_path):
+        p = tmp_path / "cnt.dat"
+        p.write_text("#locassm v1\nxyz\n")
+        with pytest.raises(DatasetError):
+            gio.read_dat(p)
+
+
+class TestFasta:
+    def test_roundtrip_with_wrapping(self, tmp_path):
+        recs = [("a", "ACGT" * 50), ("b desc", "TT")]
+        p = tmp_path / "x.fa"
+        gio.write_fasta(recs, p, width=60)
+        assert gio.read_fasta(p) == recs
+
+    def test_sequence_before_header(self, tmp_path):
+        p = tmp_path / "bad.fa"
+        p.write_text("ACGT\n>late\nACGT\n")
+        with pytest.raises(DatasetError):
+            gio.read_fasta(p)
+
+
+class TestFastq:
+    def test_roundtrip(self, tmp_path):
+        rs = ReadSet([Read.from_strings("r1", "ACGT", "II!5"),
+                      Read.from_strings("r2", "GG", "##")])
+        p = tmp_path / "x.fq"
+        gio.write_fastq(rs, p)
+        back = gio.read_fastq(p)
+        assert [r.name for r in back] == ["r1", "r2"]
+        assert back[0].quality_string == "II!5"
+
+    def test_bad_record_count(self, tmp_path):
+        p = tmp_path / "bad.fq"
+        p.write_text("@r\nACGT\n+\n")
+        with pytest.raises(DatasetError):
+            gio.read_fastq(p)
+
+    def test_malformed_record(self, tmp_path):
+        p = tmp_path / "bad2.fq"
+        p.write_text("r\nACGT\n+\nIIII\n")
+        with pytest.raises(DatasetError):
+            gio.read_fastq(p)
+
+
+def test_dat_contig_roundtrip_via_contig_cls(tmp_path):
+    c = Contig.from_string("solo", "ACGTACGT")
+    p = tmp_path / "solo.dat"
+    gio.write_dat([c], p)
+    assert gio.read_dat(p)[0].sequence == "ACGTACGT"

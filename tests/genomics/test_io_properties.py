@@ -1,0 +1,80 @@
+"""Property-based round-trip tests for the serialization formats."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.genomics import io as gio
+from repro.genomics.contig import Contig
+from repro.genomics.reads import Read, ReadSet
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=60)
+qual_char = st.characters(min_codepoint=33, max_codepoint=33 + 41)
+
+
+@st.composite
+def read_strategy(draw, name):
+    seq = draw(dna)
+    quals = draw(st.text(alphabet=qual_char, min_size=len(seq),
+                         max_size=len(seq)))
+    return Read.from_strings(name, seq, quals)
+
+
+@st.composite
+def contig_strategy(draw, idx):
+    c = Contig.from_string(f"c{idx}", draw(dna))
+    n = draw(st.integers(0, 4))
+    c.reads = ReadSet([draw(read_strategy(f"c{idx}/r{j}")) for j in range(n)])
+    return c
+
+
+@st.composite
+def contig_list(draw):
+    n = draw(st.integers(0, 5))
+    return [draw(contig_strategy(i)) for i in range(n)]
+
+
+class TestDatRoundtripProperty:
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(contig_list())
+    def test_dat_roundtrip(self, tmp_path, contigs):
+        p = tmp_path / "x.dat"
+        gio.write_dat(contigs, p)
+        back = gio.read_dat(p)
+        assert len(back) == len(contigs)
+        for a, b in zip(contigs, back):
+            assert a.sequence == b.sequence
+            assert [r.sequence for r in a.reads] == [r.sequence for r in b.reads]
+            for ra, rb in zip(a.reads, b.reads):
+                np.testing.assert_array_equal(ra.quals, rb.quals)
+
+
+class TestFastqRoundtripProperty:
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(st.lists(read_strategy("r"), max_size=6))
+    def test_fastq_roundtrip(self, tmp_path, reads):
+        rs = ReadSet(list(reads))
+        p = tmp_path / "x.fq"
+        gio.write_fastq(rs, p)
+        back = gio.read_fastq(p)
+        assert len(back) == len(rs)
+        for a, b in zip(rs, back):
+            assert a.sequence == b.sequence
+            assert a.quality_string == b.quality_string
+
+
+class TestFastaRoundtripProperty:
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(st.lists(st.tuples(st.text(alphabet="abc_0", min_size=1, max_size=8),
+                              dna), max_size=5),
+           st.integers(1, 100))
+    def test_fasta_roundtrip_any_wrap(self, tmp_path, recs, width):
+        # names must be unique per file for a meaningful comparison
+        records = [(f"{i}_{name}", seq) for i, (name, seq) in enumerate(recs)]
+        p = tmp_path / "x.fa"
+        gio.write_fasta(records, p, width=width)
+        assert gio.read_fasta(p) == records

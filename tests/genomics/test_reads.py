@@ -1,0 +1,96 @@
+"""Tests for reads and read sets."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SequenceError
+from repro.genomics.dna import encode
+from repro.genomics.reads import (
+    DEFAULT_QUAL_THRESHOLD,
+    MAX_PHRED,
+    Read,
+    ReadSet,
+)
+
+
+def _read(seq="ACGTACGT", quals=None, name="r"):
+    return Read.from_strings(name, seq, quals)
+
+
+class TestRead:
+    def test_from_strings_default_quals(self):
+        r = _read()
+        assert len(r) == 8
+        assert (r.quals == MAX_PHRED).all()
+
+    def test_sequence_roundtrip(self):
+        assert _read("GATTACA").sequence == "GATTACA"
+
+    def test_quality_string_roundtrip(self):
+        r = _read("ACGT", "!I5+")
+        assert r.quality_string == "!I5+"
+
+    def test_fastq_quality_decoding(self):
+        r = _read("ACGT", "IIII")  # 'I' = phred 40
+        assert (r.quals == 40).all()
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(SequenceError, match="quals"):
+            Read(name="x", codes=encode("ACGT"), quals=np.zeros(3, dtype=np.uint8))
+
+    def test_rejects_bad_quality_char(self):
+        with pytest.raises(SequenceError):
+            _read("ACGT", "II I")  # space < '!'
+
+    def test_high_quality_mask(self):
+        r = Read(name="x", codes=encode("ACGT"),
+                 quals=np.array([10, 20, 30, 19], dtype=np.uint8))
+        np.testing.assert_array_equal(
+            r.high_quality_mask(DEFAULT_QUAL_THRESHOLD), [False, True, True, False]
+        )
+
+    @given(st.text(alphabet="ACGT", min_size=1, max_size=50))
+    def test_roundtrip_property(self, seq):
+        assert _read(seq).sequence == seq
+
+
+class TestReadSet:
+    def test_empty(self):
+        rs = ReadSet()
+        assert len(rs) == 0
+        assert rs.total_bases == 0
+        assert rs.mean_length == 0.0
+
+    def test_append_and_iterate(self):
+        rs = ReadSet()
+        rs.append(_read("ACGT"))
+        rs.append(_read("AC"))
+        assert len(rs) == 2
+        assert rs.total_bases == 6
+        assert rs.mean_length == 3.0
+        assert [len(r) for r in rs] == [4, 2]
+        assert len(rs[1]) == 2
+
+    def test_flatten_layout(self):
+        rs = ReadSet([_read("ACGT", "IIII"), _read("GG", "!!")])
+        codes, quals, offsets = rs.flatten()
+        np.testing.assert_array_equal(offsets, [0, 4, 6])
+        np.testing.assert_array_equal(codes[offsets[1]:offsets[2]], encode("GG"))
+        assert quals[4] == 0  # '!' -> phred 0
+
+    def test_flatten_empty(self):
+        codes, quals, offsets = ReadSet().flatten()
+        assert codes.size == 0 and quals.size == 0
+        np.testing.assert_array_equal(offsets, [0])
+
+    def test_kmer_count(self):
+        rs = ReadSet([_read("ACGTA"), _read("AC")])
+        assert rs.kmer_count(3) == 3  # 3 from the 5-mer, 0 from the 2-mer
+
+    @given(st.lists(st.text(alphabet="ACGT", min_size=1, max_size=30), max_size=10))
+    def test_flatten_total_matches(self, seqs):
+        rs = ReadSet([_read(s, name=f"r{i}") for i, s in enumerate(seqs)])
+        codes, _, offsets = rs.flatten()
+        assert codes.size == rs.total_bases == offsets[-1]

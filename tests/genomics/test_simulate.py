@@ -1,0 +1,123 @@
+"""Tests for the genome/read/scenario simulators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SequenceError
+from repro.genomics.dna import decode
+from repro.genomics.simulate import (
+    PERFECT_READS,
+    ContigScenario,
+    ErrorProfile,
+    ScenarioSpec,
+    sequence_read,
+    simulate_batch,
+    simulate_contig_scenario,
+    simulate_genome,
+)
+
+
+class TestErrorProfile:
+    def test_defaults_valid(self):
+        ErrorProfile()
+
+    def test_rejects_bad_error_rate(self):
+        with pytest.raises(SequenceError):
+            ErrorProfile(error_rate=1.5)
+
+    def test_rejects_inverted_quality(self):
+        with pytest.raises(SequenceError):
+            ErrorProfile(hi_quality=10, lo_quality=20)
+
+
+class TestSequenceRead:
+    def test_perfect_read_matches_genome(self):
+        rng = np.random.default_rng(0)
+        g = simulate_genome(300, rng)
+        r = sequence_read(g, 50, 100, rng, PERFECT_READS)
+        np.testing.assert_array_equal(r.codes, g[50:150])
+
+    def test_out_of_bounds_rejected(self):
+        rng = np.random.default_rng(0)
+        g = simulate_genome(100, rng)
+        with pytest.raises(SequenceError):
+            sequence_read(g, 50, 100, rng)
+
+    def test_error_rate_applied(self):
+        rng = np.random.default_rng(1)
+        g = simulate_genome(20000, rng)
+        r = sequence_read(g, 0, 20000, rng, ErrorProfile(error_rate=0.05))
+        mismatches = int(np.count_nonzero(r.codes != g))
+        # expected ~ 0.05..0.5 of 5% given lo-quality boost; just sanity bounds
+        assert 400 < mismatches < 4000
+
+    def test_errors_prefer_low_quality(self):
+        rng = np.random.default_rng(2)
+        g = simulate_genome(50000, rng)
+        prof = ErrorProfile(error_rate=0.01, lo_quality_fraction=0.2)
+        r = sequence_read(g, 0, 50000, rng, prof)
+        err = r.codes != g
+        lo = r.quals == prof.lo_quality
+        err_rate_lo = err[lo].mean()
+        err_rate_hi = err[~lo].mean()
+        assert err_rate_lo > 3 * err_rate_hi
+
+
+class TestScenario:
+    def test_contig_is_region_interior(self):
+        rng = np.random.default_rng(3)
+        spec = ScenarioSpec(contig_length=200, flank_length=60, read_length=80, depth=4)
+        sc = simulate_contig_scenario(spec, rng, PERFECT_READS)
+        assert isinstance(sc, ContigScenario)
+        assert len(sc.contig) == 200
+        assert len(sc.true_left_flank) == 60
+        assert len(sc.true_right_flank) == 60
+        region = decode(sc.region)
+        assert region == sc.true_left_flank + sc.contig.sequence + sc.true_right_flank
+
+    def test_reads_assigned(self):
+        rng = np.random.default_rng(4)
+        spec = ScenarioSpec(contig_length=300, flank_length=80, read_length=100, depth=6)
+        sc = simulate_contig_scenario(spec, rng)
+        assert sc.contig.depth >= 2
+
+    def test_read_too_long_rejected(self):
+        rng = np.random.default_rng(5)
+        spec = ScenarioSpec(contig_length=10, flank_length=5, read_length=100)
+        with pytest.raises(SequenceError):
+            simulate_contig_scenario(spec, rng)
+
+    def test_coverage_near_target_depth(self):
+        rng = np.random.default_rng(6)
+        spec = ScenarioSpec(contig_length=400, flank_length=100, read_length=120,
+                            depth=10, seed_window=80)
+        sc = simulate_contig_scenario(spec, rng, PERFECT_READS)
+        # Coverage at the right contig-end junction should be near depth.
+        junction = spec.flank_length + spec.contig_length
+        cov = 0
+        offset_index = 0
+        # reconstruct coverage by matching perfect reads back to the region
+        region = sc.region
+        for r in sc.contig.reads:
+            # find the read's position (perfect reads are exact slices)
+            for s in range(len(region) - len(r) + 1):
+                if np.array_equal(region[s : s + len(r)], r.codes):
+                    if s <= junction - 1 < s + len(r):
+                        cov += 1
+                    break
+            offset_index += 1
+        assert cov >= spec.depth * 0.4
+
+    def test_batch(self):
+        rng = np.random.default_rng(7)
+        spec = ScenarioSpec(contig_length=120, flank_length=40, read_length=60, depth=3)
+        batch = simulate_batch(5, spec, rng)
+        assert len(batch) == 5
+        assert len({sc.contig.name for sc in batch}) == 5
+
+    def test_deterministic(self):
+        spec = ScenarioSpec(contig_length=120, flank_length=40, read_length=60, depth=3)
+        a = simulate_contig_scenario(spec, np.random.default_rng(8))
+        b = simulate_contig_scenario(spec, np.random.default_rng(8))
+        assert a.contig.sequence == b.contig.sequence
+        assert a.true_right_flank == b.true_right_flank

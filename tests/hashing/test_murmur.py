@@ -1,0 +1,109 @@
+"""Tests for the MurmurHash2 implementation.
+
+Reference digests were computed from Austin Appleby's C MurmurHash2
+(SMHasher) semantics: h = seed ^ len; per-4-byte little-endian mix with
+m=0x5bd1e995, r=24; tail bytes; final avalanche.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing import murmur
+
+
+def _reference_murmur2(data: bytes, seed: int = 0) -> int:
+    """Independent straight-line transcription of the C code."""
+    m, r = 0x5BD1E995, 24
+    mask = 0xFFFFFFFF
+    n = len(data)
+    h = (seed ^ n) & mask
+    i = 0
+    while n - i >= 4:
+        k = data[i] | data[i + 1] << 8 | data[i + 2] << 16 | data[i + 3] << 24
+        k = (k * m) & mask
+        k ^= k >> r
+        k = (k * m) & mask
+        h = (h * m) & mask
+        h ^= k
+        i += 4
+    rem = n - i
+    if rem == 3:
+        h ^= data[i + 2] << 16
+    if rem >= 2:
+        h ^= data[i + 1] << 8
+    if rem >= 1:
+        h ^= data[i]
+        h = (h * m) & mask
+    h ^= h >> 13
+    h = (h * m) & mask
+    h ^= h >> 15
+    return h
+
+
+class TestScalar:
+    def test_empty(self):
+        assert murmur.murmur2(b"") == _reference_murmur2(b"")
+
+    def test_known_lengths(self):
+        for n in range(0, 20):
+            data = bytes(range(n))
+            assert murmur.murmur2(data) == _reference_murmur2(data), n
+
+    def test_seed_changes_digest(self):
+        assert murmur.murmur2(b"ACGTACGT", seed=1) != murmur.murmur2(b"ACGTACGT", seed=2)
+
+    def test_accepts_uint8_array(self):
+        arr = np.array([0, 1, 2, 3], dtype=np.uint8)
+        assert murmur.murmur2(arr) == murmur.murmur2(bytes([0, 1, 2, 3]))
+
+    def test_aligned_equals_plain(self):
+        for n in (4, 8, 21, 33, 55, 77):
+            data = bytes((i * 37) % 256 for i in range(n))
+            assert murmur.murmur_aligned2(data) == murmur.murmur2(data)
+
+    @given(st.binary(min_size=0, max_size=128), st.integers(0, 2**32 - 1))
+    def test_matches_reference(self, data, seed):
+        assert murmur.murmur2(data, seed) == _reference_murmur2(data, seed)
+
+    def test_range_is_uint32(self):
+        for n in range(40):
+            assert 0 <= murmur.murmur2(bytes(n)) <= 0xFFFFFFFF
+
+
+class TestBatch:
+    def test_matches_scalar_all_kmer_sizes(self):
+        rng = np.random.default_rng(0)
+        for k in (21, 33, 55, 77):
+            keys = rng.integers(0, 4, size=(50, k), dtype=np.uint8)
+            digests = murmur.murmur2_batch(keys, seed=17)
+            for i in range(keys.shape[0]):
+                assert int(digests[i]) == murmur.murmur2(keys[i].tobytes(), seed=17)
+
+    def test_empty_batch(self):
+        out = murmur.murmur2_batch(np.empty((0, 21), dtype=np.uint8))
+        assert out.shape == (0,)
+        assert out.dtype == np.uint32
+
+    def test_rejects_1d(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            murmur.murmur2_batch(np.zeros(4, dtype=np.uint8))
+
+    @settings(max_examples=20)
+    @given(st.integers(1, 16), st.integers(1, 40), st.integers(0, 2**32 - 1))
+    def test_batch_property(self, n, length, seed):
+        rng = np.random.default_rng(seed)
+        keys = rng.integers(0, 256, size=(n, length), dtype=np.uint8)
+        digests = murmur.murmur2_batch(keys, seed=seed)
+        assert int(digests[0]) == murmur.murmur2(keys[0].tobytes(), seed=seed)
+        assert int(digests[-1]) == murmur.murmur2(keys[-1].tobytes(), seed=seed)
+
+    def test_distribution_roughly_uniform(self):
+        rng = np.random.default_rng(3)
+        keys = rng.integers(0, 4, size=(20000, 21), dtype=np.uint8)
+        digests = murmur.murmur2_batch(keys)
+        buckets = np.bincount(digests % np.uint32(16), minlength=16)
+        assert buckets.min() > 20000 / 16 * 0.8
+        assert buckets.max() < 20000 / 16 * 1.2

@@ -1,0 +1,72 @@
+"""Tests for the lane-parallel walk mode (independent thread scheduling)."""
+
+import numpy as np
+import pytest
+
+from repro.core.extension import PRODUCTION_POLICY
+from repro.genomics.simulate import PERFECT_READS, ScenarioSpec, simulate_batch
+from repro.kernels import CudaLocalAssemblyKernel, HipLocalAssemblyKernel
+from repro.perfmodel.timing import predict_time
+from repro.simt.device import A100, MI250X
+
+SPEC = ScenarioSpec(contig_length=200, flank_length=60, read_length=90,
+                    depth=8, seed_window=50)
+
+
+def _contigs(n=6, seed=21):
+    rng = np.random.default_rng(seed)
+    return [sc.contig for sc in simulate_batch(n, SPEC, rng, PERFECT_READS)]
+
+
+class TestLaneParallelWalks:
+    def test_functional_output_identical(self):
+        contigs = _contigs()
+        base = CudaLocalAssemblyKernel(A100, policy=PRODUCTION_POLICY)
+        its = CudaLocalAssemblyKernel(A100, policy=PRODUCTION_POLICY,
+                                      lane_parallel_walks=True)
+        rb = base.run(contigs, 21)
+        ri = its.run(contigs, 21)
+        assert rb.right == ri.right
+        assert rb.left == ri.left
+
+    def test_walk_issue_width(self):
+        contigs = _contigs()
+        base = HipLocalAssemblyKernel(MI250X, policy=PRODUCTION_POLICY)
+        its = HipLocalAssemblyKernel(MI250X, policy=PRODUCTION_POLICY,
+                                     lane_parallel_walks=True)
+        pb = base.run(contigs, 21).profile
+        pi = its.run(contigs, 21).profile
+        assert pb.walk_issue_width == 64
+        assert pi.walk_issue_width == 1
+
+    def test_walk_intops_unchanged(self):
+        """ITS changes how walks are *scheduled*, not how much work they do."""
+        contigs = _contigs()
+        pb = CudaLocalAssemblyKernel(A100, policy=PRODUCTION_POLICY).run(
+            contigs, 21).profile
+        pi = CudaLocalAssemblyKernel(A100, policy=PRODUCTION_POLICY,
+                                     lane_parallel_walks=True).run(
+            contigs, 21).profile
+        assert pb.walk_intops == pi.walk_intops
+        assert pb.inserts == pi.inserts
+
+    def test_predicted_time_improves(self):
+        contigs = _contigs()
+        pb = HipLocalAssemblyKernel(MI250X, policy=PRODUCTION_POLICY).run(
+            contigs, 21).profile
+        pi = HipLocalAssemblyKernel(MI250X, policy=PRODUCTION_POLICY,
+                                    lane_parallel_walks=True).run(
+            contigs, 21).profile
+        tb = predict_time(pb, MI250X)
+        ti = predict_time(pi, MI250X)
+        assert ti.walk_issue < tb.walk_issue
+        assert ti.total <= tb.total
+
+    def test_active_lane_fraction_improves(self):
+        contigs = _contigs()
+        pb = HipLocalAssemblyKernel(MI250X, policy=PRODUCTION_POLICY).run(
+            contigs, 21).profile
+        pi = HipLocalAssemblyKernel(MI250X, policy=PRODUCTION_POLICY,
+                                    lane_parallel_walks=True).run(
+            contigs, 21).profile
+        assert pi.active_lane_fraction > pb.active_lane_fraction

@@ -1,0 +1,85 @@
+"""Tests for the vectorized per-warp hash tables."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import HashTableFullError, KernelError
+from repro.kernels.vectortable import SLOT_BYTES, WarpHashTables
+
+
+def _tables(caps=(8, 16), k=4):
+    return WarpHashTables(np.array(caps, dtype=np.int64), k)
+
+
+class TestLayout:
+    def test_offsets(self):
+        t = _tables((8, 16, 4))
+        np.testing.assert_array_equal(t.offsets, [0, 8, 24, 28])
+        assert t.total_slots == 28
+        assert t.n_warps == 3
+
+    def test_total_bytes(self):
+        assert _tables((10,)).total_bytes == 10 * SLOT_BYTES
+
+    def test_rejects_empty(self):
+        with pytest.raises(KernelError):
+            WarpHashTables(np.array([], dtype=np.int64), 4)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(KernelError):
+            _tables((8, 0))
+
+    def test_slot_of_wraps_modulo(self):
+        t = _tables((8, 16))
+        slots = t.slot_of(np.array([0, 1]), np.array([9, 17]), np.array([0, 0]))
+        np.testing.assert_array_equal(slots, [1, 8 + 1])
+
+    def test_slot_of_full_probe_raises(self):
+        t = _tables((8,))
+        with pytest.raises(HashTableFullError):
+            t.slot_of(np.array([0]), np.array([0]), np.array([8]))
+
+
+class TestOperations:
+    def test_claim_and_inspect(self):
+        t = _tables((8,))
+        winners = t.claim(np.array([3, 3, 5]), np.array([11, 12, 13], dtype=np.uint64))
+        np.testing.assert_array_equal(winners, [True, False, True])
+        occ, fp = t.inspect(np.array([3, 5, 0]))
+        np.testing.assert_array_equal(occ, [True, True, False])
+        assert fp[0] == 11 and fp[1] == 13
+
+    def test_vote_accumulates(self):
+        t = _tables((8,))
+        t.claim(np.array([2]), np.array([9], dtype=np.uint64))
+        t.vote(np.array([2, 2, 2]), np.array([0, 0, 3], dtype=np.uint8),
+               np.array([True, False, True]))
+        hi, lo = t.votes_at(np.array([2]))
+        assert hi[0, 0] == 1 and lo[0, 0] == 1 and hi[0, 3] == 1
+        assert t.count[2] == 3
+
+    def test_occupancy(self):
+        t = _tables((4,))
+        assert t.occupancy() == 0.0
+        t.claim(np.array([0, 1]), np.array([1, 2], dtype=np.uint64))
+        assert t.occupancy() == pytest.approx(0.5)
+
+    def test_keys_per_warp(self):
+        t = _tables((4, 4))
+        t.claim(np.array([0, 1, 5]), np.array([1, 2, 3], dtype=np.uint64))
+        np.testing.assert_array_equal(t.keys_per_warp(), [2, 1])
+
+    @settings(max_examples=20)
+    @given(st.lists(st.integers(0, 7), min_size=1, max_size=30))
+    def test_claims_are_exclusive(self, slots):
+        """Property: a slot is claimed exactly once, first claimer wins."""
+        t = _tables((8,))
+        arr = np.array(slots)
+        fps = np.arange(1, len(slots) + 1, dtype=np.uint64)
+        winners = t.claim(arr, fps)
+        for s in set(slots):
+            first = slots.index(s)
+            assert winners[first]
+            assert t.fp[s] == fps[first]

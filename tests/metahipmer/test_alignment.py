@@ -1,0 +1,142 @@
+"""Tests for the read-to-contig aligner and end assignment."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SequenceError
+from repro.genomics.contig import Contig, End
+from repro.genomics.dna import decode, reverse_complement
+from repro.genomics.reads import Read, ReadSet
+from repro.genomics.simulate import PERFECT_READS, sequence_read, simulate_genome
+from repro.metahipmer.alignment import ReadAligner, assign_reads_to_ends
+
+
+@pytest.fixture
+def contig_and_genome():
+    rng = np.random.default_rng(2)
+    genome = simulate_genome(800, rng)
+    contig = Contig(name="c0", codes=genome[100:700].copy())
+    return genome, contig, rng
+
+
+class TestAligner:
+    def test_exact_interior_alignment(self, contig_and_genome):
+        genome, contig, rng = contig_and_genome
+        read = sequence_read(genome, 300, 100, rng, PERFECT_READS)
+        hit = ReadAligner([contig]).align(read)
+        assert hit is not None
+        assert hit.position == 200  # genome 300 - contig offset 100
+        assert not hit.reverse
+        assert hit.mismatches == 0
+        assert hit.identity == 1.0
+
+    def test_reverse_strand_alignment(self, contig_and_genome):
+        genome, contig, rng = contig_and_genome
+        fwd = sequence_read(genome, 300, 100, rng, PERFECT_READS)
+        rc_read = Read(name="rc", codes=reverse_complement(fwd.codes),
+                       quals=fwd.quals[::-1].copy())
+        hit = ReadAligner([contig]).align(rc_read)
+        assert hit is not None and hit.reverse
+        assert hit.position == 200
+
+    def test_overhanging_read_negative_position(self, contig_and_genome):
+        genome, contig, rng = contig_and_genome
+        read = sequence_read(genome, 60, 100, rng, PERFECT_READS)
+        hit = ReadAligner([contig]).align(read)
+        assert hit is not None
+        assert hit.position == -40
+        assert hit.overlap == 60
+
+    def test_mismatches_tolerated(self, contig_and_genome):
+        genome, contig, rng = contig_and_genome
+        read = sequence_read(genome, 300, 100, rng, PERFECT_READS)
+        read.codes[50] = (read.codes[50] + 1) % 4
+        hit = ReadAligner([contig]).align(read)
+        assert hit is not None and hit.mismatches == 1
+
+    def test_unrelated_read_unaligned(self, contig_and_genome):
+        _, contig, rng = contig_and_genome
+        noise = Read(name="x", codes=simulate_genome(100, np.random.default_rng(99)),
+                     quals=np.full(100, 40, dtype=np.uint8))
+        assert ReadAligner([contig]).align(noise) is None
+
+    def test_multi_contig_picks_right_target(self, contig_and_genome):
+        genome, contig, rng = contig_and_genome
+        other = Contig(name="c1", codes=simulate_genome(400, np.random.default_rng(7)))
+        read = sequence_read(genome, 300, 100, rng, PERFECT_READS)
+        hit = ReadAligner([other, contig]).align(read)
+        assert hit.contig_index == 1
+
+    def test_rejects_bad_seed_len(self, contig_and_genome):
+        _, contig, _ = contig_and_genome
+        with pytest.raises(SequenceError):
+            ReadAligner([contig], seed_len=0)
+
+
+class TestEndClassification:
+    def test_left_overhang(self, contig_and_genome):
+        genome, contig, rng = contig_and_genome
+        aligner = ReadAligner([contig])
+        read = sequence_read(genome, 60, 100, rng, PERFECT_READS)
+        hit = aligner.align(read)
+        assert aligner.classify_end(hit, 100) is End.LEFT
+
+    def test_right_overhang(self, contig_and_genome):
+        genome, contig, rng = contig_and_genome
+        aligner = ReadAligner([contig])
+        read = sequence_read(genome, 650, 100, rng, PERFECT_READS)
+        hit = aligner.align(read)
+        assert aligner.classify_end(hit, 100) is End.RIGHT
+
+    def test_interior_is_none(self, contig_and_genome):
+        genome, contig, rng = contig_and_genome
+        aligner = ReadAligner([contig])
+        read = sequence_read(genome, 350, 100, rng, PERFECT_READS)
+        hit = aligner.align(read)
+        assert aligner.classify_end(hit, 100) is None
+
+
+class TestAssignment:
+    def test_assignment_populates_hints(self, contig_and_genome):
+        genome, contig, rng = contig_and_genome
+        reads = ReadSet()
+        for i, start in enumerate((40, 80, 350, 640, 680)):
+            reads.append(sequence_read(genome, start, 100, rng, PERFECT_READS,
+                                       name=f"r{i}"))
+        stats = assign_reads_to_ends([contig], reads)
+        assert stats["aligned"] == 5
+        assert stats["interior"] == 1
+        assert stats["assigned"] == 4
+        assert len(contig.reads) == 4
+        assert contig.read_end_hints.count(End.LEFT) == 2
+        assert contig.read_end_hints.count(End.RIGHT) == 2
+
+    def test_reverse_reads_stored_forward(self, contig_and_genome):
+        genome, contig, rng = contig_and_genome
+        fwd = sequence_read(genome, 40, 100, rng, PERFECT_READS, name="f")
+        rc = Read(name="rc", codes=reverse_complement(fwd.codes),
+                  quals=fwd.quals[::-1].copy())
+        assign_reads_to_ends([contig], ReadSet([rc]))
+        assert len(contig.reads) == 1
+        # stored read matches the contig orientation
+        np.testing.assert_array_equal(contig.reads[0].codes, fwd.codes)
+
+    def test_assignment_feeds_local_assembly(self, contig_and_genome):
+        """End-assigned reads let the kernel extend the contig correctly."""
+        genome, contig, rng = contig_and_genome
+        reads = ReadSet()
+        for i in range(30):
+            start = int(rng.integers(0, len(genome) - 100))
+            reads.append(sequence_read(genome, start, 100, rng, PERFECT_READS,
+                                       name=f"r{i}"))
+        assign_reads_to_ends([contig], reads)
+        from repro.core.extension import PRODUCTION_POLICY
+        from repro.kernels import CudaLocalAssemblyKernel
+        from repro.simt.device import A100
+
+        res = CudaLocalAssemblyKernel(A100, policy=PRODUCTION_POLICY).run(
+            [contig], 21)
+        right, _ = res.right[0]
+        left, _ = res.left[0]
+        truth = decode(genome)
+        assert (left + contig.sequence + right) in truth

@@ -1,0 +1,131 @@
+"""Tests for the Smith-Waterman aligners (reference + banded wavefront)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SequenceError
+from repro.genomics.dna import decode, random_sequence
+from repro.metahipmer.smith_waterman import (
+    BandedAligner,
+    LocalAlignment,
+    smith_waterman,
+)
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=40)
+
+
+class TestReference:
+    def test_identical_sequences(self):
+        a = smith_waterman("GATTACA", "GATTACA")
+        assert a.score == 7
+        assert (a.query_start, a.query_end) == (0, 6)
+        assert (a.target_start, a.target_end) == (0, 6)
+
+    def test_exact_substring(self):
+        a = smith_waterman("TACA", "GATTACAGG")
+        assert a.score == 4
+        assert (a.target_start, a.target_end) == (3, 6)
+        assert a.query_span == a.target_span == 4
+
+    def test_mismatch_scoring(self):
+        # ACGT vs ACTT: best local is AC (2) or ...T? match2+mismatch-3+match1=0
+        a = smith_waterman("ACGT", "ACTT")
+        assert a.score == 2
+
+    def test_gap_scoring(self):
+        # deletion of one base: AACCTT vs AACTT
+        a = smith_waterman("AACCTT", "AACTT")
+        # alignment AAC-TT: 5 matches + 1 gap = 5 - 3 = 2... or local AAC (3)
+        # plus TT (2) separated: best single local = max(3, 2, 5-3)
+        assert a.score == 3
+
+    def test_no_similarity(self):
+        a = smith_waterman("AAAA", "CCCC")
+        assert a.score == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(SequenceError):
+            smith_waterman("", "ACGT")
+
+    @given(dna)
+    def test_self_alignment_is_length(self, s):
+        assert smith_waterman(s, s).score == len(s)
+
+    @given(dna, dna)
+    def test_symmetry_of_score(self, a, b):
+        assert smith_waterman(a, b).score == smith_waterman(b, a).score
+
+    @given(dna, dna)
+    def test_score_bounded_by_shorter(self, a, b):
+        assert 0 <= smith_waterman(a, b).score <= min(len(a), len(b))
+
+    def test_spans_property(self):
+        a = LocalAlignment(5, 2, 6, 10, 14)
+        assert a.query_span == 5 and a.target_span == 5
+
+
+class TestBanded:
+    def test_matches_reference_identical(self):
+        out = BandedAligner().align("GATTACAGATTACA", "GATTACAGATTACA")
+        assert out.score == 14
+        assert out.query_end == 13 and out.target_end == 13
+
+    def test_matches_reference_with_errors(self):
+        rng = np.random.default_rng(0)
+        t = decode(random_sequence(80, rng))
+        q = list(t[10:60])
+        q[20] = "A" if q[20] != "A" else "C"  # one substitution
+        q = "".join(q)
+        ref = smith_waterman(q, t)
+        banded = BandedAligner(band=16).align(q, t, diag_offset=10)
+        assert banded.score == ref.score
+        assert banded.target_end == ref.target_end
+
+    def test_handles_indel_within_band(self):
+        rng = np.random.default_rng(1)
+        t = decode(random_sequence(60, rng))
+        q = t[5:25] + t[26:50]  # one deletion
+        ref = smith_waterman(q, t)
+        banded = BandedAligner(band=8).align(q, t, diag_offset=5)
+        assert banded.score == ref.score
+
+    def test_diag_offset_required_for_shifted_match(self):
+        rng = np.random.default_rng(2)
+        t = decode(random_sequence(100, rng))
+        q = t[60:90]
+        centered = BandedAligner(band=4).align(q, t, diag_offset=60)
+        off = BandedAligner(band=4).align(q, t, diag_offset=0)
+        assert centered.score == 30
+        assert off.score < 30  # match lies outside the unshifted band
+
+    def test_rejects_bad_band(self):
+        with pytest.raises(SequenceError):
+            BandedAligner(band=0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(SequenceError):
+            BandedAligner().align("", "ACGT")
+
+    @settings(max_examples=40, deadline=None)
+    @given(dna, dna)
+    def test_wide_band_equals_reference(self, q, t):
+        """Property: with a band covering the whole matrix, the wavefront
+        implementation computes exactly the reference score."""
+        band = len(q) + len(t) + 1
+        ref = smith_waterman(q, t)
+        got = BandedAligner(band=band).align(q, t)
+        assert got.score == ref.score
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_read_to_contig_use_case(self, seed):
+        """Seeded banded alignment recovers noisy read placements."""
+        rng = np.random.default_rng(seed)
+        t = decode(random_sequence(200, rng))
+        start = int(rng.integers(0, 100))
+        q = t[start : start + 80]
+        got = BandedAligner(band=8).align(q, t, diag_offset=start)
+        assert got.score == 80
+        assert got.target_end == start + 79

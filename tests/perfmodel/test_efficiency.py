@@ -1,0 +1,49 @@
+"""Tests for architectural and algorithm efficiency (Tables IV/VII)."""
+
+import pytest
+
+from repro.perfmodel.efficiency import algorithm_efficiency, architectural_efficiency
+from repro.perfmodel.theoretical import theoretical_ii
+from repro.simt.counters import KernelProfile
+from repro.simt.device import A100
+
+
+def _profile(intops, hbm_bytes, seconds):
+    p = KernelProfile()
+    p.intops = intops
+    p.hbm_bytes = hbm_bytes
+    p.seconds = seconds
+    return p
+
+
+class TestArchitectural:
+    def test_compute_bound_fraction(self):
+        # II=10 (compute bound): ceiling 358; achieved 35.8 -> 10%
+        p = _profile(int(35.8e9), 3.58e9, 1.0)
+        assert architectural_efficiency(p, A100) == pytest.approx(0.1)
+
+    def test_memory_bound_fraction(self):
+        # II=0.1: ceiling = 155.5; achieved 15.55 -> 10%
+        p = _profile(int(15.55e9), 155.5e9, 1.0)
+        assert architectural_efficiency(p, A100) == pytest.approx(0.1)
+
+    def test_capped_at_one(self):
+        p = _profile(int(1e12), 1e9, 0.1)
+        assert architectural_efficiency(p, A100) == 1.0
+
+
+class TestAlgorithm:
+    def test_fraction_of_theoretical(self):
+        ii = theoretical_ii(21)
+        p = _profile(int(ii / 2 * 1e9), 1e9, 1.0)  # empirical II = theory/2
+        assert algorithm_efficiency(p, 21) == pytest.approx(0.5)
+
+    def test_capped_at_one(self):
+        p = _profile(int(100e9), 1e9, 1.0)  # II = 100 >> theory
+        assert algorithm_efficiency(p, 21) == 1.0
+
+    def test_depends_on_k(self):
+        p = _profile(int(2.4e9), 1e9, 1.0)  # II = 2.4
+        # theoretical II barely changes with k, so efficiencies are close
+        # but not equal
+        assert algorithm_efficiency(p, 21) != algorithm_efficiency(p, 55)

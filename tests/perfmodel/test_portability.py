@@ -1,0 +1,59 @@
+"""Tests for the Pennycook performance-portability metric."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ModelError
+from repro.perfmodel.portability import pennycook
+
+effs = st.lists(st.floats(0.01, 1.0), min_size=1, max_size=6)
+
+
+class TestPennycook:
+    def test_single_platform(self):
+        assert pennycook([0.5]) == 0.5
+
+    def test_equal_efficiencies(self):
+        assert pennycook([0.2, 0.2, 0.2]) == pytest.approx(0.2)
+
+    def test_harmonic_mean(self):
+        # 2 / (1/0.5 + 1/0.25) = 2/6
+        assert pennycook([0.5, 0.25]) == pytest.approx(1 / 3)
+
+    def test_zero_platform_zeroes_metric(self):
+        assert pennycook([0.9, 0.0, 0.9]) == 0.0
+
+    def test_paper_table4_row(self):
+        # Table IV k=21: 12.8%, 15.1%, 15.6% -> P = 14.4%
+        assert pennycook([0.128, 0.151, 0.156]) == pytest.approx(0.144, abs=0.001)
+
+    def test_paper_table7_row(self):
+        # Table VII k=21: 17.1%, 55.4%, 13.4%. The true harmonic mean is
+        # 19.8%; the paper prints 18.0% (its arithmetic is slightly off —
+        # Table IV's rows all check out, see test above).
+        assert pennycook([0.171, 0.554, 0.134]) == pytest.approx(0.198, abs=0.001)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ModelError):
+            pennycook([])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ModelError):
+            pennycook([1.2])
+        with pytest.raises(ModelError):
+            pennycook([-0.1])
+
+    @given(effs)
+    def test_bounded_by_min_and_max(self, es):
+        p = pennycook(es)
+        assert min(es) - 1e-12 <= p <= max(es) + 1e-12
+
+    @given(effs)
+    def test_below_arithmetic_mean(self, es):
+        """Harmonic mean never exceeds the arithmetic mean."""
+        assert pennycook(es) <= sum(es) / len(es) + 1e-12
+
+    @given(st.floats(0.01, 1.0), st.integers(1, 5))
+    def test_identical_platforms(self, e, n):
+        assert pennycook([e] * n) == pytest.approx(e)

@@ -1,0 +1,75 @@
+"""Tests for the INTOP roofline model."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ModelError
+from repro.perfmodel.roofline import roofline_ceiling, roofline_point, roofline_series
+from repro.simt.counters import KernelProfile
+from repro.simt.device import A100, MAX1550
+
+
+def _profile(intops, hbm_bytes, seconds):
+    p = KernelProfile()
+    p.intops = intops
+    p.hbm_bytes = hbm_bytes
+    p.seconds = seconds
+    return p
+
+
+class TestCeiling:
+    def test_memory_bound_region(self):
+        # below machine balance (0.23): ceiling = II * BW
+        assert roofline_ceiling(A100, 0.1) == pytest.approx(0.1 * 1555.0)
+
+    def test_compute_bound_region(self):
+        assert roofline_ceiling(A100, 10.0) == 358.0
+
+    def test_ridge_point(self):
+        mb = A100.machine_balance
+        assert roofline_ceiling(A100, mb) == pytest.approx(358.0, rel=1e-6)
+
+    def test_rejects_nonpositive_ii(self):
+        with pytest.raises(ModelError):
+            roofline_ceiling(A100, 0.0)
+
+    @given(st.floats(1e-3, 1e3))
+    def test_ceiling_never_exceeds_peak(self, ii):
+        assert roofline_ceiling(A100, ii) <= 358.0
+
+
+class TestPoint:
+    def test_compute_bound_classification(self):
+        p = _profile(int(10e9), 1e9, 0.1)  # II = 10
+        pt = roofline_point(p, A100)
+        assert pt.bound == "compute"
+        assert pt.ii == pytest.approx(10.0)
+        assert pt.gintops_per_s == pytest.approx(100.0)
+        assert pt.fraction_of_ceiling == pytest.approx(100 / 358)
+
+    def test_memory_bound_classification(self):
+        p = _profile(int(1e9), 1e10, 0.1)  # II = 0.1 < 0.23
+        pt = roofline_point(p, A100)
+        assert pt.bound == "memory"
+        assert pt.ceiling_gintops == pytest.approx(0.1 * 1555.0)
+
+    def test_intel_lower_balance(self):
+        # II = 0.15 is memory-bound on A100 (0.23) but compute-bound on
+        # the Max 1550 (0.09)
+        p = _profile(int(1.5e9), 1e10, 0.1)
+        assert roofline_point(p, A100).bound == "memory"
+        assert roofline_point(p, MAX1550).bound == "compute"
+
+
+class TestSeries:
+    def test_shape_and_monotonicity(self):
+        ii, ceil = roofline_series(A100, 0.01, 10, n=50)
+        assert ii.shape == ceil.shape == (50,)
+        assert (np.diff(ceil) >= -1e9).all()
+        assert ceil.max() == pytest.approx(358.0)
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ModelError):
+            roofline_series(A100, 1.0, 0.5)

@@ -1,0 +1,60 @@
+"""Tests for the potential speed-up plot (Figure 9)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ModelError
+from repro.perfmodel.speedup import (
+    SpeedupPoint,
+    iso_curve,
+    iso_curve_levels,
+    speedup_point,
+)
+
+
+class TestPoint:
+    def test_axes(self):
+        p = speedup_point("A100", 21, alg_eff=0.25, arch_eff=0.2)
+        assert p.speedup_by_improving_ai == pytest.approx(4.0)
+        assert p.speedup_by_improving_performance == pytest.approx(5.0)
+        assert p.combined_potential == pytest.approx(20.0)
+
+    def test_perfect_kernel(self):
+        p = speedup_point("X", 33, 1.0, 1.0)
+        assert p.combined_potential == 1.0
+
+    def test_zero_efficiency_infinite_potential(self):
+        p = speedup_point("X", 33, 0.0, 0.5)
+        assert p.speedup_by_improving_ai == float("inf")
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ModelError):
+            SpeedupPoint("X", 21, 1.5, 0.5)
+        with pytest.raises(ModelError):
+            SpeedupPoint("X", 21, 0.5, -0.1)
+
+    @given(st.floats(0.01, 1.0), st.floats(0.01, 1.0))
+    def test_reciprocal_relation(self, a, b):
+        p = speedup_point("X", 21, a, b)
+        assert p.speedup_by_improving_ai == pytest.approx(1 / a)
+        assert p.speedup_by_improving_performance == pytest.approx(1 / b)
+
+
+class TestIsoCurves:
+    def test_levels_match_figure(self):
+        assert iso_curve_levels() == (1.0, 1.33, 2.0, 4.0, 8.0, 16.0, 32.0)
+
+    def test_curve_lies_on_level(self):
+        for x, y in iso_curve(4.0):
+            if y < 1.0:  # away from the clamp
+                assert 1.0 / (x * y) == pytest.approx(4.0, rel=1e-6)
+
+    def test_curve_within_unit_box(self):
+        for level in iso_curve_levels():
+            for x, y in iso_curve(level):
+                assert 0 < x <= 1.0 and 0 < y <= 1.0
+
+    def test_rejects_sub_one_level(self):
+        with pytest.raises(ModelError):
+            iso_curve(0.5)

@@ -1,0 +1,58 @@
+"""Theoretical II model must reproduce paper Table VI exactly."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ModelError
+from repro.perfmodel import theoretical as th
+
+# Table VI of the paper, verbatim.
+TABLE_VI = {
+    21: (430, 89, 4.831),
+    33: (610, 125, 4.880),
+    55: (914, 191, 4.785),
+    77: (1270, 257, 4.942),
+}
+
+
+@pytest.mark.parametrize("k", sorted(TABLE_VI))
+def test_intops_per_loop_cycle(k):
+    assert th.intops_per_loop_cycle(k) == TABLE_VI[k][0]
+
+
+@pytest.mark.parametrize("k", sorted(TABLE_VI))
+def test_bytes_per_loop_cycle(k):
+    assert th.bytes_per_loop_cycle(k) == TABLE_VI[k][1]
+
+
+@pytest.mark.parametrize("k", sorted(TABLE_VI))
+def test_theoretical_ii(k):
+    assert th.theoretical_ii(k) == pytest.approx(TABLE_VI[k][2], abs=0.001)
+
+
+def test_equation_2_construct_bytes():
+    # B1 = 2k + 13
+    assert th.construct_bytes(21) == 55
+    assert th.construct_bytes(77) == 167
+
+
+def test_equation_3_lookup_bytes():
+    # B2 = k + 13
+    assert th.lookup_bytes(21) == 34
+    assert th.lookup_bytes(77) == 90
+
+
+@given(st.integers(1, 1000))
+def test_ii_is_ratio(k):
+    assert th.theoretical_ii(k) == pytest.approx(
+        th.intops_per_loop_cycle(k) / th.bytes_per_loop_cycle(k)
+    )
+
+
+@given(st.integers(min_value=-5, max_value=0))
+def test_rejects_nonpositive(k):
+    with pytest.raises(ModelError):
+        th.construct_bytes(k)
+    with pytest.raises(ModelError):
+        th.lookup_bytes(k)

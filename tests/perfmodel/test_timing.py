@@ -1,0 +1,120 @@
+"""Tests for the timing model (issue / memory / latency bounds)."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.perfmodel.timing import (
+    TimingBreakdown,
+    apply_timing,
+    extrapolate_profile,
+    predict_time,
+)
+from repro.simt.counters import KernelProfile
+from repro.simt.device import A100, MAX1550, MI250X
+
+
+def _profile(construct=int(1e9), walk=int(1e8), hbm=1e9, warp=32,
+             c_chain=0.0, w_chain=0.0):
+    p = KernelProfile(warp_size=warp, walk_issue_width=warp)
+    p.construct_intops = construct
+    p.walk_intops = walk
+    p.intops = construct + walk
+    p.hbm_bytes = hbm
+    p.construct_chain_cycles = c_chain
+    p.walk_chain_cycles = w_chain
+    return p
+
+
+class TestPredict:
+    def test_construct_issue_time(self):
+        p = _profile(construct=int(358e9), walk=0, hbm=0)
+        bd = predict_time(p, A100)
+        assert bd.construct_issue == pytest.approx(1.0 / A100.pipeline_efficiency,
+                                                   rel=1e-6)
+
+    def test_walk_charged_full_warp_width(self):
+        """The predication penalty: 1 active lane costs warp_size slots."""
+        p32 = _profile(construct=0, walk=int(1e9), warp=32)
+        p64 = _profile(construct=0, walk=int(1e9), warp=64)
+        assert predict_time(p64, MI250X).walk_issue > predict_time(p32, A100).walk_issue
+
+    def test_memory_time(self):
+        p = _profile(hbm=1555e9 * A100.memory_efficiency)
+        assert predict_time(p, A100).memory == pytest.approx(1.0)
+
+    def test_latency_from_chains(self):
+        p = _profile(w_chain=1.41e9)  # one second of A100 cycles
+        bd = predict_time(p, A100)
+        assert bd.walk_latency == pytest.approx(1.0)
+
+    def test_total_is_max_of_resources(self):
+        p = _profile(construct=int(1e6), walk=0, hbm=1e12)
+        bd = predict_time(p, A100)
+        assert bd.bound == "memory"
+        assert bd.total == bd.memory
+
+    def test_phases_serialize_in_issue(self):
+        bd = TimingBreakdown(1.0, 2.0, 0.1, 0.0, 0.0)
+        assert bd.issue == 3.0
+        assert bd.total == 3.0
+        assert bd.bound == "issue"
+
+    def test_rejects_empty_profile(self):
+        with pytest.raises(ModelError):
+            predict_time(KernelProfile(), A100)
+
+    def test_intel_uses_timing_peak(self):
+        """The Max 1550 timing peak differs from its roofline ceiling."""
+        p = _profile(construct=int(1e9), walk=0, hbm=0)
+        bd = predict_time(p, MAX1550)
+        expected = 1e9 / (MAX1550.timing_peak_gintops * 1e9)
+        assert bd.construct_issue == pytest.approx(expected)
+
+
+class TestApply:
+    def test_sets_seconds(self):
+        p = _profile()
+        bd = apply_timing(p, A100)
+        assert p.seconds == bd.total > 0
+
+    def test_scale_extrapolates_throughput_not_latency(self):
+        p = _profile(construct=int(1e9), walk=0, hbm=0, w_chain=1.41e7)
+        full = apply_timing(_profile(construct=int(1e9), walk=0, hbm=0,
+                                     w_chain=1.41e7), A100, parallel_scale=1.0)
+        half = apply_timing(p, A100, parallel_scale=0.5)
+        assert half.construct_issue == pytest.approx(2 * full.construct_issue)
+        assert half.walk_latency == pytest.approx(full.walk_latency)
+
+
+class TestExtrapolateProfile:
+    def test_counters_scale(self):
+        p = _profile()
+        p.inserts = 100
+        full = extrapolate_profile(p, A100, 0.25)
+        assert full.inserts == 400
+        assert full.intops == 4 * p.intops
+        assert full.hbm_bytes == pytest.approx(4 * p.hbm_bytes)
+
+    def test_chains_do_not_scale(self):
+        p = _profile(w_chain=5.0)
+        full = extrapolate_profile(p, A100, 0.1)
+        assert full.walk_chain_cycles == 5.0
+
+    def test_consistency_of_derived_metrics(self):
+        p = _profile()
+        full = extrapolate_profile(p, A100, 0.5)
+        # II is scale-invariant (both counters scale together)
+        assert full.intop_intensity == pytest.approx(p.intop_intensity)
+        assert full.seconds > 0
+
+    def test_original_untouched(self):
+        p = _profile()
+        before = p.intops
+        extrapolate_profile(p, A100, 0.5)
+        assert p.intops == before
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ModelError):
+            extrapolate_profile(_profile(), A100, 0.0)
+        with pytest.raises(ModelError):
+            extrapolate_profile(_profile(), A100, 2.0)

@@ -1,0 +1,72 @@
+"""Tests for KernelProfile counters and derived metrics."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.simt.counters import KernelProfile
+
+
+def _profile(**kw):
+    p = KernelProfile()
+    for k, v in kw.items():
+        setattr(p, k, v)
+    return p
+
+
+class TestDerived:
+    def test_gintops(self):
+        assert _profile(intops=2_500_000_000).gintops == 2.5
+
+    def test_intensity(self):
+        p = _profile(intops=1000, hbm_bytes=500.0)
+        assert p.intop_intensity == 2.0
+
+    def test_intensity_requires_bytes(self):
+        with pytest.raises(ModelError):
+            _ = _profile(intops=10).intop_intensity
+
+    def test_gintops_per_second(self):
+        p = _profile(intops=2_000_000_000, seconds=0.5)
+        assert p.gintops_per_second == 4.0
+
+    def test_gintops_per_second_requires_time(self):
+        with pytest.raises(ModelError):
+            _ = _profile(intops=10).gintops_per_second
+
+    def test_active_lane_fraction(self):
+        p = _profile(warp_instructions=100, lane_instructions=1600, warp_size=32)
+        assert p.active_lane_fraction == 0.5
+
+    def test_active_lane_fraction_empty(self):
+        assert KernelProfile().active_lane_fraction == 0.0
+
+    def test_mean_insert_probes(self):
+        p = _profile(inserts=10, insert_probe_iterations=15)
+        assert p.mean_insert_probes == 1.5
+
+    def test_cache_hit_fraction(self):
+        p = _profile(l1_hit_bytes=60.0, l2_hit_bytes=20.0, hbm_bytes=20.0)
+        assert p.cache_hit_fraction == pytest.approx(0.8)
+
+
+class TestMerge:
+    def test_merge_accumulates(self):
+        a = _profile(intops=10, inserts=2, hbm_bytes=5.0, walk_chain_cycles=1.0)
+        b = _profile(intops=20, inserts=3, hbm_bytes=7.0, walk_chain_cycles=2.0)
+        a.merge(b)
+        assert a.intops == 30
+        assert a.inserts == 5
+        assert a.hbm_bytes == 12.0
+        assert a.walk_chain_cycles == 3.0
+
+    def test_merge_rejects_mixed_warp_sizes(self):
+        a = _profile(warp_instructions=5, warp_size=32)
+        b = _profile(warp_instructions=5, warp_size=64)
+        with pytest.raises(ModelError):
+            a.merge(b)
+
+    def test_merge_adopts_warp_size_when_fresh(self):
+        a = KernelProfile(warp_size=32)
+        b = _profile(warp_instructions=5, warp_size=64)
+        a.merge(b)
+        assert a.warp_size == 64

@@ -1,0 +1,107 @@
+"""Tests for simulated device specs (paper Tables I and III)."""
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.simt.device import (
+    A100,
+    MAX1550,
+    MI250X,
+    PLATFORMS,
+    CacheSpec,
+    DeviceSpec,
+    device_by_name,
+)
+
+
+class TestPaperConstants:
+    """The specs must carry the paper's published numbers verbatim."""
+
+    def test_table1_platforms(self):
+        assert [d.programming_model for d in PLATFORMS] == ["CUDA", "HIP", "SYCL"]
+        assert [d.compiler for d in PLATFORMS] == [
+            "CUDA 12.0", "ROCm 5.3.0", "Intel DPC++ 2023",
+        ]
+
+    def test_warp_sizes(self):
+        assert A100.warp_size == 32
+        assert MI250X.warp_size == 64
+        assert MAX1550.warp_size == 16
+
+    def test_table3_compute_units(self):
+        assert A100.compute_units == 108  # SMs
+
+    def test_table3_caches(self):
+        assert A100.l1.size_bytes == 192 * 1024
+        assert A100.l2.size_bytes == 40 * 1024 * 1024
+        assert MI250X.l2.size_bytes == 8 * 1024 * 1024  # per die (Fig 6 caption)
+        assert MAX1550.l2.size_bytes == 204 * 1024 * 1024  # per tile
+
+    def test_figure6_peaks(self):
+        assert A100.peak_gintops == 358.0
+        assert MI250X.peak_gintops == 374.0
+        assert MAX1550.peak_gintops == 105.0
+        assert A100.hbm_bw_gbps == 1555.0
+        assert MI250X.hbm_bw_gbps == 1600.0
+        assert MAX1550.hbm_bw_gbps == pytest.approx(1176.21)
+
+    def test_figure6_machine_balance(self):
+        assert A100.machine_balance == pytest.approx(0.23, abs=0.01)
+        assert MI250X.machine_balance == pytest.approx(0.23, abs=0.01)
+        assert MAX1550.machine_balance == pytest.approx(0.09, abs=0.01)
+
+    def test_nvidia_sector_vs_amd_line(self):
+        assert A100.l2.line_bytes == 32
+        assert MI250X.l2.line_bytes == 64
+
+
+class TestApi:
+    def test_lookup_by_name(self):
+        assert device_by_name("a100") is A100
+        assert device_by_name("MI250X") is MI250X
+
+    def test_lookup_unknown(self):
+        with pytest.raises(DeviceError, match="unknown device"):
+            device_by_name("H100")
+
+    def test_with_override(self):
+        small = A100.with_(l2=CacheSpec(1024 * 1024, 32, 200))
+        assert small.l2.size_bytes == 1024 * 1024
+        assert A100.l2.size_bytes == 40 * 1024 * 1024  # original untouched
+        assert small.name == "A100"
+
+    def test_total_resident_warps(self):
+        assert A100.total_resident_warps == 108 * 32
+
+    def test_invalid_cache(self):
+        with pytest.raises(DeviceError):
+            CacheSpec(0, 32, 10)
+
+    def test_invalid_efficiency(self):
+        with pytest.raises(DeviceError):
+            A100.with_(pipeline_efficiency=0.0)
+        with pytest.raises(DeviceError):
+            A100.with_(memory_efficiency=1.5)
+
+
+class TestFullBoard:
+    def test_doubles_multi_die_devices(self):
+        from repro.simt.device import full_board
+
+        fb = full_board(MI250X)
+        assert fb.compute_units == 220
+        assert fb.l2.size_bytes == 16 * 1024 * 1024
+        assert fb.peak_gintops == 748.0
+        assert fb.hbm_bw_gbps == 3200.0
+        assert fb.name == "MI250X-full"
+
+    def test_doubles_intel_timing_peak(self):
+        from repro.simt.device import full_board
+
+        fb = full_board(MAX1550)
+        assert fb.timing_peak_gintops == 2 * MAX1550.timing_peak_gintops
+
+    def test_a100_identity(self):
+        from repro.simt.device import full_board
+
+        assert full_board(A100) is A100

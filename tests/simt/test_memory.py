@@ -1,0 +1,217 @@
+"""Tests for the analytic cache model and the trace-driven cache sim."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModelError
+from repro.simt.device import A100, MI250X, CacheSpec
+from repro.simt.memory import (
+    STREAM_L1_HIT,
+    AccessCategory,
+    AnalyticCacheModel,
+    CacheSim,
+)
+
+
+def _cat(**kw):
+    defaults = dict(name="t", accesses=1000, bytes_per_access=16.0,
+                    working_set_per_warp=1024.0, pattern="random")
+    defaults.update(kw)
+    return AccessCategory(**defaults)
+
+
+class TestAccessCategory:
+    def test_rejects_bad_pattern(self):
+        with pytest.raises(ModelError):
+            _cat(pattern="zigzag")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ModelError):
+            _cat(accesses=-1)
+
+
+class TestAnalyticModel:
+    def test_small_working_set_hits_l1(self):
+        model = AnalyticCacheModel(A100, warps_in_flight=1)
+        l1, _ = model.hit_rates(_cat(working_set_per_warp=1024.0))
+        assert l1 == 1.0
+
+    def test_large_working_set_misses(self):
+        model = AnalyticCacheModel(A100, warps_in_flight=A100.total_resident_warps)
+        l1, l2 = model.hit_rates(_cat(working_set_per_warp=1_000_000.0))
+        assert l1 < 0.01
+        assert l2 < 0.1
+
+    def test_atomics_bypass_l1(self):
+        model = AnalyticCacheModel(A100, warps_in_flight=1)
+        l1, l2 = model.hit_rates(_cat(atomic=True, working_set_per_warp=64.0))
+        assert l1 == 0.0
+        assert l2 == 1.0  # tiny working set lives in L2
+
+    def test_stream_hits(self):
+        model = AnalyticCacheModel(A100, warps_in_flight=1000)
+        l1, _ = model.hit_rates(_cat(pattern="stream",
+                                     working_set_per_warp=1e9))
+        assert l1 == STREAM_L1_HIT
+
+    def test_bigger_l2_hits_more(self):
+        """The paper's core cache story: Intel-sized L2 beats AMD-sized L2."""
+        cat = _cat(working_set_per_warp=40_000.0, atomic=True)
+        amd = AnalyticCacheModel(MI250X, warps_in_flight=2000)
+        intel_like = AnalyticCacheModel(
+            MI250X.with_(l2=CacheSpec(204 * 1024 * 1024, 64, 220)),
+            warps_in_flight=2000,
+        )
+        assert intel_like.hit_rates(cat)[1] > amd.hit_rates(cat)[1]
+
+    def test_traffic_accumulates_per_category(self):
+        model = AnalyticCacheModel(A100, warps_in_flight=100)
+        traffic = model.traffic([_cat(name="a"), _cat(name="b")])
+        assert set(traffic.by_category) == {"a", "b"}
+        assert traffic.total_accessed_bytes > 0
+
+    def test_compulsory_floor(self):
+        model = AnalyticCacheModel(A100, warps_in_flight=1)
+        # everything hits caches, but the cold footprint must still move
+        traffic = model.traffic([_cat(working_set_per_warp=64.0)],
+                                cold_footprint_bytes=1e6)
+        assert traffic.hbm_bytes == 1e6
+        assert traffic.by_category["compulsory"] > 0
+
+    def test_writes_double_hbm_cost(self):
+        model = AnalyticCacheModel(A100, warps_in_flight=A100.total_resident_warps)
+        big = 10_000_000.0
+        r = model.traffic([_cat(working_set_per_warp=big)])
+        w = model.traffic([_cat(working_set_per_warp=big, writes=True)])
+        assert w.hbm_bytes == pytest.approx(2 * r.hbm_bytes)
+
+    def test_l2_churn_reduces_hits(self):
+        cat = _cat(working_set_per_warp=30_000.0)
+        base = AnalyticCacheModel(A100, warps_in_flight=2000, l2_churn=1.0)
+        churned = AnalyticCacheModel(A100, warps_in_flight=2000, l2_churn=8.0)
+        assert churned.hit_rates(cat)[1] < base.hit_rates(cat)[1]
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ModelError):
+            AnalyticCacheModel(A100, warps_in_flight=0)
+        with pytest.raises(ModelError):
+            AnalyticCacheModel(A100, warps_in_flight=1, l2_churn=0.5)
+
+    def test_transactions_round_to_lines(self):
+        """A 1-byte miss still moves a whole line/sector."""
+        model = AnalyticCacheModel(A100, warps_in_flight=A100.total_resident_warps)
+        tiny = model.traffic([_cat(bytes_per_access=1.0,
+                                   working_set_per_warp=1e9, accesses=100)])
+        assert tiny.hbm_bytes >= 100 * A100.l2.line_bytes * 0.9
+
+
+class TestCacheSim:
+    def _spec(self, size=1024, line=64):
+        return CacheSpec(size_bytes=size, line_bytes=line, latency_cycles=10)
+
+    def test_cold_miss_then_hit(self):
+        sim = CacheSim(self._spec())
+        assert sim.access(0) is False
+        assert sim.access(0) is True
+        assert sim.access(63) is True  # same line
+        assert sim.access(64) is False  # next line
+
+    def test_capacity_eviction(self):
+        sim = CacheSim(self._spec(size=256, line=64), ways=4)  # 4 lines, 1 set
+        for a in range(0, 5 * 64, 64):
+            sim.access(a)
+        assert sim.access(0) is False  # LRU-evicted
+
+    def test_lru_order(self):
+        sim = CacheSim(self._spec(size=256, line=64), ways=4)
+        for a in (0, 64, 128, 192):
+            sim.access(a)
+        sim.access(0)        # refresh line 0
+        sim.access(256)      # evicts line 64 (LRU), not line 0
+        assert sim.access(0) is True
+        assert sim.access(64) is False
+
+    def test_hit_rate_and_reset(self):
+        sim = CacheSim(self._spec())
+        sim.access_trace(np.array([0, 0, 0, 64]))
+        assert sim.hit_rate == pytest.approx(0.5)
+        sim.reset_stats()
+        assert sim.hits == sim.misses == 0
+
+    def test_rejects_tiny_cache(self):
+        with pytest.raises(ModelError):
+            CacheSim(self._spec(size=64, line=64), ways=8)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(0, 2**20), min_size=1, max_size=300))
+    def test_repeat_trace_all_hits(self, addrs):
+        """Property: replaying a trace that fits in cache hits 100%."""
+        unique_lines = {a // 64 for a in addrs}
+        if len(unique_lines) > 8:
+            return
+        sim = CacheSim(self._spec(size=64 * 64), ways=64)
+        sim.access_trace(np.array(addrs))
+        sim.reset_stats()
+        hits = sim.access_trace(np.array(addrs))
+        assert hits.all()
+
+    def test_validates_analytic_model_direction(self):
+        """Trace sim and analytic model agree on which working set misses more."""
+        rng = np.random.default_rng(0)
+        spec = self._spec(size=8 * 1024, line=64)
+        small_ws = rng.integers(0, 4 * 1024, size=4000)
+        large_ws = rng.integers(0, 256 * 1024, size=4000)
+        sim_small = CacheSim(spec)
+        sim_small.access_trace(small_ws)
+        sim_large = CacheSim(spec)
+        sim_large.access_trace(large_ws)
+        assert sim_small.hit_rate > sim_large.hit_rate
+        # analytic: min(1, C/W) predicts the same ordering
+        assert min(1, 8192 / 4096) > min(1, 8192 / 262144)
+
+
+class TestCacheHierarchy:
+    def _hier(self):
+        from repro.simt.device import A100
+        from repro.simt.memory import CacheHierarchy
+
+        # shrink caches so eviction is testable
+        dev = A100.with_(
+            l1=CacheSpec(1024, 64, 10), l2=CacheSpec(8 * 1024, 64, 100)
+        )
+        return CacheHierarchy(dev)
+
+    def test_levels_in_order(self):
+        h = self._hier()
+        assert h.access(0) == "hbm"     # cold
+        assert h.access(0) == "l1"      # now resident
+        h.reset_stats()
+        assert h.access(0) == "l1"
+
+    def test_atomic_bypasses_l1(self):
+        h = self._hier()
+        h.access(0)          # warms L1 and L2
+        assert h.access(0, atomic=True) == "l2"
+
+    def test_l2_catches_l1_evictions(self):
+        h = self._hier()
+        # touch more lines than L1 holds (16) but fewer than L2 (128)
+        for a in range(0, 32 * 64, 64):
+            h.access(a)
+        level = h.access(0)
+        assert level == "l2"
+
+    def test_hbm_byte_accounting(self):
+        h = self._hier()
+        counts = h.access_trace(np.arange(0, 10 * 64, 64))
+        assert counts["hbm"] == 10
+        assert h.hbm_bytes == 10 * 64
+
+    def test_reset(self):
+        h = self._hier()
+        h.access_trace(np.arange(0, 640, 64))
+        h.reset_stats()
+        assert h.hbm_transactions == 0
+        assert h.l1.hits == h.l2.hits == 0
