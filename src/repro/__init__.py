@@ -31,7 +31,11 @@ from repro.genomics.simulate import ScenarioSpec, simulate_batch
 from repro.kernels import (
     CudaLocalAssemblyKernel,
     HipLocalAssemblyKernel,
+    ScalarReferenceBackend,
     SyclLocalAssemblyKernel,
+    available_backends,
+    backend_for_device,
+    create_backend,
     kernel_for_device,
 )
 from repro.simt.device import A100, MAX1550, MI250X, PLATFORMS
@@ -51,7 +55,11 @@ __all__ = [
     "simulate_batch",
     "CudaLocalAssemblyKernel",
     "HipLocalAssemblyKernel",
+    "ScalarReferenceBackend",
     "SyclLocalAssemblyKernel",
+    "available_backends",
+    "backend_for_device",
+    "create_backend",
     "kernel_for_device",
     "A100",
     "MI250X",

@@ -15,8 +15,8 @@ from repro.core.extension import PRODUCTION_POLICY, WalkPolicy
 from repro.datasets.characteristics import TABLE_II, measure_characteristics
 from repro.datasets.generate import generate_paper_dataset
 from repro.hashing.opcount import hash_intops_breakdown
-from repro.kernels import kernel_for_device
-from repro.kernels.base import KernelRunResult
+from repro.kernels import backend_for_device
+from repro.kernels.engine import KernelRunResult
 from repro.perfmodel.efficiency import algorithm_efficiency, architectural_efficiency
 from repro.perfmodel.portability import pennycook
 from repro.perfmodel.roofline import roofline_point
@@ -84,7 +84,7 @@ class ExperimentSuite:
         """Execute (once) the device's kernel port on dataset ``k``."""
         key = (device.name, k)
         if key not in self._runs:
-            kern = kernel_for_device(device, policy=self.config.policy)
+            kern = backend_for_device(device, policy=self.config.policy)
             result = kern.run(self.dataset(k), k,
                               parallel_scale=self.config.scale)
             full = extrapolate_profile(result.profile, device,

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.extension import WalkState
-from repro.kernels.base import KernelRunResult
+from repro.kernels.engine import KernelRunResult
 
 
 @dataclass

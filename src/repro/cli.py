@@ -17,18 +17,25 @@ import json
 import sys
 
 from repro.analysis.experiments import ExperimentConfig, ExperimentSuite
-from repro.analysis.report import render_dict_table, render_table
+from repro.analysis.report import render_dict_table
 from repro.core.extension import PRODUCTION_POLICY
 from repro.datasets.generate import generate_paper_dataset
 from repro.genomics.io import read_dat, write_dat, write_fasta
-from repro.kernels import kernel_for_device
+from repro.kernels import available_backends, backend_for_device, create_backend
 from repro.simt.device import PLATFORMS, device_by_name
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
     contigs = read_dat(args.input)
     device = device_by_name(args.device)
-    kernel = kernel_for_device(device, policy=PRODUCTION_POLICY)
+    if args.backend == "auto":
+        kernel = backend_for_device(device, policy=PRODUCTION_POLICY)
+    elif args.backend == "scalar":
+        # the scalar reference has no device model; run it device-less
+        kernel = create_backend("scalar", policy=PRODUCTION_POLICY)
+    else:
+        kernel = create_backend(args.backend, device=device,
+                                policy=PRODUCTION_POLICY)
     result = kernel.run(contigs, args.k)
     records = []
     for i, c in enumerate(contigs):
@@ -119,6 +126,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("output")
     p_run.add_argument("--device", default="A100",
                        choices=[d.name for d in PLATFORMS])
+    p_run.add_argument("--backend", default="auto",
+                       choices=("auto",) + available_backends(),
+                       help="execution backend (auto = match the device's "
+                            "programming model)")
     p_run.set_defaults(func=_cmd_run)
 
     p_gen = sub.add_parser("generate", help="generate a Table II-style dataset")

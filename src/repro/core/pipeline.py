@@ -13,8 +13,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.core.construct import build_table
 from repro.core.extension import DEFAULT_POLICY, WalkPolicy, WalkState
 from repro.core.merwalk import DEFAULT_MAX_WALK_LEN, WalkResult, mer_walk
@@ -97,12 +95,17 @@ class LocalAssembler:
                 seed_kmer = reverse_complement(contig.end_kmer(k, End.LEFT))
             walk = mer_walk(table, seed_kmer, self.max_walk_len, self.policy)
             walks.append(walk)
-            if best is None or len(walk) > len(best):
+            # An accepted walk always beats a kept fork (even a longer
+            # one — the fork's bases are unresolved guesses); within the
+            # same acceptance class the longest extension wins.
+            if (
+                best is None
+                or (walk.accepted and not best.accepted)
+                or (walk.accepted == best.accepted and len(walk) > len(best))
+            ):
                 best = walk
-            if walk.accepted:
-                best = walk if len(walk) >= len(best) else best
-                if walk.state is not WalkState.MISSING:
-                    break
+            if walk.accepted and walk.state is not WalkState.MISSING:
+                break
         if best is None:
             best = WalkResult(bases="", state=WalkState.MISSING, steps=0,
                               k=self.k_schedule[0])

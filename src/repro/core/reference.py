@@ -17,7 +17,7 @@ from repro.core.extension import (
     resolve_extension,
 )
 from repro.genomics.contig import Contig, End
-from repro.genomics.dna import BASES, decode, reverse_complement
+from repro.genomics.dna import BASES, reverse_complement
 from repro.genomics.reads import ReadSet
 
 

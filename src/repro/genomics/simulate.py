@@ -27,7 +27,7 @@ import numpy as np
 from repro.errors import SequenceError
 from repro.genomics.contig import Contig
 from repro.genomics.dna import ALPHABET_SIZE, random_sequence
-from repro.genomics.reads import MAX_PHRED, Read, ReadSet
+from repro.genomics.reads import MAX_PHRED, Read
 
 
 @dataclass(frozen=True)

@@ -1,664 +1,40 @@
-"""The local-assembly SIMT kernel: shared machinery for all three ports.
+"""Compatibility shim over :mod:`repro.kernels.engine`.
 
-Execution model (Figure 4 of the paper): one contig per warp. The launch
-proceeds in two phases per kernel call:
+The kernel monolith that used to live here was split into the staged
+execution engine:
 
-1. **Construction** — lanes of each warp take consecutive k-mers of the
-   contig's reads, in *waves* of ``warp_size`` insertions; within a wave,
-   lanes probe their tables concurrently until every lane has inserted.
-   Hash collisions linear-probe; thread collisions (two lanes, same slot)
-   are resolved by an ``atomicCAS`` winner, with losers retrying per the
-   protocol (:class:`ProtocolCosts`) — within the same iteration for the
-   CUDA ``__match_any_sync`` port, on the next iteration for HIP/SYCL.
-2. **Walk** — one lane per warp mer-walks from the contig-end seed k-mer
-   while the other lanes are predicated off; the terminal state is
-   broadcast with a shuffle.
+* :mod:`repro.kernels.engine.prepare` — batch flattening + per-k hashing
+* :mod:`repro.kernels.engine.construct` — insertion waves + probe protocol
+* :mod:`repro.kernels.engine.walk` — the predicated mer-walk
+* :mod:`repro.kernels.engine.schedule` — bins -> launch plans -> launches
+* :mod:`repro.kernels.engine.events` — the instrumentation-hook layer
+* :mod:`repro.kernels.engine.backend` — the backend protocol + registry
+* :mod:`repro.kernels.engine.simt` — the driver composing the stages
 
-Everything is vectorized across warps: the Python-level loops are over
-probe iterations and walk steps, never over lanes or warps. Counters
-(:class:`repro.simt.counters.KernelProfile`) are updated from measured
-quantities; HBM traffic comes from the analytic cache model per batch.
+This module re-exports the public names (and the historically-private
+ones tests and tools reached for) so existing imports keep working.
+Import from :mod:`repro.kernels.engine` in new code.
 """
 
-from __future__ import annotations
-
-from dataclasses import dataclass, field
-
-import numpy as np
-
-from repro.core.binning import Bin, bin_contigs
-from repro.core.construct import (
-    DEFAULT_LOAD_FACTOR,
-    estimate_table_slots,
-    estimate_table_slots_upper_bound,
-    insertions_for,
+from repro.kernels.engine.backend import KernelRunResult, ProtocolCosts
+from repro.kernels.engine.events import ITERATION_BASE_INSTRS, WALK_STEP_INTOPS
+from repro.kernels.engine.prepare import (  # noqa: F401
+    _HASH_CHUNK,
+    Batch,
+    segmented_arange,
 )
-from repro.core.extension import (
-    DEFAULT_POLICY,
-    STATE_CODES,
-    WalkPolicy,
-    WalkState,
-    resolve_extension_batch,
-)
-from repro.core.merwalk import DEFAULT_MAX_WALK_LEN
-from repro.errors import KernelError
-from repro.genomics.contig import Contig, End
-from repro.genomics.dna import decode, reverse_complement
-from repro.genomics.kmer import fingerprint_matrix
-from repro.genomics.reads import DEFAULT_QUAL_THRESHOLD
-from repro.hashing.murmur import murmur2_batch
-from repro.hashing.opcount import hash_intops
-from repro.kernels.vectortable import (
-    SLOT_BYTES,
-    SLOT_TAG_BYTES,
-    SLOT_VALUE_BYTES,
-    WarpHashTables,
-)
-from repro.simt.counters import KernelProfile
-from repro.simt.device import DeviceSpec
-from repro.simt.memory import AccessCategory, AnalyticCacheModel
+from repro.kernels.engine.simt import LocalAssemblyKernel
 
-#: Warp instructions charged per probe iteration (loop bookkeeping).
-ITERATION_BASE_INSTRS = 10
+# Historical aliases (pre-engine private names).
+_Batch = Batch
+_segmented_arange = segmented_arange
 
-#: Thread-level integer ops per walk step outside the hash (state updates).
-WALK_STEP_INTOPS = 24
-
-#: Chunk size for the vectorized pre-hashing of insertion streams.
-_HASH_CHUNK = 1 << 18
-
-
-@dataclass(frozen=True)
-class ProtocolCosts:
-    """Where the three ports differ (paper Appendix A).
-
-    Attributes:
-        name: "CUDA" / "HIP" / "SYCL".
-        iteration_intops: extra integer ops per pending lane per probe
-            iteration (flag handling, mask computation, ...).
-        iteration_syncs: warp/sub-group synchronizations per active warp
-            per probe iteration (``__syncwarp(mask)``, ``__all``,
-            ``sg.barrier()``).
-        merges_in_iteration: True for the CUDA port, whose
-            ``__match_any_sync`` lets lanes that lost an ``atomicCAS`` to
-            a same-key winner merge their vote in the *same* iteration;
-            the HIP/SYCL ports make them retry on the next iteration.
-    """
-
-    name: str
-    iteration_intops: int
-    iteration_syncs: int
-    merges_in_iteration: bool
-
-
-@dataclass
-class _Batch:
-    """One bin's contigs prepared for one launch direction."""
-
-    contig_ids: list[int]
-    codes: np.ndarray
-    quals: np.ndarray
-    ins_warp: np.ndarray        # warp id per insertion, non-decreasing
-    ins_home: np.ndarray        # murmur digest per insertion
-    ins_fp: np.ndarray          # key fingerprint per insertion
-    ins_ext: np.ndarray         # extension base code per insertion
-    ins_hi: np.ndarray          # high-quality vote flag per insertion
-    seeds: np.ndarray           # (n_warps, k) seed k-mers
-    seed_valid: np.ndarray      # warps whose contig admits a seed
-    capacities: np.ndarray      # table slots per warp
-    read_bytes_per_warp: np.ndarray
-
-    @property
-    def n_warps(self) -> int:
-        return len(self.contig_ids)
-
-
-@dataclass
-class KernelRunResult:
-    """Functional + profiling output of :meth:`LocalAssemblyKernel.run`."""
-
-    device: DeviceSpec
-    k: int
-    profile: KernelProfile
-    right: list[tuple[str, WalkState]] = field(default_factory=list)
-    left: list[tuple[str, WalkState]] = field(default_factory=list)
-
-    def extension_of(self, i: int, end: End) -> tuple[str, WalkState]:
-        return self.right[i] if end is End.RIGHT else self.left[i]
-
-
-_CODE_TO_STATE = {v: k for k, v in STATE_CODES.items()}
-
-
-def _segmented_arange(counts: np.ndarray) -> np.ndarray:
-    """``[0..c0), [0..c1), ...`` concatenated, vectorized."""
-    counts = np.asarray(counts, dtype=np.int64)
-    total = int(counts.sum())
-    if total == 0:
-        return np.empty(0, dtype=np.int64)
-    starts = np.repeat(np.cumsum(counts) - counts, counts)
-    return np.arange(total, dtype=np.int64) - starts
-
-
-class LocalAssemblyKernel:
-    """Base class; subclasses set :attr:`protocol` and default warp size.
-
-    Args:
-        device: simulated GPU to run on.
-        warp_size: lane width; defaults to the device's native width
-            (the SYCL port exposes this as the sub-group size).
-        policy: walk vote-resolution thresholds.
-        max_walk_len: extension length cap.
-        qual_threshold: phred cut separating hi/low-quality votes.
-        seed: Murmur seed.
-        load_factor: hash-table occupancy target for size estimation.
-        table_sizing: "upper_bound" (default) reserves per-contig capacity
-            from the k-independent read-volume bound, as the GPU
-            pre-processing must (Figure 3: tables are sized once, before
-            the k iterations run); "exact" sizes from the actual insertion
-            count (the ablation comparison).
-        l2_churn: cache-model churn constant (see
-            :class:`repro.simt.memory.AnalyticCacheModel`).
-    """
-
-    protocol: ProtocolCosts  # set by subclasses
-
-    def __init__(
-        self,
-        device: DeviceSpec,
-        warp_size: int | None = None,
-        policy: WalkPolicy = DEFAULT_POLICY,
-        max_walk_len: int = DEFAULT_MAX_WALK_LEN,
-        qual_threshold: int = DEFAULT_QUAL_THRESHOLD,
-        seed: int = 0,
-        load_factor: float = DEFAULT_LOAD_FACTOR,
-        table_sizing: str = "upper_bound",
-        l2_churn: float = 4.0,
-        lane_parallel_walks: bool = False,
-    ) -> None:
-        if not hasattr(self, "protocol"):
-            raise KernelError("use a concrete kernel subclass, not the base")
-        if table_sizing not in ("upper_bound", "exact"):
-            raise KernelError(f"unknown table_sizing {table_sizing!r}")
-        self.device = device
-        self.warp_size = int(warp_size or device.warp_size)
-        if self.warp_size <= 0:
-            raise KernelError(f"warp_size must be positive, got {self.warp_size}")
-        self.policy = policy
-        self.max_walk_len = max_walk_len
-        self.qual_threshold = qual_threshold
-        self.seed = seed
-        self.load_factor = load_factor
-        self.table_sizing = table_sizing
-        self.l2_churn = l2_churn
-        #: Future-work mode (paper Section VI): with independent thread
-        #: scheduling, every lane of a warp can run its own mer-walk, so
-        #: walk instructions stop wasting warp_size-1 issue lanes.
-        self.lane_parallel_walks = lane_parallel_walks
-        #: When True, every table-slot access's byte address is recorded
-        #: into :attr:`last_trace` (one array per launch) so the analytic
-        #: cache model can be validated against the exact trace simulator.
-        self.record_trace = False
-        self.last_trace: list[np.ndarray] = []
-
-    # ------------------------------------------------------------------
-    # batch preparation
-    # ------------------------------------------------------------------
-
-    def _prepare(self, contigs: list[Contig], bin_: Bin, end: End, k: int) -> _Batch:
-        """Flatten one bin's contigs + reads into launch arrays."""
-        contig_ids = bin_.contig_indices
-        code_parts: list[np.ndarray] = []
-        qual_parts: list[np.ndarray] = []
-        read_warps: list[int] = []
-        read_lens: list[int] = []
-        seeds = np.zeros((len(contig_ids), k), dtype=np.uint8)
-        seed_valid = np.zeros(len(contig_ids), dtype=bool)
-        capacities = np.empty(len(contig_ids), dtype=np.int64)
-        read_bytes = np.zeros(len(contig_ids), dtype=np.int64)
-        for w, ci in enumerate(contig_ids):
-            contig = contigs[ci]
-            end_reads = contig.reads_for_end(end)
-            n_ins = 0
-            for r in end_reads:
-                codes = r.codes if end is End.RIGHT else reverse_complement(r.codes)
-                quals = r.quals if end is End.RIGHT else r.quals[::-1]
-                code_parts.append(codes)
-                qual_parts.append(np.ascontiguousarray(quals))
-                read_warps.append(w)
-                read_lens.append(len(codes))
-                n_ins += max(0, len(codes) - k)
-            if self.table_sizing == "upper_bound":
-                capacities[w] = estimate_table_slots_upper_bound(
-                    end_reads, self.load_factor
-                )
-            else:
-                capacities[w] = estimate_table_slots(n_ins, self.load_factor)
-            read_bytes[w] = 2 * end_reads.total_bases
-            if len(contig) >= k:
-                seed_valid[w] = True
-                seeds[w] = (
-                    contig.end_kmer(k, End.RIGHT)
-                    if end is End.RIGHT
-                    else reverse_complement(contig.end_kmer(k, End.LEFT))
-                )
-        codes = np.concatenate(code_parts) if code_parts else np.empty(0, np.uint8)
-        quals = np.concatenate(qual_parts) if qual_parts else np.empty(0, np.uint8)
-        lens = np.asarray(read_lens, dtype=np.int64)
-        offsets = np.zeros(lens.size + 1, dtype=np.int64)
-        np.cumsum(lens, out=offsets[1:])
-        n_ins_per_read = np.maximum(lens - k, 0)
-        starts = np.repeat(offsets[:-1], n_ins_per_read) + _segmented_arange(
-            n_ins_per_read
-        )
-        ins_warp = np.repeat(np.asarray(read_warps, dtype=np.int64), n_ins_per_read)
-
-        n = starts.size
-        ins_home = np.empty(n, dtype=np.uint32)
-        ins_fp = np.empty(n, dtype=np.uint64)
-        ins_ext = np.empty(n, dtype=np.uint8)
-        ins_hi = np.empty(n, dtype=bool)
-        col = np.arange(k, dtype=np.int64)
-        for lo in range(0, n, _HASH_CHUNK):
-            hi = min(lo + _HASH_CHUNK, n)
-            win = codes[starts[lo:hi, None] + col]
-            ins_home[lo:hi] = murmur2_batch(win, self.seed)
-            ins_fp[lo:hi] = fingerprint_matrix(win)
-            ext_pos = starts[lo:hi] + k
-            ins_ext[lo:hi] = codes[ext_pos]
-            ins_hi[lo:hi] = quals[ext_pos] >= self.qual_threshold
-        return _Batch(
-            contig_ids=list(contig_ids), codes=codes, quals=quals,
-            ins_warp=ins_warp, ins_home=ins_home, ins_fp=ins_fp,
-            ins_ext=ins_ext, ins_hi=ins_hi, seeds=seeds, seed_valid=seed_valid,
-            capacities=capacities, read_bytes_per_warp=read_bytes,
-        )
-
-    # ------------------------------------------------------------------
-    # construction phase
-    # ------------------------------------------------------------------
-
-    def _construct(self, batch: _Batch, tables: WarpHashTables, k: int,
-                   profile: KernelProfile, mem: dict) -> tuple[int, int]:
-        """Run all construction waves; returns the launch's serial chain as
-        ``(lockstep waves, lockstep probe iterations)``."""
-        W = self.warp_size
-        n_warps = batch.n_warps
-        ins_off = np.searchsorted(batch.ins_warp, np.arange(n_warps + 1))
-        n_ins_w = np.diff(ins_off)
-        max_waves = int(np.ceil(n_ins_w.max() / W)) if n_ins_w.size and n_ins_w.max() else 0
-        hash_ops = hash_intops(k)
-        chain = 0
-        waves_run = 0
-        for t in range(max_waves):
-            lo = ins_off[:-1] + t * W
-            hi = np.minimum(lo + W, ins_off[1:])
-            take = np.maximum(hi - lo, 0)
-            idx = np.repeat(lo, take) + _segmented_arange(take)
-            if idx.size == 0:
-                break
-            wave_warps = int(np.count_nonzero(take))
-            # every lane hashes its k-mer; the warp runs the hash code once
-            profile.intops += idx.size * hash_ops
-            profile.construct_intops += idx.size * hash_ops
-            profile.warp_instructions += wave_warps * hash_ops
-            profile.lane_instructions += idx.size * hash_ops
-            profile.inserts += idx.size
-            mem["read_stream"] += idx.size
-            waves_run += 1
-            chain += self._insert_wave(batch, tables, idx, profile, mem)
-        return waves_run, chain
-
-    def _insert_wave(self, batch: _Batch, tables: WarpHashTables,
-                     idx: np.ndarray, profile: KernelProfile, mem: dict) -> int:
-        """Probe until every lane of the wave has inserted; returns iterations."""
-        proto = self.protocol
-        warps = batch.ins_warp[idx]
-        homes = batch.ins_home[idx]
-        fps = batch.ins_fp[idx]
-        exts = batch.ins_ext[idx]
-        his = batch.ins_hi[idx]
-        n = idx.size
-        probe = np.zeros(n, dtype=np.int64)
-        pending = np.ones(n, dtype=bool)
-        iterations = 0
-        while pending.any():
-            iterations += 1
-            p = np.nonzero(pending)[0]
-            active_warps = int(np.unique(warps[p]).size)
-            per_lane_ops = ITERATION_BASE_INSTRS + proto.iteration_intops
-            profile.intops += p.size * per_lane_ops
-            profile.construct_intops += p.size * per_lane_ops
-            profile.warp_instructions += active_warps * per_lane_ops
-            profile.lane_instructions += p.size * per_lane_ops
-            profile.sync_ops += active_warps * proto.iteration_syncs
-            profile.insert_probe_iterations += p.size
-            profile.serial_depth += 1
-
-            slots = tables.slot_of(warps[p], homes[p], probe[p])
-            if self.record_trace:
-                self._trace_chunks.append(slots * SLOT_BYTES)
-            occupied, slot_fp = tables.inspect(slots)
-            mem["table_probe"] += p.size
-            mem["key_compare"] += int(np.count_nonzero(occupied))
-
-            done = np.zeros(p.size, dtype=bool)
-            match = occupied & (slot_fp == fps[p])
-            if match.any():
-                tables.vote(slots[match], exts[p[match]], his[p[match]])
-                profile.atomics += int(match.sum())
-                mem["table_vote"] += int(match.sum())
-                done |= match
-
-            empty = ~occupied
-            if empty.any():
-                e = np.nonzero(empty)[0]
-                winners_local = tables.claim(slots[e], fps[p[e]])
-                profile.atomics += e.size  # every empty observer issues a CAS
-                win = e[winners_local]
-                tables.vote(slots[win], exts[p[win]], his[p[win]])
-                mem["table_vote"] += win.size
-                done_claim = np.zeros(p.size, dtype=bool)
-                done_claim[win] = True
-                done |= done_claim
-                losers = e[~winners_local]
-                if proto.merges_in_iteration and losers.size:
-                    # __match_any_sync: losers whose key equals the fresh
-                    # winner's key merge their vote in this same iteration.
-                    now_fp = tables.fp[slots[losers]]
-                    same = now_fp == fps[p[losers]]
-                    m = losers[same]
-                    if m.size:
-                        tables.vote(slots[m], exts[p[m]], his[p[m]])
-                        profile.atomics += m.size
-                        mem["table_vote"] += m.size
-                        d = np.zeros(p.size, dtype=bool)
-                        d[m] = True
-                        done |= d
-                # HIP/SYCL losers retry next iteration at the same probe.
-
-            mismatch = occupied & ~match
-            probe[p[mismatch]] += 1
-            pending[p[done]] = False
-        return iterations
-
-    # ------------------------------------------------------------------
-    # walk phase
-    # ------------------------------------------------------------------
-
-    def _walk(self, batch: _Batch, tables: WarpHashTables, k: int,
-              profile: KernelProfile, mem: dict,
-              ) -> tuple[list[str], list[WalkState], int, int]:
-        """Mer-walk every warp's seed.
-
-        Returns ``(bases, states, lockstep steps, lockstep probe
-        iterations)`` — the last two measure the launch's serial walk
-        chain (all warps walk concurrently; the wall-clock floor is the
-        longest chain, which lockstep execution measures directly)."""
-        n_warps = batch.n_warps
-        hash_ops = hash_intops(k)
-        cur = batch.seeds.copy()
-        alive = batch.seed_valid.copy()
-        bases: list[list[str]] = [[] for _ in range(n_warps)]
-        states = [WalkState.MISSING] * n_warps
-        visited: list[set] = [set() for _ in range(n_warps)]
-        first_step = np.ones(n_warps, dtype=bool)
-        for w in np.nonzero(alive)[0]:
-            visited[w].add(int(fingerprint_matrix(cur[w][None, :])[0]))
-        chain = 0
-        steps_run = 0
-        for _step in range(self.max_walk_len + 1):
-            if not alive.any():
-                break
-            steps_run += 1
-            a = np.nonzero(alive)[0]
-            if _step == self.max_walk_len:
-                for w in a:
-                    states[w] = WalkState.MAX_LEN
-                break
-            homes = murmur2_batch(cur[a], self.seed)
-            fps = fingerprint_matrix(cur[a])
-            walk_ops = hash_ops + WALK_STEP_INTOPS
-            profile.intops += a.size * walk_ops
-            profile.walk_intops += a.size * walk_ops
-            if self.lane_parallel_walks:
-                # independent thread scheduling: one walk per lane, so
-                # ceil(walks / warp_size) warps execute each instruction
-                warps_walking = -(-a.size // self.warp_size)
-                profile.warp_instructions += warps_walking * walk_ops
-                profile.lane_instructions += a.size * walk_ops
-            else:
-                # one lane walks; the warp still issues every instruction
-                profile.warp_instructions += a.size * walk_ops
-                profile.lane_instructions += a.size * walk_ops // self.warp_size
-            profile.lookups += a.size
-            profile.sync_ops += a.size  # terminal-state shuffle broadcast
-
-            # probe for the key (or an empty slot = not present)
-            found_slot = np.full(a.size, -1, dtype=np.int64)
-            missing = np.zeros(a.size, dtype=bool)
-            probe = np.zeros(a.size, dtype=np.int64)
-            unresolved = np.ones(a.size, dtype=bool)
-            while unresolved.any():
-                chain += 1
-                profile.serial_depth += 1
-                u = np.nonzero(unresolved)[0]
-                profile.lookup_probe_iterations += u.size
-                profile.intops += u.size * ITERATION_BASE_INSTRS
-                profile.walk_intops += u.size * ITERATION_BASE_INSTRS
-                profile.warp_instructions += u.size * ITERATION_BASE_INSTRS
-                profile.lane_instructions += u.size * ITERATION_BASE_INSTRS // self.warp_size
-                slots = tables.slot_of(a[u], homes[u], probe[u])
-                if self.record_trace:
-                    self._trace_chunks.append(slots * SLOT_BYTES)
-                occupied, slot_fp = tables.inspect(slots)
-                mem["table_probe"] += u.size
-                mem["key_compare"] += int(np.count_nonzero(occupied))
-                hit = occupied & (slot_fp == fps[u])
-                found_slot[u[hit]] = slots[hit]
-                miss = ~occupied
-                missing[u[miss]] = True
-                probe[u[occupied & ~hit]] += 1
-                unresolved[u[hit | miss]] = False
-
-            # resolve extensions for found keys
-            res_states = np.full(a.size, -2, dtype=np.int8)
-            res_bases = np.full(a.size, -1, dtype=np.int8)
-            f = found_slot >= 0
-            if f.any():
-                hi_rows, lo_rows = tables.votes_at(found_slot[f])
-                mem["table_vote_read"] += int(f.sum())
-                s, b = resolve_extension_batch(hi_rows, lo_rows, self.policy)
-                res_states[f] = s
-                res_bases[f] = b
-
-            next_alive = alive.copy()
-            for j, w in enumerate(a):
-                if missing[j]:
-                    states[w] = WalkState.MISSING if first_step[w] else WalkState.END
-                    next_alive[w] = False
-                    continue
-                st = _CODE_TO_STATE[int(res_states[j])]
-                if st is not WalkState.EXTEND:
-                    states[w] = st
-                    next_alive[w] = False
-                    continue
-                base = int(res_bases[j])
-                cur[w, :-1] = cur[w, 1:]
-                cur[w, -1] = base
-                fp_next = int(fingerprint_matrix(cur[w][None, :])[0])
-                if fp_next in visited[w]:
-                    states[w] = WalkState.LOOP
-                    next_alive[w] = False
-                    continue
-                visited[w].add(fp_next)
-                bases[w].append("ACGT"[base])
-                profile.walk_steps += 1
-            first_step[a] = False
-            alive = next_alive
-        out = ["".join(b) for b in bases]
-        profile.extension_bases += sum(len(b) for b in out)
-        return out, states, steps_run, chain
-
-    # ------------------------------------------------------------------
-    # memory model + launch orchestration
-    # ------------------------------------------------------------------
-
-    def _apply_memory_model(self, batch: _Batch, tables: WarpHashTables,
-                            k: int, mem: dict, profile: KernelProfile,
-                            parallel_scale: float) -> None:
-        mean_table_bytes = float(np.mean(batch.capacities)) * SLOT_BYTES
-        mean_read_bytes = float(np.mean(batch.read_bytes_per_warp))
-        cats = [
-            # probes are atomicCAS attempts and walk reads of CAS-owned
-            # tags; votes are atomicAdds — all execute at the L2
-            AccessCategory("table_probe", mem["table_probe"], SLOT_TAG_BYTES,
-                           mean_table_bytes, "random", atomic=True),
-            AccessCategory("table_vote", mem["table_vote"], SLOT_VALUE_BYTES,
-                           mean_table_bytes, "random", writes=True, atomic=True),
-            AccessCategory("table_vote_read", mem["table_vote_read"],
-                           SLOT_VALUE_BYTES, mean_table_bytes, "random",
-                           atomic=True),
-            AccessCategory("key_compare", mem["key_compare"], float(k),
-                           mean_read_bytes, "random"),
-            AccessCategory("read_stream", mem["read_stream"], 2.0,
-                           mean_read_bytes, "stream"),
-        ]
-        # At a reduced dataset scale the batch has proportionally fewer
-        # warps; model the L2 pressure of the full-size batch so scaled
-        # runs predict full-scale behaviour (the benches report the scale).
-        effective_warps = max(1, round(batch.n_warps / parallel_scale))
-        model = AnalyticCacheModel(self.device, effective_warps,
-                                   l2_churn=self.l2_churn)
-        cold = tables.total_bytes + 2 * batch.codes.size
-        traffic = model.traffic(cats, cold_footprint_bytes=cold)
-        profile.hbm_bytes += traffic.hbm_bytes
-        profile.l1_hit_bytes += traffic.l1_bytes
-        profile.l2_hit_bytes += traffic.l2_bytes
-        # latency of one dependent table access, for the chain-cycle terms
-        h1, h2 = model.hit_rates(cats[0])
-        dev = self.device
-        self._last_access_latency = (
-            h1 * dev.l1.latency_cycles
-            + (1 - h1) * (h2 * dev.l2.latency_cycles + (1 - h2) * dev.hbm_latency_cycles)
-        )
-
-    def run(
-        self,
-        contigs: list[Contig],
-        k: int,
-        depth_ratio: float = 2.0,
-        max_batch_insertions: int | None = None,
-        parallel_scale: float = 1.0,
-    ) -> KernelRunResult:
-        """Execute the full local-assembly workflow (Figure 3) at one k.
-
-        ``parallel_scale`` declares what fraction of the paper-size
-        dataset ``contigs`` represents, so the cache model can apply
-        full-size concurrency pressure to a scaled run.
-
-        Returns functional extensions for both ends of every contig plus
-        the merged :class:`KernelProfile` (time left at zero — the timing
-        model in :mod:`repro.perfmodel.timing` fills it from the counters).
-        """
-        if parallel_scale <= 0 or parallel_scale > 1:
-            raise KernelError(f"parallel_scale must be in (0, 1], got {parallel_scale}")
-        if max_batch_insertions is None:
-            # reserve at most ~25% of HBM for tables in one launch
-            max_batch_insertions = int(
-                self.device.hbm_bytes * 0.25 * self.load_factor / SLOT_BYTES
-            )
-        bins = bin_contigs(contigs, k, depth_ratio, max_batch_insertions,
-                           self.load_factor)
-        profile = KernelProfile(warp_size=self.warp_size)
-        profile.walk_issue_width = 1 if self.lane_parallel_walks else self.warp_size
-        profile.contigs = len(contigs)
-        right: list[tuple[str, WalkState]] = [("", WalkState.MISSING)] * len(contigs)
-        left: list[tuple[str, WalkState]] = [("", WalkState.MISSING)] * len(contigs)
-        self.last_trace = []
-        for bin_ in bins:
-            for end in (End.RIGHT, End.LEFT):
-                self._trace_chunks: list[np.ndarray] = []
-                batch = self._prepare(contigs, bin_, end, k)
-                tables = WarpHashTables(batch.capacities, k)
-                mem = {"table_probe": 0, "table_vote": 0, "table_vote_read": 0,
-                       "key_compare": 0, "read_stream": 0}
-                waves, c_iters = self._construct(batch, tables, k, profile, mem)
-                bases, states, w_steps, w_iters = self._walk(
-                    batch, tables, k, profile, mem)
-                self._apply_memory_model(batch, tables, k, mem, profile,
-                                         parallel_scale)
-                lat = self._last_access_latency
-                cpi = self.device.dependent_cpi
-                hash_ops = hash_intops(k)
-                # serial chain of this launch: dependent instruction cycles
-                # plus one cache-weighted access latency per probe iteration
-                profile.construct_chain_cycles += (
-                    waves * hash_ops * cpi + c_iters * lat
-                )
-                profile.walk_chain_cycles += (
-                    w_steps * (hash_ops + WALK_STEP_INTOPS) * cpi + w_iters * lat
-                )
-                profile.kernels_launched += 1
-                if self.record_trace and self._trace_chunks:
-                    self.last_trace.append(np.concatenate(self._trace_chunks))
-                for w, ci in enumerate(batch.contig_ids):
-                    if end is End.RIGHT:
-                        right[ci] = (bases[w], states[w])
-                    else:
-                        rc = reverse_complement(bases[w])
-                        assert isinstance(rc, str)
-                        left[ci] = (rc, states[w])
-        return KernelRunResult(device=self.device, k=k, profile=profile,
-                               right=right, left=left)
-
-    def run_schedule(
-        self,
-        contigs: list[Contig],
-        k_schedule: tuple[int, ...] = (21, 33, 55, 77),
-        parallel_scale: float = 1.0,
-    ) -> "KernelRunResult":
-        """Iterate the k schedule on-device (Figures 2 and 4).
-
-        Every k runs as its own launch sequence (tables must be rebuilt
-        per k — the GPU cannot resize them); per contig end, the first
-        *accepted* walk (anything but a fork) at the smallest k wins, and
-        forked ends retry at the next k, keeping the longest extension if
-        no k resolves the fork. Profiles of all launches merge; the
-        result's ``k`` reports the last k executed.
-        """
-        if not k_schedule or list(k_schedule) != sorted(set(k_schedule)):
-            raise KernelError(
-                f"k_schedule must be strictly increasing, got {k_schedule}"
-            )
-        merged: KernelProfile | None = None
-        right: list[tuple[str, WalkState]] = [("", WalkState.MISSING)] * len(contigs)
-        left: list[tuple[str, WalkState]] = [("", WalkState.MISSING)] * len(contigs)
-        settled_r = [False] * len(contigs)
-        settled_l = [False] * len(contigs)
-        last_k = k_schedule[0]
-        for k in k_schedule:
-            if all(settled_r) and all(settled_l):
-                break
-            last_k = k
-            res = self.run(contigs, k, parallel_scale=parallel_scale)
-            if merged is None:
-                merged = res.profile
-            else:
-                merged.merge(res.profile)
-            for i in range(len(contigs)):
-                for side, settled, best in (
-                    (res.right, settled_r, right),
-                    (res.left, settled_l, left),
-                ):
-                    if settled[i]:
-                        continue
-                    bases, state = side[i]
-                    if len(bases) >= len(best[i][0]) or state is not WalkState.FORK:
-                        best[i] = (bases, state)
-                    if state is not WalkState.FORK:
-                        settled[i] = True
-        assert merged is not None
-        merged.contigs = len(contigs)
-        return KernelRunResult(device=self.device, k=last_k, profile=merged,
-                               right=right, left=left)
+__all__ = [
+    "ITERATION_BASE_INSTRS",
+    "WALK_STEP_INTOPS",
+    "KernelRunResult",
+    "LocalAssemblyKernel",
+    "ProtocolCosts",
+    "Batch",
+    "segmented_arange",
+]

@@ -12,7 +12,7 @@ for the HIP port).
 from __future__ import annotations
 
 from repro.errors import KernelError
-from repro.kernels.base import LocalAssemblyKernel, ProtocolCosts
+from repro.kernels.engine import LocalAssemblyKernel, ProtocolCosts
 from repro.simt.device import DeviceSpec
 
 #: CUDA warp width, hard-wired into the original kernel.

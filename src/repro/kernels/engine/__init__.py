@@ -1,0 +1,105 @@
+"""The staged local-assembly execution engine.
+
+The engine splits the kernel workflow into its natural stages —
+prepare (:mod:`~repro.kernels.engine.prepare`), construct
+(:mod:`~repro.kernels.engine.construct`), walk
+(:mod:`~repro.kernels.engine.walk`) — driven by a pluggable launch
+schedule (:mod:`~repro.kernels.engine.schedule`) and observed through an
+event bus (:mod:`~repro.kernels.engine.events`). Execution paths
+(the three SIMT vendor ports plus the scalar CPU reference) implement the
+:class:`~repro.kernels.engine.backend.ExecutionBackend` protocol and are
+selected by name from the backend registry
+(:mod:`~repro.kernels.engine.backend`).
+"""
+
+from repro.kernels.engine.backend import (
+    ExecutionBackend,
+    KernelRunResult,
+    ProtocolCosts,
+    ScalarReferenceBackend,
+    available_backends,
+    backend_for_device,
+    create_backend,
+    register_backend,
+)
+from repro.kernels.engine.construct import ConstructPhase, ConstructResult
+from repro.kernels.engine.events import (
+    ITERATION_BASE_INSTRS,
+    WALK_STEP_INTOPS,
+    EventBus,
+    LaunchDone,
+    LaunchStarted,
+    MemoryTrafficResolved,
+    ProbeIteration,
+    ProfileSubscriber,
+    SlotAccess,
+    TraceSubscriber,
+    TrafficSubscriber,
+    WalkStep,
+    WaveExecuted,
+)
+from repro.kernels.engine.prepare import (
+    Batch,
+    BatchPreparer,
+    FlattenedBin,
+    PrepareCache,
+    segmented_arange,
+)
+from repro.kernels.engine.schedule import (
+    BinnedLaunchPolicy,
+    LaunchConfig,
+    LaunchPlan,
+    LaunchPolicy,
+    SingleBinLaunchPolicy,
+    iterate_k_schedule,
+    validate_k_schedule,
+)
+from repro.kernels.engine.simt import LocalAssemblyKernel
+from repro.kernels.engine.walk import WalkOutput, WalkPhase
+
+__all__ = [
+    # backend protocol + registry
+    "ExecutionBackend",
+    "KernelRunResult",
+    "ProtocolCosts",
+    "ScalarReferenceBackend",
+    "available_backends",
+    "backend_for_device",
+    "create_backend",
+    "register_backend",
+    # phases
+    "ConstructPhase",
+    "ConstructResult",
+    "WalkOutput",
+    "WalkPhase",
+    # events + subscribers
+    "ITERATION_BASE_INSTRS",
+    "WALK_STEP_INTOPS",
+    "EventBus",
+    "LaunchDone",
+    "LaunchStarted",
+    "MemoryTrafficResolved",
+    "ProbeIteration",
+    "ProfileSubscriber",
+    "SlotAccess",
+    "TraceSubscriber",
+    "TrafficSubscriber",
+    "WalkStep",
+    "WaveExecuted",
+    # preparation
+    "Batch",
+    "BatchPreparer",
+    "FlattenedBin",
+    "PrepareCache",
+    "segmented_arange",
+    # scheduling
+    "BinnedLaunchPolicy",
+    "LaunchConfig",
+    "LaunchPlan",
+    "LaunchPolicy",
+    "SingleBinLaunchPolicy",
+    "iterate_k_schedule",
+    "validate_k_schedule",
+    # driver
+    "LocalAssemblyKernel",
+]

@@ -1,0 +1,214 @@
+"""Execution backends: the protocol, the registry, and the scalar port.
+
+A *backend* is anything that can execute the local-assembly workflow —
+the three SIMT vendor ports (CUDA / HIP / SYCL, thin
+:class:`ProtocolCosts` + warp-size configurations over the shared
+engine) and the scalar CPU reference wrapping
+:class:`repro.core.pipeline.LocalAssembler`'s machinery. All of them
+implement :class:`ExecutionBackend` and register themselves in one
+registry, so the experiment suite, the CLI, and the benchmarks select
+execution paths by name rather than by import.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol, runtime_checkable
+
+from repro.core.construct import build_table, insertions_for
+from repro.core.extension import DEFAULT_POLICY, WalkPolicy, WalkState
+from repro.core.merwalk import DEFAULT_MAX_WALK_LEN, mer_walk
+from repro.errors import KernelError
+from repro.genomics.contig import Contig, End
+from repro.genomics.dna import reverse_complement
+from repro.genomics.reads import Read, ReadSet
+from repro.kernels.engine.schedule import iterate_k_schedule
+from repro.simt.counters import KernelProfile
+from repro.simt.device import DeviceSpec
+
+
+@dataclass(frozen=True)
+class ProtocolCosts:
+    """Where the three SIMT ports differ (paper Appendix A).
+
+    Attributes:
+        name: "CUDA" / "HIP" / "SYCL".
+        iteration_intops: extra integer ops per pending lane per probe
+            iteration (flag handling, mask computation, ...).
+        iteration_syncs: warp/sub-group synchronizations per active warp
+            per probe iteration (``__syncwarp(mask)``, ``__all``,
+            ``sg.barrier()``).
+        merges_in_iteration: True for the CUDA port, whose
+            ``__match_any_sync`` lets lanes that lost an ``atomicCAS`` to
+            a same-key winner merge their vote in the *same* iteration;
+            the HIP/SYCL ports make them retry on the next iteration.
+    """
+
+    name: str
+    iteration_intops: int
+    iteration_syncs: int
+    merges_in_iteration: bool
+
+
+@dataclass
+class KernelRunResult:
+    """Functional + profiling output of a backend's ``run``."""
+
+    device: DeviceSpec | None
+    k: int
+    profile: KernelProfile
+    right: list[tuple[str, WalkState]] = field(default_factory=list)
+    left: list[tuple[str, WalkState]] = field(default_factory=list)
+
+    def extension_of(self, i: int, end: End) -> tuple[str, WalkState]:
+        return self.right[i] if end is End.RIGHT else self.left[i]
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """What every execution path must provide."""
+
+    def run(self, contigs: list[Contig], k: int, **kwargs) -> KernelRunResult:
+        ...
+
+    def run_schedule(self, contigs: list[Contig],
+                     k_schedule: tuple[int, ...] = (21, 33, 55, 77),
+                     **kwargs) -> KernelRunResult:
+        ...
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+
+_REGISTRY: dict[str, Callable[..., ExecutionBackend]] = {}
+
+#: Device programming model -> registry name.
+_MODEL_TO_BACKEND = {"CUDA": "cuda", "HIP": "hip", "SYCL": "sycl"}
+
+
+def register_backend(name: str, factory: Callable[..., ExecutionBackend],
+                     *, overwrite: bool = False) -> None:
+    """Register a backend factory under ``name`` (case-insensitive).
+
+    The factory is called as ``factory(device=..., **kwargs)``; ``device``
+    may be ``None`` for device-less backends (the scalar reference).
+    """
+    key = name.lower()
+    if key in _REGISTRY and not overwrite:
+        raise KernelError(f"backend {name!r} already registered")
+    _REGISTRY[key] = factory
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def create_backend(name: str, device: DeviceSpec | None = None,
+                   **kwargs) -> ExecutionBackend:
+    """Instantiate a registered backend by name."""
+    try:
+        factory = _REGISTRY[name.lower()]
+    except KeyError:
+        raise KernelError(
+            f"unknown backend {name!r}; available: {available_backends()}"
+        ) from None
+    return factory(device=device, **kwargs)
+
+
+def backend_for_device(device: DeviceSpec, **kwargs) -> ExecutionBackend:
+    """The backend matching a device's programming model."""
+    name = _MODEL_TO_BACKEND.get(device.programming_model)
+    if name is None:
+        raise KernelError(
+            f"no backend for programming model {device.programming_model!r}"
+        )
+    return create_backend(name, device=device, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# the scalar reference backend
+# ----------------------------------------------------------------------
+
+
+def _reverse_complement_reads(reads: ReadSet) -> ReadSet:
+    out = ReadSet()
+    for r in reads:
+        out.append(Read(name=r.name + "/rc", codes=reverse_complement(r.codes),
+                        quals=r.quals[::-1].copy()))
+    return out
+
+
+class ScalarReferenceBackend:
+    """The CPU scalar path as an :class:`ExecutionBackend`.
+
+    Runs Algorithm 1 + Algorithm 2 per contig end through the
+    :mod:`repro.core` hash table and mer-walk — the same machinery
+    :class:`repro.core.pipeline.LocalAssembler` drives — and reports
+    results in the kernel's :class:`KernelRunResult` shape. Functional
+    output (extension bases and walk states) is identical to the SIMT
+    ports; only the profile counters differ (no warps, no waves, no
+    predication, no memory model).
+    """
+
+    name = "scalar"
+
+    def __init__(self, device: DeviceSpec | None = None,
+                 policy: WalkPolicy = DEFAULT_POLICY,
+                 max_walk_len: int = DEFAULT_MAX_WALK_LEN,
+                 seed: int = 0, **_ignored) -> None:
+        self.device = device
+        self.policy = policy
+        self.max_walk_len = max_walk_len
+        self.seed = seed
+
+    def _walk_end(self, contig: Contig, k: int, end: End,
+                  profile: KernelProfile) -> tuple[str, WalkState]:
+        reads = contig.reads_for_end(end)
+        if end is End.LEFT:
+            reads = _reverse_complement_reads(reads)
+        if k > len(contig) or reads.kmer_count(k + 1) == 0:
+            return "", WalkState.MISSING
+        table = build_table(reads, k, seed=self.seed)
+        profile.inserts += insertions_for(reads, k)
+        seed_kmer = (contig.end_kmer(k, End.RIGHT) if end is End.RIGHT
+                     else reverse_complement(contig.end_kmer(k, End.LEFT)))
+        walk = mer_walk(table, seed_kmer, self.max_walk_len, self.policy)
+        profile.lookups += walk.steps
+        profile.lookup_probe_iterations += walk.steps
+        profile.walk_steps += len(walk.bases)
+        profile.extension_bases += len(walk.bases)
+        bases = walk.bases
+        if end is End.LEFT and bases:
+            rc = reverse_complement(bases)
+            assert isinstance(rc, str)
+            bases = rc
+        return bases, walk.state
+
+    def run(self, contigs: list[Contig], k: int, **_kwargs) -> KernelRunResult:
+        """Execute the full workflow at one k on the scalar path."""
+        profile = KernelProfile(warp_size=1)
+        profile.walk_issue_width = 1
+        profile.contigs = len(contigs)
+        right: list[tuple[str, WalkState]] = []
+        left: list[tuple[str, WalkState]] = []
+        for contig in contigs:
+            right.append(self._walk_end(contig, k, End.RIGHT, profile))
+            left.append(self._walk_end(contig, k, End.LEFT, profile))
+        return KernelRunResult(device=self.device, k=k, profile=profile,
+                               right=right, left=left)
+
+    def run_schedule(self, contigs: list[Contig],
+                     k_schedule: tuple[int, ...] = (21, 33, 55, 77),
+                     **_kwargs) -> KernelRunResult:
+        """Iterate the k schedule with the kernels' settle semantics."""
+        last_k, merged, right, left = iterate_k_schedule(
+            lambda k: self.run(contigs, k), len(contigs), k_schedule)
+        return KernelRunResult(device=self.device, k=last_k, profile=merged,
+                               right=right, left=left)
+
+
+register_backend("scalar",
+                 lambda device=None, **kw: ScalarReferenceBackend(device=device,
+                                                                  **kw))

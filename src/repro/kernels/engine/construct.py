@@ -1,0 +1,136 @@
+"""The construction phase: insertion waves + the atomicCAS insert protocol.
+
+Lanes of each warp take consecutive k-mers of the contig's reads, in
+*waves* of ``warp_size`` insertions; within a wave, lanes probe their
+tables concurrently until every lane has inserted. Hash collisions
+linear-probe; thread collisions (two lanes, same slot) are resolved by an
+``atomicCAS`` winner, with losers retrying per the protocol
+(:class:`~repro.kernels.engine.backend.ProtocolCosts`) — within the same
+iteration for the CUDA ``__match_any_sync`` port, on the next iteration
+for HIP/SYCL.
+
+All measured quantities leave the phase as events
+(:class:`~repro.kernels.engine.events.WaveExecuted`,
+:class:`~repro.kernels.engine.events.ProbeIteration`,
+:class:`~repro.kernels.engine.events.SlotAccess`); the phase itself never
+touches a profile or traffic ledger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.kernels.engine.events import EventBus, ProbeIteration, SlotAccess, WaveExecuted
+from repro.kernels.engine.prepare import Batch, segmented_arange
+from repro.kernels.vectortable import WarpHashTables
+
+
+@dataclass(frozen=True)
+class ConstructResult:
+    """Serial-chain statistics of one launch's construction phase."""
+
+    waves: int          #: lockstep waves executed
+    iterations: int     #: lockstep insert-probe iterations
+
+
+class ConstructPhase:
+    """Runs all construction waves of a launch, emitting events."""
+
+    def __init__(self, protocol, warp_size: int) -> None:
+        self.protocol = protocol
+        self.warp_size = warp_size
+
+    def run(self, batch: Batch, tables: WarpHashTables,
+            bus: EventBus) -> ConstructResult:
+        W = self.warp_size
+        n_warps = batch.n_warps
+        ins_off = np.searchsorted(batch.ins_warp, np.arange(n_warps + 1))
+        n_ins_w = np.diff(ins_off)
+        max_waves = int(np.ceil(n_ins_w.max() / W)) if n_ins_w.size and n_ins_w.max() else 0
+        chain = 0
+        waves_run = 0
+        for t in range(max_waves):
+            lo = ins_off[:-1] + t * W
+            hi = np.minimum(lo + W, ins_off[1:])
+            take = np.maximum(hi - lo, 0)
+            idx = np.repeat(lo, take) + segmented_arange(take)
+            if idx.size == 0:
+                break
+            bus.emit(WaveExecuted(lanes=idx.size,
+                                  warps=int(np.count_nonzero(take))))
+            waves_run += 1
+            chain += self._insert_wave(batch, tables, idx, bus)
+        return ConstructResult(waves=waves_run, iterations=chain)
+
+    def _insert_wave(self, batch: Batch, tables: WarpHashTables,
+                     idx: np.ndarray, bus: EventBus) -> int:
+        """Probe until every lane of the wave has inserted; returns iterations."""
+        proto = self.protocol
+        warps = batch.ins_warp[idx]
+        homes = batch.ins_home[idx]
+        fps = batch.ins_fp[idx]
+        exts = batch.ins_ext[idx]
+        his = batch.ins_hi[idx]
+        n = idx.size
+        probe = np.zeros(n, dtype=np.int64)
+        pending = np.ones(n, dtype=bool)
+        iterations = 0
+        while pending.any():
+            iterations += 1
+            p = np.nonzero(pending)[0]
+            active_warps = int(np.unique(warps[p]).size)
+
+            slots = tables.slot_of(warps[p], homes[p], probe[p])
+            bus.emit(SlotAccess(slots=slots))
+            occupied, slot_fp = tables.inspect(slots)
+            key_compares = int(np.count_nonzero(occupied))
+
+            done = np.zeros(p.size, dtype=bool)
+            votes_matched = 0
+            match = occupied & (slot_fp == fps[p])
+            if match.any():
+                tables.vote(slots[match], exts[p[match]], his[p[match]])
+                votes_matched = int(match.sum())
+                done |= match
+
+            cas_attempts = 0
+            votes_claimed = 0
+            votes_merged = 0
+            empty = ~occupied
+            if empty.any():
+                e = np.nonzero(empty)[0]
+                winners_local = tables.claim(slots[e], fps[p[e]])
+                cas_attempts = e.size  # every empty observer issues a CAS
+                win = e[winners_local]
+                tables.vote(slots[win], exts[p[win]], his[p[win]])
+                votes_claimed = win.size
+                done_claim = np.zeros(p.size, dtype=bool)
+                done_claim[win] = True
+                done |= done_claim
+                losers = e[~winners_local]
+                if proto.merges_in_iteration and losers.size:
+                    # __match_any_sync: losers whose key equals the fresh
+                    # winner's key merge their vote in this same iteration.
+                    now_fp = tables.fp[slots[losers]]
+                    same = now_fp == fps[p[losers]]
+                    m = losers[same]
+                    if m.size:
+                        tables.vote(slots[m], exts[p[m]], his[p[m]])
+                        votes_merged = m.size
+                        d = np.zeros(p.size, dtype=bool)
+                        d[m] = True
+                        done |= d
+                # HIP/SYCL losers retry next iteration at the same probe.
+
+            bus.emit(ProbeIteration(
+                phase="construct", lanes=p.size, warps=active_warps,
+                key_compares=key_compares, cas_attempts=cas_attempts,
+                votes_matched=votes_matched, votes_claimed=votes_claimed,
+                votes_merged=votes_merged,
+            ))
+            mismatch = occupied & ~match
+            probe[p[mismatch]] += 1
+            pending[p[done]] = False
+        return iterations

@@ -1,0 +1,342 @@
+"""The instrumentation-hook layer: typed engine events + subscribers.
+
+The execution engine never mutates a :class:`~repro.simt.counters.KernelProfile`
+or a traffic ledger inline. Instead, the phases emit *events* describing
+what just executed (a construction wave, a probe iteration, a walk step,
+a batch of table-slot accesses, a finished launch) onto an
+:class:`EventBus`, and independent subscribers turn those events into
+observations:
+
+* :class:`ProfileSubscriber` — instruction/operation counters
+  (:class:`~repro.simt.counters.KernelProfile`).
+* :class:`TrafficSubscriber` — the per-launch
+  :class:`~repro.simt.memory.AnalyticCacheModel` traffic accounting;
+  publishes a :class:`MemoryTrafficResolved` event back onto the bus so
+  the profile can absorb the byte counts and latency-weighted chain
+  cycles without the two subscribers knowing about each other.
+* :class:`TraceSubscriber` — exact table-slot address traces for the
+  trace-driven cache-simulator validation.
+
+Any object with a ``handle(event, bus)`` method can subscribe, so new
+observability (histograms, per-launch logs, live dashboards) attaches
+without touching kernel code.
+
+Ordering note: :class:`TrafficSubscriber` emits
+:class:`MemoryTrafficResolved` while handling :class:`LaunchDone`;
+subscribers that consume both (the profile) must be registered *before*
+it so they see the launch stats first. The SIMT driver
+(:mod:`repro.kernels.engine.simt`) registers them in that order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.kernels.vectortable import SLOT_BYTES, SLOT_TAG_BYTES, SLOT_VALUE_BYTES
+from repro.simt.device import DeviceSpec
+from repro.simt.memory import AccessCategory, AnalyticCacheModel
+
+#: Warp instructions charged per probe iteration (loop bookkeeping).
+ITERATION_BASE_INSTRS = 10
+
+#: Thread-level integer ops per walk step outside the hash (state updates).
+WALK_STEP_INTOPS = 24
+
+# ----------------------------------------------------------------------
+# events
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LaunchStarted:
+    """A kernel launch (one bin, one extension direction) is beginning."""
+
+    k: int
+    hash_ops: int                 #: INTOPs of one k-length Murmur hash
+    n_warps: int                  #: contigs (= warps) in the launch
+    mean_table_bytes: float       #: mean per-warp hash-table footprint
+    mean_read_bytes: float        #: mean per-warp read-buffer footprint
+    cold_footprint_bytes: float   #: compulsory-traffic floor of the launch
+
+
+@dataclass(frozen=True)
+class WaveExecuted:
+    """One construction wave hashed + dispatched its k-mers."""
+
+    lanes: int                    #: k-mers hashed (insertions issued)
+    warps: int                    #: warps with at least one pending lane
+
+
+@dataclass(frozen=True)
+class ProbeIteration:
+    """One lockstep probe iteration over all pending lanes.
+
+    ``phase`` is ``"construct"`` (insert probing) or ``"walk"`` (lookup
+    probing); the vote/CAS fields are only non-zero during construction.
+    """
+
+    phase: str                    #: "construct" | "walk"
+    lanes: int                    #: lanes still pending this iteration
+    warps: int                    #: warps with pending lanes
+    key_compares: int             #: occupied slots whose key was compared
+    cas_attempts: int = 0         #: atomicCAS claims issued on empty slots
+    votes_matched: int = 0        #: votes merged into pre-existing keys
+    votes_claimed: int = 0        #: votes by fresh CAS winners
+    votes_merged: int = 0         #: same-iteration loser merges (match_any)
+
+
+@dataclass(frozen=True)
+class WalkStep:
+    """One lockstep mer-walk step across all still-walking warps."""
+
+    walkers: int                  #: warps that executed this step
+    vote_reads: int               #: slot vote rows read to resolve bases
+    bases_committed: int          #: bases accepted across all walkers
+
+
+@dataclass(frozen=True)
+class SlotAccess:
+    """Raw table-slot indices touched by one probe iteration."""
+
+    slots: np.ndarray             #: global slot indices (int64)
+
+
+@dataclass(frozen=True)
+class LaunchDone:
+    """A launch finished; carries its serial-chain statistics."""
+
+    waves: int                    #: construction waves executed
+    construct_iterations: int     #: lockstep insert-probe iterations
+    walk_steps: int               #: lockstep walk steps
+    walk_iterations: int          #: lockstep lookup-probe iterations
+
+
+@dataclass(frozen=True)
+class MemoryTrafficResolved:
+    """Published by :class:`TrafficSubscriber` after each launch."""
+
+    hbm_bytes: float
+    l1_bytes: float
+    l2_bytes: float
+    access_latency: float         #: cache-weighted dependent-access cycles
+
+
+# ----------------------------------------------------------------------
+# bus
+# ----------------------------------------------------------------------
+
+
+class EventBus:
+    """Synchronous in-process dispatch of engine events to subscribers."""
+
+    def __init__(self) -> None:
+        self._subscribers: list = []
+
+    def subscribe(self, subscriber):
+        """Attach a subscriber (any object with ``handle(event, bus)``)."""
+        self._subscribers.append(subscriber)
+        return subscriber
+
+    def emit(self, event) -> None:
+        for sub in self._subscribers:
+            sub.handle(event, self)
+
+
+# ----------------------------------------------------------------------
+# subscribers
+# ----------------------------------------------------------------------
+
+
+class ProfileSubscriber:
+    """Turns engine events into :class:`KernelProfile` counter updates.
+
+    Holds the port-specific cost constants (protocol, warp size, walk
+    scheduling mode) so the *same* event stream yields different profiles
+    for different ports — exactly how the paper's three ports differ.
+    """
+
+    def __init__(self, profile, *, warp_size: int, protocol,
+                 lane_parallel_walks: bool, dependent_cpi: float) -> None:
+        self.profile = profile
+        self.warp_size = warp_size
+        self.protocol = protocol
+        self.lane_parallel_walks = lane_parallel_walks
+        self.dependent_cpi = dependent_cpi
+        self._hash_ops = 0
+        self._launch_stats: LaunchDone | None = None
+
+    def handle(self, event, bus) -> None:
+        p = self.profile
+        if isinstance(event, LaunchStarted):
+            self._hash_ops = event.hash_ops
+            self._launch_stats = None
+        elif isinstance(event, WaveExecuted):
+            h = self._hash_ops
+            # every lane hashes its k-mer; the warp runs the hash code once
+            p.intops += event.lanes * h
+            p.construct_intops += event.lanes * h
+            p.warp_instructions += event.warps * h
+            p.lane_instructions += event.lanes * h
+            p.inserts += event.lanes
+        elif isinstance(event, ProbeIteration):
+            if event.phase == "construct":
+                ops = ITERATION_BASE_INSTRS + self.protocol.iteration_intops
+                p.intops += event.lanes * ops
+                p.construct_intops += event.lanes * ops
+                p.warp_instructions += event.warps * ops
+                p.lane_instructions += event.lanes * ops
+                p.sync_ops += event.warps * self.protocol.iteration_syncs
+                p.insert_probe_iterations += event.lanes
+                p.atomics += (event.votes_matched + event.cas_attempts
+                              + event.votes_merged)
+            else:
+                ops = ITERATION_BASE_INSTRS
+                p.intops += event.lanes * ops
+                p.walk_intops += event.lanes * ops
+                p.warp_instructions += event.lanes * ops
+                p.lane_instructions += event.lanes * ops // self.warp_size
+                p.lookup_probe_iterations += event.lanes
+            p.serial_depth += 1
+        elif isinstance(event, WalkStep):
+            walk_ops = self._hash_ops + WALK_STEP_INTOPS
+            p.intops += event.walkers * walk_ops
+            p.walk_intops += event.walkers * walk_ops
+            if self.lane_parallel_walks:
+                # independent thread scheduling: one walk per lane, so
+                # ceil(walks / warp_size) warps execute each instruction
+                warps_walking = -(-event.walkers // self.warp_size)
+                p.warp_instructions += warps_walking * walk_ops
+                p.lane_instructions += event.walkers * walk_ops
+            else:
+                # one lane walks; the warp still issues every instruction
+                p.warp_instructions += event.walkers * walk_ops
+                p.lane_instructions += event.walkers * walk_ops // self.warp_size
+            p.lookups += event.walkers
+            p.sync_ops += event.walkers  # terminal-state shuffle broadcast
+            p.walk_steps += event.bases_committed
+            p.extension_bases += event.bases_committed
+        elif isinstance(event, LaunchDone):
+            self._launch_stats = event
+            p.kernels_launched += 1
+        elif isinstance(event, MemoryTrafficResolved):
+            p.hbm_bytes += event.hbm_bytes
+            p.l1_hit_bytes += event.l1_bytes
+            p.l2_hit_bytes += event.l2_bytes
+            stats = self._launch_stats
+            if stats is None:
+                return
+            # serial chain of this launch: dependent instruction cycles
+            # plus one cache-weighted access latency per probe iteration
+            lat = event.access_latency
+            cpi = self.dependent_cpi
+            p.construct_chain_cycles += (
+                stats.waves * self._hash_ops * cpi
+                + stats.construct_iterations * lat
+            )
+            p.walk_chain_cycles += (
+                stats.walk_steps * (self._hash_ops + WALK_STEP_INTOPS) * cpi
+                + stats.walk_iterations * lat
+            )
+
+
+class TrafficSubscriber:
+    """Accumulates per-launch access counts and applies the cache model.
+
+    On :class:`LaunchDone` it evaluates the
+    :class:`~repro.simt.memory.AnalyticCacheModel` over the launch's
+    access categories and publishes :class:`MemoryTrafficResolved`.
+    """
+
+    _COUNT_KEYS = ("table_probe", "table_vote", "table_vote_read",
+                   "key_compare", "read_stream")
+
+    def __init__(self, device: DeviceSpec, *, l2_churn: float = 4.0,
+                 parallel_scale: float = 1.0) -> None:
+        self.device = device
+        self.l2_churn = l2_churn
+        self.parallel_scale = parallel_scale
+        self.last_access_latency = 0.0
+        self._context: LaunchStarted | None = None
+        self._counts = dict.fromkeys(self._COUNT_KEYS, 0)
+
+    @property
+    def counts(self) -> dict:
+        """The current launch's access-count ledger (for tests/tools)."""
+        return dict(self._counts)
+
+    def handle(self, event, bus) -> None:
+        if isinstance(event, LaunchStarted):
+            self._context = event
+            self._counts = dict.fromkeys(self._COUNT_KEYS, 0)
+        elif isinstance(event, WaveExecuted):
+            self._counts["read_stream"] += event.lanes
+        elif isinstance(event, ProbeIteration):
+            self._counts["table_probe"] += event.lanes
+            self._counts["key_compare"] += event.key_compares
+            self._counts["table_vote"] += (event.votes_matched
+                                           + event.votes_claimed
+                                           + event.votes_merged)
+        elif isinstance(event, WalkStep):
+            self._counts["table_vote_read"] += event.vote_reads
+        elif isinstance(event, LaunchDone):
+            ctx = self._context
+            if ctx is None:
+                return
+            mem = self._counts
+            cats = [
+                # probes are atomicCAS attempts and walk reads of CAS-owned
+                # tags; votes are atomicAdds — all execute at the L2
+                AccessCategory("table_probe", mem["table_probe"],
+                               SLOT_TAG_BYTES, ctx.mean_table_bytes,
+                               "random", atomic=True),
+                AccessCategory("table_vote", mem["table_vote"],
+                               SLOT_VALUE_BYTES, ctx.mean_table_bytes,
+                               "random", writes=True, atomic=True),
+                AccessCategory("table_vote_read", mem["table_vote_read"],
+                               SLOT_VALUE_BYTES, ctx.mean_table_bytes,
+                               "random", atomic=True),
+                AccessCategory("key_compare", mem["key_compare"],
+                               float(ctx.k), ctx.mean_read_bytes, "random"),
+                AccessCategory("read_stream", mem["read_stream"], 2.0,
+                               ctx.mean_read_bytes, "stream"),
+            ]
+            # At a reduced dataset scale the batch has proportionally fewer
+            # warps; model the L2 pressure of the full-size batch so scaled
+            # runs predict full-scale behaviour.
+            effective_warps = max(1, round(ctx.n_warps / self.parallel_scale))
+            model = AnalyticCacheModel(self.device, effective_warps,
+                                       l2_churn=self.l2_churn)
+            traffic = model.traffic(
+                cats, cold_footprint_bytes=ctx.cold_footprint_bytes)
+            # latency of one dependent table access, for chain-cycle terms
+            h1, h2 = model.hit_rates(cats[0])
+            dev = self.device
+            latency = (
+                h1 * dev.l1.latency_cycles
+                + (1 - h1) * (h2 * dev.l2.latency_cycles
+                              + (1 - h2) * dev.hbm_latency_cycles)
+            )
+            self.last_access_latency = latency
+            bus.emit(MemoryTrafficResolved(
+                hbm_bytes=traffic.hbm_bytes, l1_bytes=traffic.l1_bytes,
+                l2_bytes=traffic.l2_bytes, access_latency=latency,
+            ))
+
+
+class TraceSubscriber:
+    """Records every table-slot access's byte address, one array/launch."""
+
+    def __init__(self) -> None:
+        self.traces: list[np.ndarray] = []
+        self._chunks: list[np.ndarray] = []
+
+    def handle(self, event, bus) -> None:
+        if isinstance(event, LaunchStarted):
+            self._chunks = []
+        elif isinstance(event, SlotAccess):
+            self._chunks.append(event.slots * SLOT_BYTES)
+        elif isinstance(event, LaunchDone):
+            if self._chunks:
+                self.traces.append(np.concatenate(self._chunks))

@@ -1,0 +1,251 @@
+"""Batch preparation: flatten one bin's contigs + reads into launch arrays.
+
+Preparation splits into two stages with very different reuse profiles:
+
+1. **Flatten** (k-independent): per (bin, end), concatenate every
+   assigned read's codes and qualities — reverse-complemented for the
+   left end — and record per-read warp assignments, lengths, offsets and
+   the k-independent table-capacity upper bound. This is the expensive
+   concatenation work.
+2. **Finish** (per-k): window the flat code stream into k-mers, hash and
+   fingerprint them, gather extension bases and quality flags, extract
+   the per-contig seed k-mers, and size the tables.
+
+The k-schedule (Figures 2/4) reruns every launch at up to four k values
+over the *same* (bin, end) read streams, so :class:`PrepareCache` keeps
+the flatten results keyed by (end, contig tuple): across the schedule
+only the per-k hashing pass reruns. ``benchmarks/
+bench_engine_prepare_reuse.py`` measures the saving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.binning import Bin
+from repro.core.construct import (
+    DEFAULT_LOAD_FACTOR,
+    estimate_table_slots,
+    estimate_table_slots_upper_bound,
+)
+from repro.errors import KernelError
+from repro.genomics.contig import Contig, End
+from repro.genomics.dna import reverse_complement
+from repro.genomics.kmer import fingerprint_matrix
+from repro.genomics.reads import DEFAULT_QUAL_THRESHOLD
+from repro.hashing.murmur import murmur2_batch
+
+#: Chunk size for the vectorized pre-hashing of insertion streams.
+_HASH_CHUNK = 1 << 18
+
+
+def segmented_arange(counts: np.ndarray) -> np.ndarray:
+    """``[0..c0), [0..c1), ...`` concatenated, vectorized."""
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    starts = np.repeat(np.cumsum(counts) - counts, counts)
+    return np.arange(total, dtype=np.int64) - starts
+
+
+@dataclass
+class Batch:
+    """One bin's contigs prepared for one launch direction."""
+
+    contig_ids: list[int]
+    codes: np.ndarray
+    quals: np.ndarray
+    ins_warp: np.ndarray        # warp id per insertion, non-decreasing
+    ins_home: np.ndarray        # murmur digest per insertion
+    ins_fp: np.ndarray          # key fingerprint per insertion
+    ins_ext: np.ndarray         # extension base code per insertion
+    ins_hi: np.ndarray          # high-quality vote flag per insertion
+    seeds: np.ndarray           # (n_warps, k) seed k-mers
+    seed_valid: np.ndarray      # warps whose contig admits a seed
+    capacities: np.ndarray      # table slots per warp
+    read_bytes_per_warp: np.ndarray
+
+    @property
+    def n_warps(self) -> int:
+        return len(self.contig_ids)
+
+
+@dataclass
+class FlattenedBin:
+    """The k-independent part of one (bin, end) preparation."""
+
+    contig_ids: list[int]
+    codes: np.ndarray           # all reads' codes, concatenated
+    quals: np.ndarray           # matching qualities
+    read_warps: np.ndarray      # warp id per read
+    read_lens: np.ndarray       # length per read
+    offsets: np.ndarray         # per-read start offsets into codes (n+1)
+    read_bytes_per_warp: np.ndarray
+    upper_capacities: np.ndarray  # k-independent table-size upper bound
+
+    @property
+    def n_warps(self) -> int:
+        return len(self.contig_ids)
+
+
+class PrepareCache:
+    """Memoizes :class:`FlattenedBin` results across a k-schedule.
+
+    Keyed by (end, contig-index tuple) so a bin whose composition shifts
+    between k values simply misses — correctness never depends on the
+    binning being k-stable.
+    """
+
+    def __init__(self) -> None:
+        self._flat: dict = {}
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key(bin_: Bin, end: End) -> tuple:
+        return (end, tuple(bin_.contig_indices))
+
+    def get(self, bin_: Bin, end: End) -> FlattenedBin | None:
+        flat = self._flat.get(self.key(bin_, end))
+        if flat is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return flat
+
+    def put(self, bin_: Bin, end: End, flat: FlattenedBin) -> None:
+        self._flat[self.key(bin_, end)] = flat
+
+    def __len__(self) -> int:
+        return len(self._flat)
+
+
+class BatchPreparer:
+    """Builds :class:`Batch` launch arrays, reusing flattens via a cache.
+
+    Args:
+        seed: Murmur seed for the insertion pre-hashing.
+        qual_threshold: phred cut separating hi/low-quality votes.
+        load_factor: hash-table occupancy target for size estimation.
+        table_sizing: "upper_bound" reserves per-contig capacity from the
+            k-independent read-volume bound (Figure 3: tables are sized
+            once, before the k iterations run); "exact" sizes from the
+            actual insertion count.
+    """
+
+    def __init__(self, *, seed: int = 0,
+                 qual_threshold: int = DEFAULT_QUAL_THRESHOLD,
+                 load_factor: float = DEFAULT_LOAD_FACTOR,
+                 table_sizing: str = "upper_bound") -> None:
+        if table_sizing not in ("upper_bound", "exact"):
+            raise KernelError(f"unknown table_sizing {table_sizing!r}")
+        self.seed = seed
+        self.qual_threshold = qual_threshold
+        self.load_factor = load_factor
+        self.table_sizing = table_sizing
+
+    # -- stage 1: k-independent ----------------------------------------
+
+    def flatten(self, contigs: list[Contig], bin_: Bin, end: End) -> FlattenedBin:
+        """Concatenate one bin's (direction-oriented) reads once."""
+        contig_ids = bin_.contig_indices
+        code_parts: list[np.ndarray] = []
+        qual_parts: list[np.ndarray] = []
+        read_warps: list[int] = []
+        read_lens: list[int] = []
+        read_bytes = np.zeros(len(contig_ids), dtype=np.int64)
+        upper = np.empty(len(contig_ids), dtype=np.int64)
+        for w, ci in enumerate(contig_ids):
+            contig = contigs[ci]
+            end_reads = contig.reads_for_end(end)
+            for r in end_reads:
+                codes = r.codes if end is End.RIGHT else reverse_complement(r.codes)
+                quals = r.quals if end is End.RIGHT else r.quals[::-1]
+                code_parts.append(codes)
+                qual_parts.append(np.ascontiguousarray(quals))
+                read_warps.append(w)
+                read_lens.append(len(codes))
+            upper[w] = estimate_table_slots_upper_bound(end_reads,
+                                                        self.load_factor)
+            read_bytes[w] = 2 * end_reads.total_bases
+        codes = np.concatenate(code_parts) if code_parts else np.empty(0, np.uint8)
+        quals = np.concatenate(qual_parts) if qual_parts else np.empty(0, np.uint8)
+        lens = np.asarray(read_lens, dtype=np.int64)
+        offsets = np.zeros(lens.size + 1, dtype=np.int64)
+        np.cumsum(lens, out=offsets[1:])
+        return FlattenedBin(
+            contig_ids=list(contig_ids), codes=codes, quals=quals,
+            read_warps=np.asarray(read_warps, dtype=np.int64),
+            read_lens=lens, offsets=offsets, read_bytes_per_warp=read_bytes,
+            upper_capacities=upper,
+        )
+
+    # -- stage 2: per-k ------------------------------------------------
+
+    def finish(self, flat: FlattenedBin, contigs: list[Contig], end: End,
+               k: int) -> Batch:
+        """Run the per-k hashing/fingerprint pass over a flattened bin."""
+        n_warps = flat.n_warps
+        n_ins_per_read = np.maximum(flat.read_lens - k, 0)
+        starts = np.repeat(flat.offsets[:-1], n_ins_per_read) + segmented_arange(
+            n_ins_per_read
+        )
+        ins_warp = np.repeat(flat.read_warps, n_ins_per_read)
+
+        if self.table_sizing == "upper_bound":
+            capacities = flat.upper_capacities.copy()
+        else:
+            ins_per_warp = np.zeros(n_warps, dtype=np.int64)
+            np.add.at(ins_per_warp, flat.read_warps, n_ins_per_read)
+            capacities = np.asarray(
+                [estimate_table_slots(int(n), self.load_factor)
+                 for n in ins_per_warp], dtype=np.int64)
+
+        seeds = np.zeros((n_warps, k), dtype=np.uint8)
+        seed_valid = np.zeros(n_warps, dtype=bool)
+        for w, ci in enumerate(flat.contig_ids):
+            contig = contigs[ci]
+            if len(contig) >= k:
+                seed_valid[w] = True
+                seeds[w] = (
+                    contig.end_kmer(k, End.RIGHT)
+                    if end is End.RIGHT
+                    else reverse_complement(contig.end_kmer(k, End.LEFT))
+                )
+
+        codes, quals = flat.codes, flat.quals
+        n = starts.size
+        ins_home = np.empty(n, dtype=np.uint32)
+        ins_fp = np.empty(n, dtype=np.uint64)
+        ins_ext = np.empty(n, dtype=np.uint8)
+        ins_hi = np.empty(n, dtype=bool)
+        col = np.arange(k, dtype=np.int64)
+        for lo in range(0, n, _HASH_CHUNK):
+            hi = min(lo + _HASH_CHUNK, n)
+            win = codes[starts[lo:hi, None] + col]
+            ins_home[lo:hi] = murmur2_batch(win, self.seed)
+            ins_fp[lo:hi] = fingerprint_matrix(win)
+            ext_pos = starts[lo:hi] + k
+            ins_ext[lo:hi] = codes[ext_pos]
+            ins_hi[lo:hi] = quals[ext_pos] >= self.qual_threshold
+        return Batch(
+            contig_ids=list(flat.contig_ids), codes=codes, quals=quals,
+            ins_warp=ins_warp, ins_home=ins_home, ins_fp=ins_fp,
+            ins_ext=ins_ext, ins_hi=ins_hi, seeds=seeds, seed_valid=seed_valid,
+            capacities=capacities, read_bytes_per_warp=flat.read_bytes_per_warp,
+        )
+
+    # -- combined ------------------------------------------------------
+
+    def prepare(self, contigs: list[Contig], bin_: Bin, end: End, k: int,
+                cache: PrepareCache | None = None) -> Batch:
+        """Flatten (or reuse a cached flatten) and finish for one k."""
+        flat = cache.get(bin_, end) if cache is not None else None
+        if flat is None:
+            flat = self.flatten(contigs, bin_, end)
+            if cache is not None:
+                cache.put(bin_, end, flat)
+        return self.finish(flat, contigs, end, k)

@@ -1,0 +1,136 @@
+"""Launch scheduling: bins -> :class:`LaunchPlan` s -> launches.
+
+The engine turns a contig set into an ordered list of launch plans (one
+per bin per extension direction) through a pluggable
+:class:`LaunchPolicy`, so binning and launch ordering are policies
+rather than code baked into the kernel. The default
+:class:`BinnedLaunchPolicy` reproduces the paper's Figure 3
+pre-processing: depth-similar bins, capped by aggregate table memory,
+each launched once per end (right first, matching the GPU's separate
+right-/left-extension kernels).
+
+:func:`iterate_k_schedule` is the shared on-device k-schedule driver
+(Figures 2 and 4) used by every backend: per contig end, the first
+*accepted* walk (anything but a fork) at the smallest k wins, and forked
+ends retry at the next k, keeping the longest extension if no k resolves
+the fork.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol, runtime_checkable
+
+from repro.core.binning import Bin, bin_contigs
+from repro.core.construct import DEFAULT_LOAD_FACTOR
+from repro.core.extension import WalkState
+from repro.errors import KernelError
+from repro.genomics.contig import Contig, End
+from repro.simt.counters import KernelProfile
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """Knobs a launch policy may consult when planning."""
+
+    depth_ratio: float = 2.0
+    max_batch_insertions: int | None = None
+    load_factor: float = DEFAULT_LOAD_FACTOR
+
+
+@dataclass(frozen=True)
+class LaunchPlan:
+    """One kernel launch: a bin of contigs extended in one direction."""
+
+    bin: Bin
+    end: End
+    k: int
+
+
+@runtime_checkable
+class LaunchPolicy(Protocol):
+    """Strategy turning (contigs, k, config) into an ordered launch list."""
+
+    def plan(self, contigs: list[Contig], k: int,
+             config: LaunchConfig) -> list[LaunchPlan]:
+        ...
+
+
+class BinnedLaunchPolicy:
+    """Figure 3 default: depth-similar bins, one launch per bin per end."""
+
+    def __init__(self, ends: tuple[End, ...] = (End.RIGHT, End.LEFT)) -> None:
+        self.ends = ends
+
+    def plan(self, contigs: list[Contig], k: int,
+             config: LaunchConfig) -> list[LaunchPlan]:
+        bins = bin_contigs(contigs, k, config.depth_ratio,
+                           config.max_batch_insertions, config.load_factor)
+        return [LaunchPlan(bin=b, end=end, k=k)
+                for b in bins for end in self.ends]
+
+
+class SingleBinLaunchPolicy:
+    """Ablation policy: the whole dataset as one launch per end (no
+    binning), the unbatched baseline the binning ablation contrasts."""
+
+    def __init__(self, ends: tuple[End, ...] = (End.RIGHT, End.LEFT)) -> None:
+        self.ends = ends
+
+    def plan(self, contigs: list[Contig], k: int,
+             config: LaunchConfig) -> list[LaunchPlan]:
+        bin_ = Bin(contig_indices=list(range(len(contigs))))
+        return [LaunchPlan(bin=bin_, end=end, k=k) for end in self.ends]
+
+
+def validate_k_schedule(k_schedule: tuple[int, ...]) -> None:
+    if not k_schedule or list(k_schedule) != sorted(set(k_schedule)):
+        raise KernelError(
+            f"k_schedule must be strictly increasing, got {k_schedule}"
+        )
+
+
+def iterate_k_schedule(
+    run_one: Callable[[int], "object"],
+    n_contigs: int,
+    k_schedule: tuple[int, ...],
+) -> tuple[int, KernelProfile, list, list]:
+    """Drive the iterative k schedule over any backend's ``run``.
+
+    ``run_one(k)`` must return a :class:`KernelRunResult`-shaped object
+    (``right``/``left`` lists of ``(bases, WalkState)`` plus ``profile``).
+    Returns ``(last_k, merged_profile, right, left)``. Every k runs as
+    its own launch sequence (tables must be rebuilt per k — the GPU
+    cannot resize them); profiles of all launches merge.
+    """
+    validate_k_schedule(k_schedule)
+    merged: KernelProfile | None = None
+    right: list[tuple[str, WalkState]] = [("", WalkState.MISSING)] * n_contigs
+    left: list[tuple[str, WalkState]] = [("", WalkState.MISSING)] * n_contigs
+    settled_r = [False] * n_contigs
+    settled_l = [False] * n_contigs
+    last_k = k_schedule[0]
+    for k in k_schedule:
+        if all(settled_r) and all(settled_l):
+            break
+        last_k = k
+        res = run_one(k)
+        if merged is None:
+            merged = res.profile
+        else:
+            merged.merge(res.profile)
+        for i in range(n_contigs):
+            for side, settled, best in (
+                (res.right, settled_r, right),
+                (res.left, settled_l, left),
+            ):
+                if settled[i]:
+                    continue
+                bases, state = side[i]
+                if len(bases) >= len(best[i][0]) or state is not WalkState.FORK:
+                    best[i] = (bases, state)
+                if state is not WalkState.FORK:
+                    settled[i] = True
+    assert merged is not None
+    merged.contigs = n_contigs
+    return last_k, merged, right, left

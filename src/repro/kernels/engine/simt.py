@@ -1,0 +1,259 @@
+"""The staged SIMT execution engine driving the three vendor ports.
+
+Execution model (Figure 4 of the paper): one contig per warp. Per
+launch plan (one bin, one extension direction) the engine runs
+
+1. **prepare** (:mod:`repro.kernels.engine.prepare`) — flatten + hash
+   the bin's reads into launch arrays, reusing the k-independent
+   flatten across a k-schedule;
+2. **construct** (:mod:`repro.kernels.engine.construct`) — insertion
+   waves with the port's collision protocol;
+3. **walk** (:mod:`repro.kernels.engine.walk`) — the predicated
+   mer-walk;
+
+with launch plans produced by a pluggable
+:class:`~repro.kernels.engine.schedule.LaunchPolicy`. All profiling,
+memory-traffic accounting, and address-trace recording happens in event
+subscribers (:mod:`repro.kernels.engine.events`), never inline — the
+phases only emit what they measured.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.merwalk import DEFAULT_MAX_WALK_LEN
+from repro.core.construct import DEFAULT_LOAD_FACTOR
+from repro.core.extension import DEFAULT_POLICY, WalkPolicy, WalkState
+from repro.errors import KernelError
+from repro.genomics.contig import Contig, End
+from repro.genomics.dna import reverse_complement
+from repro.genomics.reads import DEFAULT_QUAL_THRESHOLD
+from repro.hashing.opcount import hash_intops
+from repro.kernels.engine.backend import KernelRunResult, ProtocolCosts
+from repro.kernels.engine.construct import ConstructPhase
+from repro.kernels.engine.events import (
+    EventBus,
+    LaunchDone,
+    LaunchStarted,
+    ProfileSubscriber,
+    TraceSubscriber,
+    TrafficSubscriber,
+)
+from repro.kernels.engine.prepare import BatchPreparer, PrepareCache
+from repro.kernels.engine.schedule import (
+    BinnedLaunchPolicy,
+    LaunchConfig,
+    LaunchPolicy,
+    iterate_k_schedule,
+)
+from repro.kernels.engine.walk import WalkPhase
+from repro.kernels.vectortable import SLOT_BYTES, WarpHashTables
+from repro.simt.counters import KernelProfile
+from repro.simt.device import DeviceSpec
+
+
+class LocalAssemblyKernel:
+    """Base class; subclasses set :attr:`protocol` and default warp size.
+
+    Args:
+        device: simulated GPU to run on.
+        warp_size: lane width; defaults to the device's native width
+            (the SYCL port exposes this as the sub-group size).
+        policy: walk vote-resolution thresholds.
+        max_walk_len: extension length cap.
+        qual_threshold: phred cut separating hi/low-quality votes.
+        seed: Murmur seed.
+        load_factor: hash-table occupancy target for size estimation.
+        table_sizing: "upper_bound" (default) reserves per-contig capacity
+            from the k-independent read-volume bound, as the GPU
+            pre-processing must (Figure 3: tables are sized once, before
+            the k iterations run); "exact" sizes from the actual insertion
+            count (the ablation comparison).
+        l2_churn: cache-model churn constant (see
+            :class:`repro.simt.memory.AnalyticCacheModel`).
+        launch_policy: pluggable bins->launches strategy (defaults to the
+            Figure 3 :class:`BinnedLaunchPolicy`).
+    """
+
+    protocol: ProtocolCosts  # set by subclasses
+
+    def __init__(
+        self,
+        device: DeviceSpec,
+        warp_size: int | None = None,
+        policy: WalkPolicy = DEFAULT_POLICY,
+        max_walk_len: int = DEFAULT_MAX_WALK_LEN,
+        qual_threshold: int = DEFAULT_QUAL_THRESHOLD,
+        seed: int = 0,
+        load_factor: float = DEFAULT_LOAD_FACTOR,
+        table_sizing: str = "upper_bound",
+        l2_churn: float = 4.0,
+        lane_parallel_walks: bool = False,
+        launch_policy: LaunchPolicy | None = None,
+    ) -> None:
+        if not hasattr(self, "protocol"):
+            raise KernelError("use a concrete kernel subclass, not the base")
+        if table_sizing not in ("upper_bound", "exact"):
+            raise KernelError(f"unknown table_sizing {table_sizing!r}")
+        self.device = device
+        self.warp_size = int(warp_size or device.warp_size)
+        if self.warp_size <= 0:
+            raise KernelError(f"warp_size must be positive, got {self.warp_size}")
+        self.policy = policy
+        self.max_walk_len = max_walk_len
+        self.qual_threshold = qual_threshold
+        self.seed = seed
+        self.load_factor = load_factor
+        self.table_sizing = table_sizing
+        self.l2_churn = l2_churn
+        #: Future-work mode (paper Section VI): with independent thread
+        #: scheduling, every lane of a warp can run its own mer-walk, so
+        #: walk instructions stop wasting warp_size-1 issue lanes.
+        self.lane_parallel_walks = lane_parallel_walks
+        self.launch_policy = launch_policy or BinnedLaunchPolicy()
+        self.preparer = BatchPreparer(
+            seed=seed, qual_threshold=qual_threshold,
+            load_factor=load_factor, table_sizing=table_sizing,
+        )
+        #: When True, every table-slot access's byte address is recorded
+        #: into :attr:`last_trace` (one array per launch) so the analytic
+        #: cache model can be validated against the exact trace simulator.
+        self.record_trace = False
+        self.last_trace: list[np.ndarray] = []
+        #: The prep cache of the most recent :meth:`run_schedule` call
+        #: (exposes flatten hit/miss statistics).
+        self.last_prep_cache: PrepareCache | None = None
+        #: Extra event subscribers attached to every subsequent run —
+        #: the observability extension point.
+        self.extra_subscribers: list = []
+
+    # ------------------------------------------------------------------
+
+    def add_subscriber(self, subscriber):
+        """Attach an event subscriber to all future runs of this kernel."""
+        self.extra_subscribers.append(subscriber)
+        return subscriber
+
+    def _build_bus(self, profile: KernelProfile, parallel_scale: float,
+                   ) -> tuple[EventBus, TrafficSubscriber, TraceSubscriber | None]:
+        """Assemble the instrumentation stack for one run.
+
+        The profile subscriber is registered before the traffic
+        subscriber so it sees ``LaunchDone`` (storing the chain stats)
+        before the nested ``MemoryTrafficResolved`` arrives.
+        """
+        bus = EventBus()
+        bus.subscribe(ProfileSubscriber(
+            profile, warp_size=self.warp_size, protocol=self.protocol,
+            lane_parallel_walks=self.lane_parallel_walks,
+            dependent_cpi=self.device.dependent_cpi,
+        ))
+        traffic = bus.subscribe(TrafficSubscriber(
+            self.device, l2_churn=self.l2_churn, parallel_scale=parallel_scale,
+        ))
+        tracer = bus.subscribe(TraceSubscriber()) if self.record_trace else None
+        for sub in self.extra_subscribers:
+            bus.subscribe(sub)
+        return bus, traffic, tracer
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        contigs: list[Contig],
+        k: int,
+        depth_ratio: float = 2.0,
+        max_batch_insertions: int | None = None,
+        parallel_scale: float = 1.0,
+        prep_cache: PrepareCache | None = None,
+    ) -> KernelRunResult:
+        """Execute the full local-assembly workflow (Figure 3) at one k.
+
+        ``parallel_scale`` declares what fraction of the paper-size
+        dataset ``contigs`` represents, so the cache model can apply
+        full-size concurrency pressure to a scaled run. ``prep_cache``
+        carries flattened read streams across calls (the k-schedule
+        reuse; see :class:`~repro.kernels.engine.prepare.PrepareCache`).
+
+        Returns functional extensions for both ends of every contig plus
+        the merged :class:`KernelProfile` (time left at zero — the timing
+        model in :mod:`repro.perfmodel.timing` fills it from the counters).
+        """
+        if parallel_scale <= 0 or parallel_scale > 1:
+            raise KernelError(f"parallel_scale must be in (0, 1], got {parallel_scale}")
+        if max_batch_insertions is None:
+            # reserve at most ~25% of HBM for tables in one launch
+            max_batch_insertions = int(
+                self.device.hbm_bytes * 0.25 * self.load_factor / SLOT_BYTES
+            )
+        plans = self.launch_policy.plan(contigs, k, LaunchConfig(
+            depth_ratio=depth_ratio,
+            max_batch_insertions=max_batch_insertions,
+            load_factor=self.load_factor,
+        ))
+        profile = KernelProfile(warp_size=self.warp_size)
+        profile.walk_issue_width = 1 if self.lane_parallel_walks else self.warp_size
+        profile.contigs = len(contigs)
+        right: list[tuple[str, WalkState]] = [("", WalkState.MISSING)] * len(contigs)
+        left: list[tuple[str, WalkState]] = [("", WalkState.MISSING)] * len(contigs)
+        self.last_trace = []
+        bus, traffic, tracer = self._build_bus(profile, parallel_scale)
+        construct = ConstructPhase(self.protocol, self.warp_size)
+        walker = WalkPhase(self.policy, self.max_walk_len, self.seed)
+        ops = hash_intops(k)
+        for plan in plans:
+            batch = self.preparer.prepare(contigs, plan.bin, plan.end, k,
+                                          cache=prep_cache)
+            tables = WarpHashTables(batch.capacities, k)
+            bus.emit(LaunchStarted(
+                k=k, hash_ops=ops, n_warps=batch.n_warps,
+                mean_table_bytes=float(np.mean(batch.capacities)) * SLOT_BYTES,
+                mean_read_bytes=float(np.mean(batch.read_bytes_per_warp)),
+                cold_footprint_bytes=tables.total_bytes + 2 * batch.codes.size,
+            ))
+            cres = construct.run(batch, tables, bus)
+            wres = walker.run(batch, tables, bus)
+            bus.emit(LaunchDone(
+                waves=cres.waves, construct_iterations=cres.iterations,
+                walk_steps=wres.steps, walk_iterations=wres.iterations,
+            ))
+            self._last_access_latency = traffic.last_access_latency
+            for w, ci in enumerate(batch.contig_ids):
+                if plan.end is End.RIGHT:
+                    right[ci] = (wres.bases[w], wres.states[w])
+                else:
+                    rc = reverse_complement(wres.bases[w])
+                    assert isinstance(rc, str)
+                    left[ci] = (rc, wres.states[w])
+        if tracer is not None:
+            self.last_trace = tracer.traces
+        return KernelRunResult(device=self.device, k=k, profile=profile,
+                               right=right, left=left)
+
+    def run_schedule(
+        self,
+        contigs: list[Contig],
+        k_schedule: tuple[int, ...] = (21, 33, 55, 77),
+        parallel_scale: float = 1.0,
+    ) -> KernelRunResult:
+        """Iterate the k schedule on-device (Figures 2 and 4).
+
+        Per contig end, the first *accepted* walk (anything but a fork)
+        at the smallest k wins, and forked ends retry at the next k,
+        keeping the longest extension if no k resolves the fork. The
+        flattened read streams are prepared once per (bin, end) and
+        reused across the whole schedule — only the per-k hashing pass
+        reruns (:class:`~repro.kernels.engine.prepare.PrepareCache`).
+        Profiles of all launches merge; the result's ``k`` reports the
+        last k executed.
+        """
+        cache = PrepareCache()
+        self.last_prep_cache = cache
+        last_k, merged, right, left = iterate_k_schedule(
+            lambda k: self.run(contigs, k, parallel_scale=parallel_scale,
+                               prep_cache=cache),
+            len(contigs), k_schedule,
+        )
+        return KernelRunResult(device=self.device, k=last_k, profile=merged,
+                               right=right, left=left)

@@ -1,0 +1,144 @@
+"""The walk phase: one lane per warp mer-walks from the contig-end seed.
+
+The other lanes are predicated off while one lane walks; the terminal
+state is broadcast with a shuffle. Everything is vectorized across
+warps: the Python-level loops are over walk steps and probe iterations,
+never over lanes or warps.
+
+Measured quantities leave the phase as events
+(:class:`~repro.kernels.engine.events.WalkStep`,
+:class:`~repro.kernels.engine.events.ProbeIteration`,
+:class:`~repro.kernels.engine.events.SlotAccess`); the phase never
+mutates a profile or traffic ledger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.extension import (
+    DEFAULT_POLICY,
+    STATE_CODES,
+    WalkPolicy,
+    WalkState,
+    resolve_extension_batch,
+)
+from repro.core.merwalk import DEFAULT_MAX_WALK_LEN
+from repro.genomics.kmer import fingerprint_matrix
+from repro.hashing.murmur import murmur2_batch
+from repro.kernels.engine.events import EventBus, ProbeIteration, SlotAccess, WalkStep
+from repro.kernels.engine.prepare import Batch
+from repro.kernels.vectortable import WarpHashTables
+
+_CODE_TO_STATE = {v: k for k, v in STATE_CODES.items()}
+
+
+@dataclass
+class WalkOutput:
+    """Functional + serial-chain output of one launch's walk phase."""
+
+    bases: list[str]            #: extension per warp
+    states: list[WalkState]     #: terminal state per warp
+    steps: int                  #: lockstep walk steps executed
+    iterations: int             #: lockstep lookup-probe iterations
+
+
+class WalkPhase:
+    """Mer-walks every warp's seed, emitting events."""
+
+    def __init__(self, policy: WalkPolicy = DEFAULT_POLICY,
+                 max_walk_len: int = DEFAULT_MAX_WALK_LEN,
+                 seed: int = 0) -> None:
+        self.policy = policy
+        self.max_walk_len = max_walk_len
+        self.seed = seed
+
+    def run(self, batch: Batch, tables: WarpHashTables,
+            bus: EventBus) -> WalkOutput:
+        n_warps = batch.n_warps
+        cur = batch.seeds.copy()
+        alive = batch.seed_valid.copy()
+        bases: list[list[str]] = [[] for _ in range(n_warps)]
+        states = [WalkState.MISSING] * n_warps
+        visited: list[set] = [set() for _ in range(n_warps)]
+        first_step = np.ones(n_warps, dtype=bool)
+        for w in np.nonzero(alive)[0]:
+            visited[w].add(int(fingerprint_matrix(cur[w][None, :])[0]))
+        chain = 0
+        steps_run = 0
+        for _step in range(self.max_walk_len + 1):
+            if not alive.any():
+                break
+            steps_run += 1
+            a = np.nonzero(alive)[0]
+            if _step == self.max_walk_len:
+                for w in a:
+                    states[w] = WalkState.MAX_LEN
+                break
+            homes = murmur2_batch(cur[a], self.seed)
+            fps = fingerprint_matrix(cur[a])
+
+            # probe for the key (or an empty slot = not present)
+            found_slot = np.full(a.size, -1, dtype=np.int64)
+            missing = np.zeros(a.size, dtype=bool)
+            probe = np.zeros(a.size, dtype=np.int64)
+            unresolved = np.ones(a.size, dtype=bool)
+            while unresolved.any():
+                chain += 1
+                u = np.nonzero(unresolved)[0]
+                slots = tables.slot_of(a[u], homes[u], probe[u])
+                bus.emit(SlotAccess(slots=slots))
+                occupied, slot_fp = tables.inspect(slots)
+                bus.emit(ProbeIteration(
+                    phase="walk", lanes=u.size, warps=u.size,
+                    key_compares=int(np.count_nonzero(occupied)),
+                ))
+                hit = occupied & (slot_fp == fps[u])
+                found_slot[u[hit]] = slots[hit]
+                miss = ~occupied
+                missing[u[miss]] = True
+                probe[u[occupied & ~hit]] += 1
+                unresolved[u[hit | miss]] = False
+
+            # resolve extensions for found keys
+            res_states = np.full(a.size, -2, dtype=np.int8)
+            res_bases = np.full(a.size, -1, dtype=np.int8)
+            f = found_slot >= 0
+            vote_reads = int(f.sum())
+            if f.any():
+                hi_rows, lo_rows = tables.votes_at(found_slot[f])
+                s, b = resolve_extension_batch(hi_rows, lo_rows, self.policy)
+                res_states[f] = s
+                res_bases[f] = b
+
+            bases_committed = 0
+            next_alive = alive.copy()
+            for j, w in enumerate(a):
+                if missing[j]:
+                    states[w] = WalkState.MISSING if first_step[w] else WalkState.END
+                    next_alive[w] = False
+                    continue
+                st = _CODE_TO_STATE[int(res_states[j])]
+                if st is not WalkState.EXTEND:
+                    states[w] = st
+                    next_alive[w] = False
+                    continue
+                base = int(res_bases[j])
+                cur[w, :-1] = cur[w, 1:]
+                cur[w, -1] = base
+                fp_next = int(fingerprint_matrix(cur[w][None, :])[0])
+                if fp_next in visited[w]:
+                    states[w] = WalkState.LOOP
+                    next_alive[w] = False
+                    continue
+                visited[w].add(fp_next)
+                bases[w].append("ACGT"[base])
+                bases_committed += 1
+            bus.emit(WalkStep(walkers=a.size, vote_reads=vote_reads,
+                              bases_committed=bases_committed))
+            first_step[a] = False
+            alive = next_alive
+        return WalkOutput(bases=["".join(b) for b in bases], states=states,
+                          steps=steps_run, iterations=chain)

@@ -12,7 +12,7 @@ removed).
 
 from __future__ import annotations
 
-from repro.kernels.base import LocalAssemblyKernel, ProtocolCosts
+from repro.kernels.engine import LocalAssemblyKernel, ProtocolCosts
 from repro.simt.device import DeviceSpec
 
 #: AMD wavefront width (CDNA2).

@@ -12,7 +12,7 @@ default here and the sweep is reproduced by
 from __future__ import annotations
 
 from repro.errors import KernelError
-from repro.kernels.base import LocalAssemblyKernel, ProtocolCosts
+from repro.kernels.engine import LocalAssemblyKernel, ProtocolCosts
 from repro.simt.device import DeviceSpec
 
 #: Sub-group size the paper found optimal on the Max 1550.

@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import KmerError
-from repro.genomics.kmer import kmer_fingerprints, kmer_matrix
+from repro.genomics.kmer import kmer_fingerprints
 from repro.genomics.dna import complement
 from repro.genomics.reads import ReadSet
 

@@ -18,7 +18,7 @@ from repro.core.pipeline import LocalAssembler
 from repro.errors import KmerError
 from repro.genomics.contig import Contig
 from repro.genomics.reads import ReadSet
-from repro.kernels.base import LocalAssemblyKernel
+from repro.kernels.engine import LocalAssemblyKernel
 from repro.metahipmer.alignment import assign_reads_to_ends
 from repro.metahipmer.global_graph import GlobalDeBruijnGraph, generate_contigs
 from repro.metahipmer.kmer_analysis import count_kmers_filtered

@@ -13,7 +13,7 @@ active) and HBM bytes are what crosses the device memory bus.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ModelError
 

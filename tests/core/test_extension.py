@@ -1,12 +1,10 @@
 """Tests for extension votes and the walk-resolution rule."""
 
 import numpy as np
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.extension import (
-    DEFAULT_POLICY,
     ExtensionVotes,
     WalkPolicy,
     WalkState,

@@ -6,7 +6,6 @@ k=6 the fork disappears. We reproduce both properties with the real hash
 table and walk machinery.
 """
 
-import numpy as np
 
 from repro.core.construct import build_table
 from repro.core.extension import WalkPolicy, WalkState
@@ -25,7 +24,7 @@ def _table(k, copies=2):
 
 def test_k4_graph_has_fork_at_ccc():
     table = _table(4)
-    slot = table.lookup(encode("TCCC"))
+    table.lookup(encode("TCCC"))
     # TCCC's next base is G... the fork in figure 1 is at 3-mer node ccc:
     # k-mers CCCT and CCCG share prefix CCC. In the k=4 hash table the key
     # CCCT exists (ext C) and the walk from AGCC forks at CCC? With k=4 keys

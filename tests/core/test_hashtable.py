@@ -1,6 +1,5 @@
 """Tests for the loc_ht open-addressing hash table."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,6 +1,5 @@
 """Tests for Algorithm 2 (mer-walks)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

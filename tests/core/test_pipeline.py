@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core.extension import WalkPolicy
 from repro.core.pipeline import DEFAULT_K_SCHEDULE, LocalAssembler
 from repro.errors import KmerError
 from repro.genomics.contig import End
@@ -42,7 +41,7 @@ class TestExtension:
     def test_right_extension_matches_truth(self):
         rng = np.random.default_rng(42)
         sc = simulate_contig_scenario(SPEC, rng, PERFECT_READS)
-        res = _assembler().assemble_contig(sc.contig)
+        _assembler().assemble_contig(sc.contig)
         ext = sc.contig.right_extension
         assert ext is not None and len(ext.bases) > 10
         assert sc.true_right_flank.startswith(ext.bases)
@@ -131,3 +130,88 @@ class TestExtension:
         assert contig.right_extension.kmer_size == 33
         assert contig.right_extension.bases  # resolved at k=33
         assert a_post.startswith(contig.right_extension.bases)
+
+
+class TestKeepLongestAccepted:
+    """Pin the best-walk selection rule of ``_walk_one_end``.
+
+    An accepted walk (anything but a fork) must win over a *longer* fork
+    kept from an earlier k — a fork's bases stop at an unresolved branch,
+    so preferring them by length alone would report unresolved guesses
+    over a clean termination. Within the same acceptance class the
+    longest extension wins.
+    """
+
+    def _scenario(self):
+        rng = np.random.default_rng(7)
+        return simulate_contig_scenario(SPEC, rng, PERFECT_READS)
+
+    def _scripted(self, monkeypatch, results):
+        it = iter(results)
+        monkeypatch.setattr("repro.core.pipeline.mer_walk",
+                            lambda *a, **kw: next(it))
+
+    def test_accepted_walk_beats_longer_fork(self, monkeypatch):
+        from repro.core.merwalk import WalkResult
+        from repro.core.extension import WalkState
+
+        sc = self._scenario()
+        self._scripted(monkeypatch, [
+            WalkResult(bases="ACGTACGTACGT", state=WalkState.FORK, steps=13, k=21),
+            WalkResult(bases="ACGT", state=WalkState.END, steps=5, k=33),
+        ])
+        asm = LocalAssembler(k_schedule=(21, 33))
+        ext, walks = asm._walk_one_end(
+            sc.contig, sc.contig.reads_for_end(End.RIGHT), End.RIGHT)
+        assert len(walks) == 2
+        assert ext.walk_state == WalkState.END.value
+        assert ext.bases == "ACGT"
+        assert ext.kmer_size == 33
+
+    def test_longest_fork_kept_when_nothing_accepted(self, monkeypatch):
+        from repro.core.merwalk import WalkResult
+        from repro.core.extension import WalkState
+
+        sc = self._scenario()
+        self._scripted(monkeypatch, [
+            WalkResult(bases="ACGTACGTACGT", state=WalkState.FORK, steps=13, k=21),
+            WalkResult(bases="ACG", state=WalkState.FORK, steps=4, k=33),
+        ])
+        asm = LocalAssembler(k_schedule=(21, 33))
+        ext, walks = asm._walk_one_end(
+            sc.contig, sc.contig.reads_for_end(End.RIGHT), End.RIGHT)
+        assert len(walks) == 2
+        assert ext.walk_state == WalkState.FORK.value
+        assert ext.bases == "ACGTACGTACGT"
+        assert ext.kmer_size == 21
+
+    def test_accepted_non_missing_stops_the_schedule(self, monkeypatch):
+        from repro.core.merwalk import WalkResult
+        from repro.core.extension import WalkState
+
+        sc = self._scenario()
+        self._scripted(monkeypatch, [
+            WalkResult(bases="ACGTA", state=WalkState.END, steps=6, k=21),
+        ])
+        asm = LocalAssembler(k_schedule=(21, 33))
+        ext, walks = asm._walk_one_end(
+            sc.contig, sc.contig.reads_for_end(End.RIGHT), End.RIGHT)
+        assert len(walks) == 1
+        assert ext.bases == "ACGTA"
+        assert ext.kmer_size == 21
+
+    def test_missing_retries_and_later_acceptance_wins(self, monkeypatch):
+        from repro.core.merwalk import WalkResult
+        from repro.core.extension import WalkState
+
+        sc = self._scenario()
+        self._scripted(monkeypatch, [
+            WalkResult(bases="", state=WalkState.MISSING, steps=0, k=21),
+            WalkResult(bases="AC", state=WalkState.END, steps=3, k=33),
+        ])
+        asm = LocalAssembler(k_schedule=(21, 33))
+        ext, walks = asm._walk_one_end(
+            sc.contig, sc.contig.reads_for_end(End.RIGHT), End.RIGHT)
+        assert len(walks) == 2
+        assert ext.walk_state == WalkState.END.value
+        assert ext.bases == "AC"

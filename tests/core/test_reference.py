@@ -1,14 +1,13 @@
 """Tests for the dict-based reference implementation and differential checks."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.extension import WalkPolicy, WalkState
 from repro.core.pipeline import LocalAssembler
 from repro.core.reference import reference_extend, reference_table, reference_walk
-from repro.genomics.contig import Contig, End
+from repro.genomics.contig import End
 from repro.genomics.reads import Read, ReadSet
 from repro.genomics.simulate import PERFECT_READS, ScenarioSpec, simulate_contig_scenario
 

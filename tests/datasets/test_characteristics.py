@@ -4,7 +4,6 @@ import pytest
 
 from repro.datasets.characteristics import (
     TABLE_II,
-    DatasetCharacteristics,
     measure_characteristics,
 )
 from repro.errors import DatasetError

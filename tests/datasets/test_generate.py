@@ -1,6 +1,5 @@
 """Tests for the Table II dataset generator."""
 
-import numpy as np
 import pytest
 
 from repro.core.extension import PRODUCTION_POLICY

@@ -1,7 +1,6 @@
 """Property-based round-trip tests for the serialization formats."""
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

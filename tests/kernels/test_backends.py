@@ -1,0 +1,127 @@
+"""Backend registry + cross-backend functional parity.
+
+Every execution path — the three SIMT vendor ports and the scalar CPU
+reference — must produce *identical* extension bases and walk states on
+the same dataset; they may differ only in profile counters (warp width,
+instruction counts, memory traffic). The registry is the single place
+callers select paths by name or by device.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.genomics.simulate import PERFECT_READS, ScenarioSpec, simulate_batch
+from repro.kernels import (
+    CudaLocalAssemblyKernel,
+    HipLocalAssemblyKernel,
+    ScalarReferenceBackend,
+    SyclLocalAssemblyKernel,
+    available_backends,
+    backend_for_device,
+    create_backend,
+    kernel_for_device,
+)
+from repro.kernels.engine import ExecutionBackend
+from repro.simt.device import A100, MAX1550, MI250X
+
+SPEC = ScenarioSpec(contig_length=200, flank_length=60, read_length=90,
+                    depth=8, seed_window=50)
+
+BACKENDS = ["cuda", "hip", "sycl", "scalar"]
+
+
+def _contigs(n=5, seed=3, spec=SPEC):
+    rng = np.random.default_rng(seed)
+    return [sc.contig for sc in simulate_batch(n, spec, rng, PERFECT_READS)]
+
+
+class TestRegistry:
+    def test_all_four_paths_registered(self):
+        assert set(BACKENDS) <= set(available_backends())
+
+    def test_create_by_name(self):
+        assert isinstance(create_backend("cuda"), CudaLocalAssemblyKernel)
+        assert isinstance(create_backend("hip"), HipLocalAssemblyKernel)
+        assert isinstance(create_backend("sycl"), SyclLocalAssemblyKernel)
+        assert isinstance(create_backend("scalar"), ScalarReferenceBackend)
+
+    def test_names_are_case_insensitive(self):
+        assert isinstance(create_backend("CUDA"), CudaLocalAssemblyKernel)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KernelError, match="unknown backend"):
+            create_backend("opencl")
+
+    def test_backend_for_device_matches_programming_model(self):
+        assert isinstance(backend_for_device(A100), CudaLocalAssemblyKernel)
+        assert isinstance(backend_for_device(MI250X), HipLocalAssemblyKernel)
+        assert isinstance(backend_for_device(MAX1550), SyclLocalAssemblyKernel)
+
+    def test_kernel_for_device_still_works(self):
+        kern = kernel_for_device(A100)
+        assert isinstance(kern, CudaLocalAssemblyKernel)
+        assert kern.device is A100
+
+    def test_default_devices_are_the_paper_platforms(self):
+        assert create_backend("cuda").device is A100
+        assert create_backend("hip").device is MI250X
+        assert create_backend("sycl").device is MAX1550
+
+    def test_explicit_device_overrides_default(self):
+        from repro.simt.device import DeviceSpec
+
+        custom = MI250X.with_(name="MI250X-x2")
+        kern = create_backend("hip", device=custom)
+        assert isinstance(kern.device, DeviceSpec)
+        assert kern.device.name == "MI250X-x2"
+
+    def test_every_backend_satisfies_the_protocol(self):
+        for name in BACKENDS:
+            assert isinstance(create_backend(name), ExecutionBackend)
+
+
+class TestBackendParity:
+    """Identical functional output; only the profiles differ."""
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_run_matches_cuda(self, name):
+        contigs = _contigs()
+        want = create_backend("cuda").run(contigs, 21)
+        got = create_backend(name).run(contigs, 21)
+        assert tuple(got.right) == tuple(want.right)
+        assert tuple(got.left) == tuple(want.left)
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_run_schedule_matches_cuda(self, name):
+        contigs = _contigs(n=4, seed=11)
+        want = create_backend("cuda").run_schedule(contigs, (21, 33))
+        got = create_backend(name).run_schedule(contigs, (21, 33))
+        assert got.k == want.k
+        assert tuple(got.right) == tuple(want.right)
+        assert tuple(got.left) == tuple(want.left)
+
+    def test_profiles_differ_where_the_ports_differ(self):
+        contigs = _contigs(seed=5)
+        profs = {n: create_backend(n).run(contigs, 21).profile
+                 for n in BACKENDS}
+        # same work items everywhere...
+        assert (profs["cuda"].inserts == profs["hip"].inserts
+                == profs["sycl"].inserts == profs["scalar"].inserts)
+        assert (profs["cuda"].extension_bases == profs["scalar"].extension_bases)
+        # ...but port-specific widths and costs
+        assert profs["cuda"].warp_size == 32
+        assert profs["hip"].warp_size == 64
+        assert profs["sycl"].warp_size == 16
+        assert profs["scalar"].warp_size == 1
+        # the three protocols charge different per-iteration costs
+        assert len({profs[n].intops for n in ("cuda", "hip", "sycl")}) == 3
+        assert all(profs[n].sync_ops > 0 for n in ("cuda", "hip", "sycl"))
+        assert profs["scalar"].sync_ops == 0
+        # the scalar path has no SIMT machinery at all
+        assert profs["scalar"].warp_instructions == 0
+        assert profs["scalar"].hbm_bytes == 0
+
+    def test_scalar_backend_is_deviceless_by_default(self):
+        res = create_backend("scalar").run(_contigs(n=2, seed=8), 21)
+        assert res.device is None

@@ -1,0 +1,152 @@
+"""The instrumentation-hook layer: event bus, subscribers, extensibility."""
+
+import numpy as np
+import pytest
+
+from repro.genomics.simulate import PERFECT_READS, ScenarioSpec, simulate_batch
+from repro.kernels import CudaLocalAssemblyKernel
+from repro.kernels.engine import (
+    EventBus,
+    LaunchDone,
+    LaunchStarted,
+    MemoryTrafficResolved,
+    ProbeIteration,
+    SlotAccess,
+    WalkStep,
+    WaveExecuted,
+)
+from repro.kernels.vectortable import SLOT_BYTES
+from repro.simt.device import A100
+
+SPEC = ScenarioSpec(contig_length=200, flank_length=60, read_length=90,
+                    depth=8, seed_window=50)
+
+
+def _contigs(n=4, seed=3):
+    rng = np.random.default_rng(seed)
+    return [sc.contig for sc in simulate_batch(n, SPEC, rng, PERFECT_READS)]
+
+
+class _Recorder:
+    """A minimal external subscriber: records every event it sees."""
+
+    def __init__(self):
+        self.events = []
+
+    def handle(self, event, bus):
+        self.events.append(event)
+
+    def of(self, cls):
+        return [e for e in self.events if isinstance(e, cls)]
+
+
+class TestEventBus:
+    def test_subscribe_returns_the_subscriber(self):
+        bus = EventBus()
+        rec = _Recorder()
+        assert bus.subscribe(rec) is rec
+
+    def test_dispatch_order_is_subscription_order(self):
+        bus = EventBus()
+        seen = []
+
+        class Tagged:
+            def __init__(self, tag):
+                self.tag = tag
+
+            def handle(self, event, bus):
+                seen.append(self.tag)
+
+        bus.subscribe(Tagged("a"))
+        bus.subscribe(Tagged("b"))
+        bus.emit(object())
+        assert seen == ["a", "b"]
+
+    def test_subscriber_may_emit_followup_events(self):
+        bus = EventBus()
+        rec = _Recorder()
+
+        class Reemitter:
+            def handle(self, event, bus):
+                if isinstance(event, LaunchDone):
+                    bus.emit("followup")
+
+        bus.subscribe(Reemitter())
+        bus.subscribe(rec)
+        done = LaunchDone(waves=1, construct_iterations=1,
+                          walk_steps=1, walk_iterations=1)
+        bus.emit(done)
+        # nested emits dispatch synchronously: subscribers registered
+        # *after* the re-emitter see the follow-up first (which is why
+        # the profile subscriber registers before the traffic one)
+        assert rec.events == ["followup", done]
+
+
+class TestKernelEventStream:
+    """The stream a real kernel run emits is internally consistent."""
+
+    @pytest.fixture(scope="class")
+    def stream(self):
+        kern = CudaLocalAssemblyKernel(A100)
+        rec = kern.add_subscriber(_Recorder())
+        res = kern.run(_contigs(), 21)
+        return rec, res
+
+    def test_launch_bracketing(self, stream):
+        rec, res = stream
+        starts = rec.of(LaunchStarted)
+        dones = rec.of(LaunchDone)
+        assert len(starts) == len(dones) > 0
+        assert res.profile.kernels_launched == len(dones)
+
+    def test_wave_lanes_sum_to_inserts(self, stream):
+        rec, res = stream
+        assert sum(e.lanes for e in rec.of(WaveExecuted)) == res.profile.inserts
+
+    def test_probe_iterations_split_by_phase(self, stream):
+        rec, res = stream
+        probes = rec.of(ProbeIteration)
+        construct = sum(e.lanes for e in probes if e.phase == "construct")
+        walk = sum(e.lanes for e in probes if e.phase == "walk")
+        assert construct == res.profile.insert_probe_iterations
+        assert walk == res.profile.lookup_probe_iterations
+
+    def test_walk_steps_commit_the_extension_bases(self, stream):
+        rec, res = stream
+        committed = sum(e.bases_committed for e in rec.of(WalkStep))
+        assert committed == res.profile.extension_bases
+
+    def test_traffic_resolution_follows_every_launch(self, stream):
+        rec, res = stream
+        resolved = rec.of(MemoryTrafficResolved)
+        assert len(resolved) == len(rec.of(LaunchDone))
+        assert sum(e.hbm_bytes for e in resolved) == pytest.approx(
+            res.profile.hbm_bytes)
+
+    def test_slot_accesses_match_the_recorded_trace(self, stream):
+        rec, _res = stream
+        kern = CudaLocalAssemblyKernel(A100)
+        kern.record_trace = True
+        kern.run(_contigs(), 21)
+        total_slots = sum(e.slots.size for e in rec.of(SlotAccess))
+        total_trace = sum(t.size for t in kern.last_trace)
+        assert total_slots == total_trace
+        assert all((t % SLOT_BYTES == 0).all() for t in kern.last_trace)
+
+
+class TestSubscriberIsolation:
+    def test_extra_subscriber_does_not_change_results(self):
+        contigs = _contigs(seed=9)
+        plain = CudaLocalAssemblyKernel(A100).run(contigs, 21)
+        observed_kern = CudaLocalAssemblyKernel(A100)
+        observed_kern.add_subscriber(_Recorder())
+        observed = observed_kern.run(contigs, 21)
+        assert tuple(observed.right) == tuple(plain.right)
+        assert tuple(observed.left) == tuple(plain.left)
+        assert observed.profile.intops == plain.profile.intops
+        assert observed.profile.hbm_bytes == plain.profile.hbm_bytes
+
+    def test_events_are_immutable(self):
+        e = WaveExecuted(lanes=3, warps=1)
+        with pytest.raises(AttributeError):
+            e.lanes = 4

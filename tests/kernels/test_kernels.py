@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.extension import PRODUCTION_POLICY, WalkPolicy
+from repro.core.extension import PRODUCTION_POLICY
 from repro.core.reference import reference_extend
 from repro.errors import KernelError
 from repro.genomics.contig import End

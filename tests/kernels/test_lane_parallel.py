@@ -1,7 +1,6 @@
 """Tests for the lane-parallel walk mode (independent thread scheduling)."""
 
 import numpy as np
-import pytest
 
 from repro.core.extension import PRODUCTION_POLICY
 from repro.genomics.simulate import PERFECT_READS, ScenarioSpec, simulate_batch

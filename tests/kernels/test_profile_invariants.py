@@ -6,7 +6,6 @@ functional tests cannot see.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

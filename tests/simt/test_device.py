@@ -9,7 +9,6 @@ from repro.simt.device import (
     MI250X,
     PLATFORMS,
     CacheSpec,
-    DeviceSpec,
     device_by_name,
 )
 
