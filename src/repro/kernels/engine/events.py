@@ -16,10 +16,19 @@ observations:
   cycles without the two subscribers knowing about each other.
 * :class:`TraceSubscriber` — exact table-slot address traces for the
   trace-driven cache-simulator validation.
+* :class:`TraceReplaySubscriber` — streams every launch's slot trace
+  through the exact batched cache hierarchy
+  (:meth:`~repro.simt.memory.CacheHierarchy.replay`) during a normal
+  kernel run (``memory_model="trace"``), yielding measured per-level
+  counts to validate — and recalibrate ``l2_churn`` in — the analytic
+  model.
 
 Any object with a ``handle(event, bus)`` method can subscribe, so new
 observability (histograms, per-launch logs, live dashboards) attaches
-without touching kernel code.
+without touching kernel code. Subscribers may declare the event types
+they consume in a ``handled_events`` class attribute; the phases use
+:meth:`EventBus.wants` to skip building hot-loop events (the per-probe
+:class:`SlotAccess` arrays) that nobody listens to.
 
 Ordering note: :class:`TrafficSubscriber` emits
 :class:`MemoryTrafficResolved` while handling :class:`LaunchDone`;
@@ -36,7 +45,12 @@ import numpy as np
 
 from repro.kernels.vectortable import SLOT_BYTES, SLOT_TAG_BYTES, SLOT_VALUE_BYTES
 from repro.simt.device import DeviceSpec
-from repro.simt.memory import AccessCategory, AnalyticCacheModel
+from repro.simt.memory import (
+    AccessCategory,
+    AnalyticCacheModel,
+    CacheHierarchy,
+    implied_l2_churn,
+)
 
 #: Warp instructions charged per probe iteration (loop bookkeeping).
 ITERATION_BASE_INSTRS = 10
@@ -129,18 +143,42 @@ class MemoryTrafficResolved:
 
 
 class EventBus:
-    """Synchronous in-process dispatch of engine events to subscribers."""
+    """Synchronous in-process dispatch of engine events to subscribers.
+
+    Subscribers may declare the event types they handle in a
+    ``handled_events`` class attribute (a tuple of event classes);
+    omitting it means "wants everything". :meth:`wants` lets hot loops skip constructing events no
+    subscriber would consume.
+    """
 
     def __init__(self) -> None:
         self._subscribers: list = []
+        self._wants_cache: dict = {}
 
     def subscribe(self, subscriber):
         """Attach a subscriber (any object with ``handle(event, bus)``)."""
         self._subscribers.append(subscriber)
+        self._wants_cache.clear()
         return subscriber
 
+    def wants(self, event_type: type) -> bool:
+        """Whether any subscriber consumes events of ``event_type``."""
+        cached = self._wants_cache.get(event_type)
+        if cached is not None:
+            return cached
+        wanted = any(
+            getattr(sub, "handled_events", None) is None
+            or event_type in sub.handled_events
+            for sub in self._subscribers
+        )
+        self._wants_cache[event_type] = wanted
+        return wanted
+
     def emit(self, event) -> None:
-        for sub in self._subscribers:
+        subscribers = self._subscribers
+        if not subscribers:
+            return
+        for sub in subscribers:
             sub.handle(event, self)
 
 
@@ -156,6 +194,9 @@ class ProfileSubscriber:
     scheduling mode) so the *same* event stream yields different profiles
     for different ports — exactly how the paper's three ports differ.
     """
+
+    handled_events = (LaunchStarted, WaveExecuted, ProbeIteration, WalkStep,
+                      LaunchDone, MemoryTrafficResolved)
 
     def __init__(self, profile, *, warp_size: int, protocol,
                  lane_parallel_walks: bool, dependent_cpi: float) -> None:
@@ -249,6 +290,9 @@ class TrafficSubscriber:
     access categories and publishes :class:`MemoryTrafficResolved`.
     """
 
+    handled_events = (LaunchStarted, WaveExecuted, ProbeIteration, WalkStep,
+                      LaunchDone)
+
     _COUNT_KEYS = ("table_probe", "table_vote", "table_vote_read",
                    "key_compare", "read_stream")
 
@@ -328,6 +372,8 @@ class TrafficSubscriber:
 class TraceSubscriber:
     """Records every table-slot access's byte address, one array/launch."""
 
+    handled_events = (LaunchStarted, SlotAccess, LaunchDone)
+
     def __init__(self) -> None:
         self.traces: list[np.ndarray] = []
         self._chunks: list[np.ndarray] = []
@@ -340,3 +386,138 @@ class TraceSubscriber:
         elif isinstance(event, LaunchDone):
             if self._chunks:
                 self.traces.append(np.concatenate(self._chunks))
+
+
+@dataclass(frozen=True)
+class TraceReplayStats:
+    """Exact-replay measurement of one launch's table-slot traffic."""
+
+    k: int
+    n_warps: int
+    mean_table_bytes: float       #: per-warp table footprint (L2 pressure)
+    accesses: int                 #: slot accesses replayed
+    l1: int                       #: accesses served by the L1 (0: atomics)
+    l2: int                       #: accesses served by the L2
+    hbm: int                      #: accesses that went to memory
+    hbm_bytes: int                #: line-granular bytes over the bus
+    cold_lines: int               #: distinct L2 lines touched (compulsory)
+
+    @property
+    def l2_hit_rate(self) -> float:
+        """L2 hit probability given an L1 miss (compulsory misses included)."""
+        seen = self.accesses - self.l1
+        return self.l2 / seen if seen else 0.0
+
+    @property
+    def warm_l2_hit_rate(self) -> float:
+        """L2 hit probability with compulsory misses excluded.
+
+        The analytic capacity model prices cold traffic separately (the
+        cold-footprint floor), so this — not :attr:`l2_hit_rate` — is the
+        quantity ``min(1, C / W)`` predicts.
+        """
+        seen = self.accesses - self.l1 - self.cold_lines
+        return self.l2 / seen if seen > 0 else 1.0
+
+
+class TraceReplaySubscriber:
+    """Replays every table-slot access through the exact cache hierarchy.
+
+    Attached when a kernel runs with ``memory_model="trace"``. Slot
+    traces buffer per launch and replay in one batched
+    :meth:`~repro.simt.memory.CacheHierarchy.replay` call on
+    :class:`LaunchDone` — atomically, because the kernel's probes and
+    votes are atomicCAS/atomicAdd and execute at the L2 on every GPU
+    modeled here. The hierarchy cold-starts per launch: each launch
+    allocates fresh tables, so byte addresses from different launches
+    alias unrelated memory.
+    """
+
+    handled_events = (LaunchStarted, SlotAccess, LaunchDone)
+
+    def __init__(self, device: DeviceSpec, ways: int = 8) -> None:
+        self.device = device
+        self.hierarchy = CacheHierarchy(device, ways=ways)
+        self.launches: list[TraceReplayStats] = []
+        self._chunks: list[np.ndarray] = []
+        self._context: LaunchStarted | None = None
+
+    def handle(self, event, bus) -> None:
+        if isinstance(event, LaunchStarted):
+            self._chunks = []
+            self._context = event
+        elif isinstance(event, SlotAccess):
+            self._chunks.append(event.slots * SLOT_BYTES)
+        elif isinstance(event, LaunchDone):
+            ctx = self._context
+            if ctx is None:
+                return
+            trace = (np.concatenate(self._chunks) if self._chunks
+                     else np.zeros(0, dtype=np.int64))
+            self.hierarchy.reset()
+            counts = self.hierarchy.replay(trace, atomic=True)
+            line = self.device.l2.line_bytes
+            self.launches.append(TraceReplayStats(
+                k=ctx.k, n_warps=ctx.n_warps,
+                mean_table_bytes=ctx.mean_table_bytes,
+                accesses=int(trace.size), l1=counts["l1"], l2=counts["l2"],
+                hbm=counts["hbm"], hbm_bytes=self.hierarchy.hbm_bytes,
+                cold_lines=int(np.unique(trace // line).size),
+            ))
+            self._chunks = []
+
+    # ------------------------------------------------------------------
+    # aggregate views (validation / recalibration of the analytic model)
+
+    @property
+    def total_accesses(self) -> int:
+        return sum(s.accesses for s in self.launches)
+
+    @property
+    def total_hbm_bytes(self) -> int:
+        return sum(s.hbm_bytes for s in self.launches)
+
+    @property
+    def l2_hit_rate(self) -> float:
+        """Access-weighted exact L2 hit rate across all launches."""
+        return replay_l2_hit_rate(self.launches)
+
+    def suggested_l2_churn(self) -> float:
+        """The ``l2_churn`` making the analytic model match the replay."""
+        return replay_suggested_l2_churn(self.device, self.launches)
+
+
+def replay_l2_hit_rate(launches: list[TraceReplayStats],
+                       warm: bool = True) -> float:
+    """Access-weighted exact L2 hit rate over replayed launches.
+
+    ``warm`` (default) excludes each launch's compulsory misses, which is
+    what the analytic capacity model predicts; ``warm=False`` gives the
+    raw rate including cold traffic.
+    """
+    if warm:
+        seen = sum(s.accesses - s.l1 - s.cold_lines for s in launches)
+    else:
+        seen = sum(s.accesses - s.l1 for s in launches)
+    return sum(s.l2 for s in launches) / seen if seen > 0 else 1.0
+
+
+def replay_suggested_l2_churn(device: DeviceSpec,
+                              launches: list[TraceReplayStats]) -> float:
+    """The ``l2_churn`` making the analytic model match exact replays.
+
+    Access-weighted mean of the per-launch inversions
+    (:func:`~repro.simt.memory.implied_l2_churn`) against the *warm* hit
+    rates (the model floors compulsory traffic separately); launches
+    whose replay saw no L2 hits are ignored.
+    """
+    total = 0.0
+    weight = 0
+    for s in launches:
+        if s.accesses == 0 or s.warm_l2_hit_rate <= 0.0:
+            continue
+        churn = implied_l2_churn(device, s.n_warps,
+                                 s.mean_table_bytes, s.warm_l2_hit_rate)
+        total += churn * s.accesses
+        weight += s.accesses
+    return total / weight if weight else 1.0

@@ -37,6 +37,7 @@ from repro.kernels.engine.events import (
     LaunchDone,
     LaunchStarted,
     ProfileSubscriber,
+    TraceReplaySubscriber,
     TraceSubscriber,
     TrafficSubscriber,
 )
@@ -74,6 +75,14 @@ class LocalAssemblyKernel:
             :class:`repro.simt.memory.AnalyticCacheModel`).
         launch_policy: pluggable bins->launches strategy (defaults to the
             Figure 3 :class:`BinnedLaunchPolicy`).
+        memory_model: "analytic" (default) prices traffic with the
+            working-set model only; "trace" additionally streams every
+            table-slot access through the exact batched cache hierarchy
+            (:class:`~repro.kernels.engine.events.TraceReplaySubscriber`),
+            leaving per-launch exact measurements in :attr:`last_replay`
+            for validating/recalibrating the analytic model. Profile
+            counters always come from the analytic model, so trace mode
+            changes no result — it adds exact measurements beside it.
     """
 
     protocol: ProtocolCosts  # set by subclasses
@@ -91,11 +100,14 @@ class LocalAssemblyKernel:
         l2_churn: float = 4.0,
         lane_parallel_walks: bool = False,
         launch_policy: LaunchPolicy | None = None,
+        memory_model: str = "analytic",
     ) -> None:
         if not hasattr(self, "protocol"):
             raise KernelError("use a concrete kernel subclass, not the base")
         if table_sizing not in ("upper_bound", "exact"):
             raise KernelError(f"unknown table_sizing {table_sizing!r}")
+        if memory_model not in ("analytic", "trace"):
+            raise KernelError(f"unknown memory_model {memory_model!r}")
         self.device = device
         self.warp_size = int(warp_size or device.warp_size)
         if self.warp_size <= 0:
@@ -121,6 +133,12 @@ class LocalAssemblyKernel:
         #: cache model can be validated against the exact trace simulator.
         self.record_trace = False
         self.last_trace: list[np.ndarray] = []
+        self.memory_model = memory_model
+        #: Per-launch exact-replay measurements of the most recent run
+        #: (populated when ``memory_model="trace"``), plus the subscriber
+        #: itself for aggregate views (hit rates, suggested ``l2_churn``).
+        self.last_replay: list = []
+        self.last_replay_subscriber: TraceReplaySubscriber | None = None
         #: The prep cache of the most recent :meth:`run_schedule` call
         #: (exposes flatten hit/miss statistics).
         self.last_prep_cache: PrepareCache | None = None
@@ -135,8 +153,10 @@ class LocalAssemblyKernel:
         self.extra_subscribers.append(subscriber)
         return subscriber
 
-    def _build_bus(self, profile: KernelProfile, parallel_scale: float,
-                   ) -> tuple[EventBus, TrafficSubscriber, TraceSubscriber | None]:
+    def _build_bus(
+        self, profile: KernelProfile, parallel_scale: float,
+    ) -> tuple[EventBus, TrafficSubscriber, TraceSubscriber | None,
+               TraceReplaySubscriber | None]:
         """Assemble the instrumentation stack for one run.
 
         The profile subscriber is registered before the traffic
@@ -153,9 +173,11 @@ class LocalAssemblyKernel:
             self.device, l2_churn=self.l2_churn, parallel_scale=parallel_scale,
         ))
         tracer = bus.subscribe(TraceSubscriber()) if self.record_trace else None
+        replayer = (bus.subscribe(TraceReplaySubscriber(self.device))
+                    if self.memory_model == "trace" else None)
         for sub in self.extra_subscribers:
             bus.subscribe(sub)
-        return bus, traffic, tracer
+        return bus, traffic, tracer, replayer
 
     # ------------------------------------------------------------------
 
@@ -198,7 +220,8 @@ class LocalAssemblyKernel:
         right: list[tuple[str, WalkState]] = [("", WalkState.MISSING)] * len(contigs)
         left: list[tuple[str, WalkState]] = [("", WalkState.MISSING)] * len(contigs)
         self.last_trace = []
-        bus, traffic, tracer = self._build_bus(profile, parallel_scale)
+        self.last_replay = []
+        bus, traffic, tracer, replayer = self._build_bus(profile, parallel_scale)
         construct = ConstructPhase(self.protocol, self.warp_size)
         walker = WalkPhase(self.policy, self.max_walk_len, self.seed)
         ops = hash_intops(k)
@@ -228,6 +251,9 @@ class LocalAssemblyKernel:
                     left[ci] = (rc, wres.states[w])
         if tracer is not None:
             self.last_trace = tracer.traces
+        if replayer is not None:
+            self.last_replay = replayer.launches
+            self.last_replay_subscriber = replayer
         return KernelRunResult(device=self.device, k=k, profile=profile,
                                right=right, left=left)
 
@@ -250,10 +276,18 @@ class LocalAssemblyKernel:
         """
         cache = PrepareCache()
         self.last_prep_cache = cache
+        schedule_replay: list = []
+
+        def _run_one(k: int) -> KernelRunResult:
+            res = self.run(contigs, k, parallel_scale=parallel_scale,
+                           prep_cache=cache)
+            schedule_replay.extend(self.last_replay)
+            return res
+
         last_k, merged, right, left = iterate_k_schedule(
-            lambda k: self.run(contigs, k, parallel_scale=parallel_scale,
-                               prep_cache=cache),
-            len(contigs), k_schedule,
+            _run_one, len(contigs), k_schedule,
         )
+        if self.memory_model == "trace":
+            self.last_replay = schedule_replay
         return KernelRunResult(device=self.device, k=last_k, profile=merged,
                                right=right, left=left)

@@ -64,10 +64,13 @@ class WalkPhase:
         states = [WalkState.MISSING] * n_warps
         visited: list[set] = [set() for _ in range(n_warps)]
         first_step = np.ones(n_warps, dtype=bool)
-        for w in np.nonzero(alive)[0]:
-            visited[w].add(int(fingerprint_matrix(cur[w][None, :])[0]))
+        live = np.nonzero(alive)[0]
+        if live.size:
+            for w, fp in zip(live, fingerprint_matrix(cur[live])):
+                visited[w].add(int(fp))
         chain = 0
         steps_run = 0
+        emit_slots = bus.wants(SlotAccess)
         for _step in range(self.max_walk_len + 1):
             if not alive.any():
                 break
@@ -89,7 +92,8 @@ class WalkPhase:
                 chain += 1
                 u = np.nonzero(unresolved)[0]
                 slots = tables.slot_of(a[u], homes[u], probe[u])
-                bus.emit(SlotAccess(slots=slots))
+                if emit_slots:
+                    bus.emit(SlotAccess(slots=slots))
                 occupied, slot_fp = tables.inspect(slots)
                 bus.emit(ProbeIteration(
                     phase="walk", lanes=u.size, warps=u.size,
@@ -115,27 +119,31 @@ class WalkPhase:
 
             bases_committed = 0
             next_alive = alive.copy()
-            for j, w in enumerate(a):
-                if missing[j]:
-                    states[w] = WalkState.MISSING if first_step[w] else WalkState.END
-                    next_alive[w] = False
-                    continue
-                st = _CODE_TO_STATE[int(res_states[j])]
-                if st is not WalkState.EXTEND:
-                    states[w] = st
-                    next_alive[w] = False
-                    continue
-                base = int(res_bases[j])
-                cur[w, :-1] = cur[w, 1:]
-                cur[w, -1] = base
-                fp_next = int(fingerprint_matrix(cur[w][None, :])[0])
-                if fp_next in visited[w]:
-                    states[w] = WalkState.LOOP
-                    next_alive[w] = False
-                    continue
-                visited[w].add(fp_next)
-                bases[w].append("ACGT"[base])
-                bases_committed += 1
+            advancing = ~missing & (res_states == STATE_CODES[WalkState.EXTEND])
+            # terminal warps leave the walk; each warp terminates at most
+            # once per launch, so these loops are O(n_warps) overall
+            for w in a[missing]:
+                states[w] = WalkState.MISSING if first_step[w] else WalkState.END
+                next_alive[w] = False
+            for j in np.nonzero(~missing & ~advancing)[0]:
+                w = a[j]
+                states[w] = _CODE_TO_STATE[int(res_states[j])]
+                next_alive[w] = False
+            if advancing.any():
+                adv = np.nonzero(advancing)[0]
+                aw = a[adv]
+                cur[aw, :-1] = cur[aw, 1:]
+                cur[aw, -1] = res_bases[adv]
+                fps_next = fingerprint_matrix(cur[aw])
+                for j, w, fp in zip(adv, aw, fps_next):
+                    fp_next = int(fp)
+                    if fp_next in visited[w]:
+                        states[w] = WalkState.LOOP
+                        next_alive[w] = False
+                        continue
+                    visited[w].add(fp_next)
+                    bases[w].append("ACGT"[int(res_bases[j])])
+                    bases_committed += 1
             bus.emit(WalkStep(walkers=a.size, vote_reads=vote_reads,
                               bases_committed=bases_committed))
             first_step[a] = False

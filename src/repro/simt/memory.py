@@ -3,9 +3,12 @@
 Two models, per DESIGN.md decision #2:
 
 * :class:`CacheSim` — an exact set-associative LRU cache usable as L1 or
-  L2, fed with address traces. Exact but O(trace length) in Python, so it
-  is used for small inputs, unit tests, and for validating the analytic
-  model's hit rates.
+  L2, fed with address traces. The scalar :meth:`CacheSim.access` path is
+  O(trace length) in Python and kept as the differential-testing
+  reference; :meth:`CacheSim.replay` computes the identical hit/miss
+  outcomes with NumPy by grouping the trace by cache set and replaying
+  one access per set per vectorized *round*, so exact simulation runs at
+  full-trace scale (see ``benchmarks/bench_cachesim_replay.py``).
 * :class:`AnalyticCacheModel` — a capacity/working-set model evaluated per
   *access category* (random table probes, random key compares, streaming
   read-buffer traffic, ...). For a random-access category whose per-CU
@@ -206,11 +209,75 @@ class CacheSim:
         return False
 
     def access_trace(self, addresses: np.ndarray) -> np.ndarray:
-        """Access a sequence of addresses; returns the boolean hit vector."""
+        """Access a sequence of addresses; returns the boolean hit vector.
+
+        Scalar reference path — one Python iteration per access. Kept for
+        differential testing against :meth:`replay`, which produces the
+        same hit vector and end state vectorized.
+        """
         addresses = np.asarray(addresses, dtype=np.int64)
         return np.fromiter(
             (self.access(int(a)) for a in addresses), dtype=bool, count=len(addresses)
         )
+
+    def replay(self, addresses: np.ndarray) -> np.ndarray:
+        """Batched :meth:`access_trace`: same outcomes, vectorized over sets.
+
+        Cache sets are independent and grouping preserves each set's
+        access order, so replaying one access per set per *round* — each
+        round a single vectorized tag-compare + LRU update across every
+        set still holding accesses — reproduces the scalar loop exactly:
+        identical per-access hits, identical tags/LRU stamps/clock after
+        the call (the two paths can be interleaved freely). The Python
+        loop runs ``max(accesses landing in one set)`` rounds instead of
+        ``len(addresses)`` iterations.
+        """
+        addresses = np.asarray(addresses, dtype=np.int64)
+        n = addresses.size
+        hits = np.zeros(n, dtype=bool)
+        if n == 0:
+            return hits
+        lines = addresses // self.spec.line_bytes
+        sets = lines % self.n_sets
+        order = np.argsort(sets, kind="stable")  # per-set order == trace order
+        sorted_sets = sets[order]
+        starts = np.flatnonzero(np.r_[True, sorted_sets[1:] != sorted_sets[:-1]])
+        counts = np.diff(np.r_[starts, n])
+        group_sets = sorted_sets[starts]
+        # deepest groups first: round r's active groups are a prefix
+        by_depth = np.argsort(-counts, kind="stable")
+        starts = starts[by_depth]
+        counts = counts[by_depth]
+        group_sets = group_sets[by_depth]
+        neg_counts = -counts
+        base = self._clock
+        # Rounds only touch the sets present in the trace, and always as
+        # a *prefix* of the depth-sorted groups — so compact those rows
+        # into dense scratch tables once, run every round on contiguous
+        # slices, and scatter back once at the end. This removes the big
+        # strided tag/LRU gathers from the loop body.
+        tags = self._tags[group_sets]
+        lru = self._lru[group_sets]
+        rows = np.arange(group_sets.size)
+        for r in range(int(counts[0])):
+            m = int(np.searchsorted(neg_counts, -r, side="left"))
+            idx = order[starts[:m] + r]     # original trace positions
+            line_r = lines[idx]
+            row = rows[:m]
+            match = tags[:m] == line_r[:, None]
+            hit_way = match.argmax(axis=1)
+            is_hit = match[row, hit_way]    # argmax==0 may mean "no match"
+            way = np.where(is_hit, hit_way, lru[:m].argmin(axis=1))
+            tags[row, way] = line_r
+            lru[row, way] = base + 1 + idx  # the scalar path's clock stamp
+            hits[idx] = is_hit
+        self._tags[group_sets] = tags
+        self._lru[group_sets] = lru
+        self._clock = base + n
+        n_hits = int(np.count_nonzero(hits))
+        self.hits += n_hits
+        self.misses += n - n_hits
+        return hits
 
     @property
     def hit_rate(self) -> float:
@@ -220,6 +287,13 @@ class CacheSim:
     def reset_stats(self) -> None:
         self.hits = 0
         self.misses = 0
+
+    def reset(self) -> None:
+        """Invalidate all lines and clear statistics (cold cache)."""
+        self._tags.fill(-1)
+        self._lru.fill(0)
+        self._clock = 0
+        self.reset_stats()
 
 
 class CacheHierarchy:
@@ -249,11 +323,46 @@ class CacheHierarchy:
 
     def access_trace(self, addresses: np.ndarray,
                      atomic: bool = False) -> dict[str, int]:
-        """Replay a trace; returns per-level hit counts."""
+        """Replay a trace scalar-ly; returns per-level hit counts.
+
+        Reference path; :meth:`replay` gives identical counts batched.
+        """
         counts = {"l1": 0, "l2": 0, "hbm": 0}
         for a in np.asarray(addresses, dtype=np.int64):
             counts[self.access(int(a), atomic=atomic)] += 1
         return counts
+
+    def replay(self, addresses: np.ndarray, atomic: bool = False,
+               return_levels: bool = False):
+        """Batched trace replay through L1 -> L2 -> HBM.
+
+        Each level sees exactly the subsequence the scalar path would
+        feed it (the whole trace for the L1, the L1-miss subsequence for
+        the L2), so per-level counts and cache end states match
+        :meth:`access_trace` exactly. With ``return_levels`` the per-level
+        counts come with the serving level of every access
+        (:data:`REPLAY_LEVELS` codes: 0 = L1, 1 = L2, 2 = HBM).
+        """
+        addresses = np.asarray(addresses, dtype=np.int64)
+        n = addresses.size
+        if atomic:
+            l1_hits = np.zeros(n, dtype=bool)
+            l2_hits = self.l2.replay(addresses)
+        else:
+            l1_hits = self.l1.replay(addresses)
+            l2_hits = self.l2.replay(addresses[~l1_hits])
+        n_l1 = int(np.count_nonzero(l1_hits))
+        n_l2 = int(np.count_nonzero(l2_hits))
+        n_hbm = n - n_l1 - n_l2
+        self.hbm_transactions += n_hbm
+        counts = {"l1": n_l1, "l2": n_l2, "hbm": n_hbm}
+        if not return_levels:
+            return counts
+        levels = np.zeros(n, dtype=np.int8)
+        miss_l1 = np.nonzero(~l1_hits)[0]
+        levels[miss_l1[l2_hits]] = 1
+        levels[miss_l1[~l2_hits]] = 2
+        return counts, levels
 
     @property
     def hbm_bytes(self) -> int:
@@ -264,3 +373,33 @@ class CacheHierarchy:
         self.l1.reset_stats()
         self.l2.reset_stats()
         self.hbm_transactions = 0
+
+    def reset(self) -> None:
+        """Cold-start both levels and clear all statistics."""
+        self.l1.reset()
+        self.l2.reset()
+        self.hbm_transactions = 0
+
+
+#: Serving-level names for :meth:`CacheHierarchy.replay` level codes.
+REPLAY_LEVELS = ("l1", "l2", "hbm")
+
+
+def implied_l2_churn(device: DeviceSpec, warps_in_flight: int,
+                     working_set_per_warp: float,
+                     measured_l2_hit: float) -> float:
+    """Invert the analytic L2 capacity model against a measured hit rate.
+
+    The analytic model predicts ``l2_hit = min(1, C / (W * warps * churn))``
+    for a random category; given an exact-replay hit rate this returns the
+    ``l2_churn`` that makes the model reproduce it (clamped to the model's
+    ``>= 1`` domain). A saturated hit rate (>= 1) or an empty working set
+    leaves the inversion unconstrained — every churn up to ``C / W``
+    reproduces it — so the least-commitment answer 1.0 is returned.
+    """
+    ws = working_set_per_warp * warps_in_flight
+    if measured_l2_hit <= 0.0:
+        raise ModelError("measured_l2_hit must be positive to invert")
+    if ws <= 0 or measured_l2_hit >= 1.0:
+        return 1.0
+    return max(1.0, device.l2.size_bytes / (ws * measured_l2_hit))

@@ -37,6 +37,25 @@ class TestRun:
         assert main(["run", str(dat), "33", str(tmp_path / "o.fa"),
                      "--device", "MI250X"]) == 0
 
+    def test_run_with_trace_memory_model(self, tmp_path, capsys):
+        dat = tmp_path / "in.dat"
+        main(["generate", "21", str(dat), "--scale", "0.001"])
+        capsys.readouterr()
+        rc = main(["run", str(dat), "21", str(tmp_path / "o.fa"),
+                   "--memory-model", "trace"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "exact replay:" in out
+        assert "L2 hit rate" in out and "l2_churn" in out
+
+    def test_scalar_backend_rejects_trace_model(self, tmp_path, capsys):
+        dat = tmp_path / "in.dat"
+        main(["generate", "21", str(dat), "--scale", "0.001"])
+        rc = main(["run", str(dat), "21", str(tmp_path / "o.fa"),
+                   "--backend", "scalar", "--memory-model", "trace"])
+        assert rc == 2
+        assert "scalar" in capsys.readouterr().err
+
 
 class TestExperiment:
     def test_static_tables(self, capsys):

@@ -1,0 +1,184 @@
+"""Property tests: batched replay vs the seed scalar cache simulator.
+
+The batched engine (:meth:`CacheSim.replay`, :meth:`CacheHierarchy.replay`)
+must agree with the scalar reference path (:meth:`CacheSim.access` /
+:meth:`CacheHierarchy.access`) on per-access hit vectors, hit/miss
+totals, atomic L1-bypass semantics, and the internal cache state left
+behind — across the associativities, set counts, and line sizes of all
+three modeled devices.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModelError
+from repro.simt.device import A100, MAX1550, MI250X, CacheSpec
+from repro.simt.memory import (
+    REPLAY_LEVELS,
+    CacheHierarchy,
+    CacheSim,
+    implied_l2_churn,
+)
+
+#: (size, line, ways) grid spanning the three devices' line sizes (A100
+#: moves 32 B sectors; MI250X and Max 1550 move 64 B lines), a range of
+#: associativities, and set counts from 1 to hundreds.
+SPECS = [
+    (256, 32, 8),          # 1 set, A100-style sectors
+    (1024, 32, 4),         # 8 sets
+    (64 * 1024, 32, 8),    # 256 sets (A100 L1 shape, shrunk)
+    (256, 64, 4),          # 1 set, AMD/Intel lines
+    (4 * 1024, 64, 2),     # 32 sets, low associativity
+    (64 * 1024, 64, 16),   # 64 sets (L2-like associativity)
+]
+
+
+def _scalar_hits(spec_args, ways, addrs):
+    sim = CacheSim(CacheSpec(*spec_args), ways=ways)
+    hits = sim.access_trace(addrs)
+    return sim, hits
+
+
+@pytest.mark.parametrize("size,line,ways", SPECS)
+class TestReplayMatchesScalar:
+    def _specs(self, size, line):
+        return (size, line, 10)
+
+    @settings(max_examples=15, deadline=None)
+    @given(data=st.data())
+    def test_hit_vector_totals_and_state(self, size, line, ways, data):
+        addrs = data.draw(st.lists(
+            st.integers(0, 64 * size), min_size=0, max_size=400))
+        addrs = np.asarray(addrs, dtype=np.int64)
+        scalar, scalar_hits = _scalar_hits(self._specs(size, line), ways, addrs)
+        batched = CacheSim(CacheSpec(*self._specs(size, line)), ways=ways)
+        batched_hits = batched.replay(addrs)
+        assert (scalar_hits == batched_hits).all()
+        assert (scalar.hits, scalar.misses) == (batched.hits, batched.misses)
+        assert (scalar._tags == batched._tags).all()
+        assert (scalar._lru == batched._lru).all()
+        assert scalar._clock == batched._clock
+
+    @settings(max_examples=10, deadline=None)
+    @given(data=st.data())
+    def test_interleaving_scalar_and_batched(self, size, line, ways, data):
+        """The two paths share state: prefix scalar + suffix batched ==
+        all-scalar, access for access."""
+        addrs = np.asarray(data.draw(st.lists(
+            st.integers(0, 16 * size), min_size=2, max_size=200)),
+            dtype=np.int64)
+        cut = data.draw(st.integers(0, len(addrs)))
+        scalar, scalar_hits = _scalar_hits(self._specs(size, line), ways, addrs)
+        mixed = CacheSim(CacheSpec(*self._specs(size, line)), ways=ways)
+        prefix = mixed.access_trace(addrs[:cut])
+        suffix = mixed.replay(addrs[cut:])
+        assert (np.concatenate([prefix, suffix]) == scalar_hits).all()
+        assert (scalar._tags == mixed._tags).all()
+        assert (scalar._lru == mixed._lru).all()
+
+
+class TestReplayEdgeCases:
+    def test_empty_trace(self):
+        sim = CacheSim(CacheSpec(1024, 64, 10))
+        assert sim.replay(np.array([], dtype=np.int64)).size == 0
+        assert sim.hits == sim.misses == 0
+        assert sim._clock == 0
+
+    def test_single_access(self):
+        sim = CacheSim(CacheSpec(1024, 64, 10))
+        assert not sim.replay(np.array([128])).any()
+        assert sim.replay(np.array([130])).all()  # same line
+
+    def test_reset_cold_starts(self):
+        sim = CacheSim(CacheSpec(1024, 64, 10))
+        sim.replay(np.array([0, 0, 64]))
+        sim.reset()
+        assert sim.hits == sim.misses == 0
+        assert not sim.replay(np.array([0])).any()  # cold again
+
+    def test_repeated_fitting_trace_all_hits(self):
+        """Second replay of a cache-fitting trace hits 100% (LRU sanity)."""
+        rng = np.random.default_rng(0)
+        sim = CacheSim(CacheSpec(64 * 1024, 64, 10), ways=16)
+        addrs = rng.integers(0, 32 * 1024, size=5000)
+        sim.replay(addrs)
+        assert sim.replay(addrs).all()
+
+
+def _device_grid():
+    """Shrunken two-level shapes preserving each device's line sizes."""
+    for dev in (A100, MI250X, MAX1550):
+        yield dev.with_(
+            l1=CacheSpec(32 * dev.l1.line_bytes, dev.l1.line_bytes, 10),
+            l2=CacheSpec(256 * dev.l2.line_bytes, dev.l2.line_bytes, 100),
+        )
+
+
+@pytest.mark.parametrize("device", list(_device_grid()),
+                         ids=lambda d: d.name)
+@pytest.mark.parametrize("atomic", [False, True])
+class TestHierarchyReplayMatchesScalar:
+    @settings(max_examples=10, deadline=None)
+    @given(data=st.data())
+    def test_counts_levels_and_state(self, device, atomic, data):
+        addrs = np.asarray(data.draw(st.lists(
+            st.integers(0, 64 * device.l2.size_bytes // 16),
+            min_size=0, max_size=300)), dtype=np.int64)
+        scalar = CacheHierarchy(device)
+        scalar_levels = [scalar.access(int(a), atomic=atomic) for a in addrs]
+        batched = CacheHierarchy(device)
+        counts, levels = batched.replay(addrs, atomic=atomic,
+                                        return_levels=True)
+        assert [REPLAY_LEVELS[c] for c in levels] == scalar_levels
+        for name in REPLAY_LEVELS:
+            assert counts[name] == scalar_levels.count(name)
+        assert scalar.hbm_transactions == batched.hbm_transactions
+        assert scalar.hbm_bytes == batched.hbm_bytes
+        assert (scalar.l1._tags == batched.l1._tags).all()
+        assert (scalar.l2._tags == batched.l2._tags).all()
+        if atomic:
+            # atomics bypass the L1 entirely: untouched state, no hits
+            assert counts["l1"] == 0
+            assert (batched.l1._tags == -1).all()
+
+
+class TestHierarchyReplayApi:
+    def _hier(self):
+        dev = A100.with_(l1=CacheSpec(1024, 64, 10),
+                         l2=CacheSpec(8 * 1024, 64, 100))
+        return CacheHierarchy(dev)
+
+    def test_counts_dict_is_access_trace_compatible(self):
+        h = self._hier()
+        counts = h.replay(np.arange(0, 640, 64))
+        assert set(counts) == {"l1", "l2", "hbm"}
+        assert counts["hbm"] == 10
+
+    def test_reset(self):
+        h = self._hier()
+        h.replay(np.arange(0, 640, 64))
+        h.reset()
+        assert h.hbm_transactions == 0
+        assert h.replay(np.array([0]))["hbm"] == 1  # cold again
+
+
+class TestImpliedL2Churn:
+    def test_inverts_the_capacity_model(self):
+        ws_per_warp, warps, churn = 40_000.0, 2000, 3.0
+        predicted = min(1.0, A100.l2.size_bytes / (ws_per_warp * warps * churn))
+        assert 0 < predicted < 1
+        assert implied_l2_churn(A100, warps, ws_per_warp,
+                                predicted) == pytest.approx(churn)
+
+    def test_saturated_hit_rate_is_unconstrained(self):
+        assert implied_l2_churn(A100, 10, 64.0, 1.0) == 1.0
+
+    def test_clamps_to_model_domain(self):
+        # a *lower* hit rate than even churn=1 predicts still returns >= 1
+        assert implied_l2_churn(A100, 1, 1e12, 0.9999) == 1.0
+
+    def test_rejects_zero_hit_rate(self):
+        with pytest.raises(ModelError):
+            implied_l2_churn(A100, 1, 1024.0, 0.0)
