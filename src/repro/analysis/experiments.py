@@ -27,6 +27,8 @@ from repro.perfmodel.theoretical import (
     theoretical_ii,
 )
 from repro.perfmodel.timing import extrapolate_profile, predict_time
+from repro.resilience.checkpoint import CheckpointStore
+from repro.resilience.retry import DEFAULT_BACKOFF, DEFAULT_RETRIES, retry_transient
 from repro.simt.counters import KernelProfile
 from repro.simt.device import PLATFORMS, DeviceSpec
 
@@ -45,12 +47,31 @@ class ExperimentConfig:
         seed: dataset RNG seed.
         policy: walk policy (the MetaHipMer-like production thresholds).
         k_values: which Table II datasets to run.
+        overflow_policy: hash-table overflow semantics passed to every
+            kernel (see :class:`repro.resilience.OverflowPolicy`).
+        checkpoint_dir: when set, each completed ``(device, k)`` run is
+            persisted there and ``run``/``run_all`` resume from any
+            checkpoints whose configuration fingerprint matches.
+        fault_injector: optional :class:`repro.resilience.FaultInjector`
+            shared by every kernel run (for tests and the CI smoke job).
+        max_retries / retry_backoff: transient-failure retry budget per
+            ``(device, k)`` run; only
+            :class:`~repro.errors.TransientError` (e.g.
+            :class:`~repro.errors.BackendLaunchError`) is retried —
+            anything else stays fatal.
+        retry_sleep: injectable sleep for tests (``None`` = real sleep).
     """
 
     scale: float = 0.02
     seed: int = 2024
     policy: WalkPolicy = field(default_factory=lambda: PRODUCTION_POLICY)
     k_values: tuple[int, ...] = K_VALUES
+    overflow_policy: str = "raise"
+    checkpoint_dir: str | None = None
+    fault_injector: object | None = None
+    max_retries: int = DEFAULT_RETRIES
+    retry_backoff: float = DEFAULT_BACKOFF
+    retry_sleep: object | None = None
 
 
 @dataclass
@@ -61,6 +82,8 @@ class RunRecord:
     k: int
     result: KernelRunResult
     full_profile: KernelProfile
+    #: True when the record was restored from a checkpoint, not executed.
+    from_checkpoint: bool = False
 
 
 class ExperimentSuite:
@@ -70,6 +93,7 @@ class ExperimentSuite:
         self.config = config or ExperimentConfig()
         self._datasets: dict[int, list] = {}
         self._runs: dict[tuple[str, int], RunRecord] = {}
+        self._store: CheckpointStore | None = None
 
     # ------------------------------------------------------------------
     def dataset(self, k: int):
@@ -80,23 +104,88 @@ class ExperimentSuite:
             )
         return self._datasets[k]
 
+    def checkpoint_store(self) -> CheckpointStore | None:
+        """The suite's checkpoint store (``None`` when checkpointing is off).
+
+        The store's meta fingerprint covers every knob that changes run
+        output, so resuming against checkpoints from a different
+        configuration fails loudly instead of mixing records.
+        """
+        if self.config.checkpoint_dir is None:
+            return None
+        if self._store is None:
+            self._store = CheckpointStore(self.config.checkpoint_dir, meta={
+                "scale": self.config.scale,
+                "seed": self.config.seed,
+                "overflow_policy": str(self.config.overflow_policy),
+                "k_values": list(self.config.k_values),
+            })
+        return self._store
+
+    def _execute(self, device: DeviceSpec, k: int) -> RunRecord:
+        """One uncached, uncheckpointed kernel execution."""
+        injector = self.config.fault_injector
+        if injector is not None:
+            injector.before_run(device.name, k)
+        kern = backend_for_device(
+            device, policy=self.config.policy,
+            overflow_policy=self.config.overflow_policy,
+            fault_injector=injector,
+        )
+        result = kern.run(self.dataset(k), k,
+                          parallel_scale=self.config.scale)
+        full = extrapolate_profile(result.profile, device, self.config.scale)
+        return RunRecord(device=device, k=k, result=result, full_profile=full)
+
     def run(self, device: DeviceSpec, k: int) -> RunRecord:
-        """Execute (once) the device's kernel port on dataset ``k``."""
+        """Execute (once) the device's kernel port on dataset ``k``.
+
+        Resolution order: the in-memory cache, then a matching checkpoint,
+        then a fresh execution (with bounded retry of transient failures),
+        which is checkpointed on completion when a store is configured.
+        """
         key = (device.name, k)
-        if key not in self._runs:
-            kern = backend_for_device(device, policy=self.config.policy)
-            result = kern.run(self.dataset(k), k,
-                              parallel_scale=self.config.scale)
-            full = extrapolate_profile(result.profile, device,
-                                       self.config.scale)
-            self._runs[key] = RunRecord(device=device, k=k, result=result,
-                                        full_profile=full)
-        return self._runs[key]
+        if key in self._runs:
+            return self._runs[key]
+        store = self.checkpoint_store()
+        if store is not None:
+            loaded = store.load(device, k)
+            if loaded is not None:
+                result, full = loaded
+                rec = RunRecord(device=device, k=k, result=result,
+                                full_profile=full, from_checkpoint=True)
+                self._runs[key] = rec
+                return rec
+        sleep_kw = ({} if self.config.retry_sleep is None
+                    else {"sleep": self.config.retry_sleep})
+        rec = retry_transient(
+            lambda: self._execute(device, k),
+            retries=self.config.max_retries,
+            backoff=self.config.retry_backoff, **sleep_kw,
+        )
+        if store is not None:
+            store.save(device.name, k, rec.result, rec.full_profile)
+        self._runs[key] = rec
+        return rec
 
     def run_all(self) -> None:
         for device in PLATFORMS:
             for k in self.config.k_values:
                 self.run(device, k)
+
+    def resilience_summary(self) -> list[dict]:
+        """Per-run degradation/retry/checkpoint accounting (post-``run``)."""
+        rows = []
+        for (name, k), rec in sorted(self._runs.items()):
+            rows.append({
+                "device": name, "k": k,
+                "degraded_contigs": len(rec.result.degraded),
+                "retried_contigs": len(rec.result.retried),
+                "launches_dropped": rec.result.profile.contigs_dropped,
+                "overflow_retries": rec.result.profile.overflow_retries,
+                "from_checkpoint": rec.from_checkpoint,
+            })
+        return rows
 
     # ------------------------------------------------------------------
     # Tables

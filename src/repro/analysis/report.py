@@ -57,3 +57,24 @@ def render_series(name: str, xs: Sequence, ys: Sequence, x_label: str = "x",
     for x, y in zip(xs, ys):
         lines.append(f"  {x_label}={_fmt(x)}  {y_label}={_fmt(y)}")
     return "\n".join(lines)
+
+
+def render_resilience_summary(rows: Sequence[dict]) -> str:
+    """Render :meth:`ExperimentSuite.resilience_summary` rows.
+
+    Quiet by design: an all-clean suite (no degraded contigs, no
+    retries, nothing resumed from checkpoints) renders as a single line
+    rather than a table of zeros.
+    """
+    interesting = [
+        r for r in rows
+        if r.get("degraded_contigs") or r.get("retried_contigs")
+        or r.get("launches_dropped") or r.get("overflow_retries")
+        or r.get("from_checkpoint")
+    ]
+    if not rows:
+        return "resilience: no runs recorded"
+    if not interesting:
+        return (f"resilience: all {len(rows)} runs clean "
+                "(no drops, retries, or checkpoint resumes)")
+    return render_dict_table(interesting, title="Resilience summary")

@@ -17,19 +17,25 @@ import json
 import sys
 
 from repro.analysis.experiments import ExperimentConfig, ExperimentSuite
-from repro.analysis.report import render_dict_table
+from repro.analysis.report import render_dict_table, render_resilience_summary
 from repro.core.extension import PRODUCTION_POLICY
 from repro.datasets.generate import generate_paper_dataset
+from repro.errors import ReproError
 from repro.genomics.io import read_dat, write_dat, write_fasta
 from repro.kernels import available_backends, backend_for_device, create_backend
 from repro.kernels.engine import replay_l2_hit_rate, replay_suggested_l2_churn
+from repro.resilience import OverflowPolicy
 from repro.simt.device import PLATFORMS, device_by_name
+
+#: CLI spellings of the overflow policies.
+_OVERFLOW_CHOICES = tuple(p.value for p in OverflowPolicy)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
     contigs = read_dat(args.input)
     device = device_by_name(args.device)
-    kw = {"policy": PRODUCTION_POLICY, "memory_model": args.memory_model}
+    kw = {"policy": PRODUCTION_POLICY, "memory_model": args.memory_model,
+          "overflow_policy": args.overflow_policy}
     if args.backend == "auto":
         kernel = backend_for_device(device, **kw)
     elif args.backend == "scalar":
@@ -38,7 +44,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 2
         # the scalar reference has no device model; run it device-less
-        kernel = create_backend("scalar", policy=PRODUCTION_POLICY)
+        kernel = create_backend("scalar", policy=PRODUCTION_POLICY,
+                                overflow_policy=args.overflow_policy)
     else:
         kernel = create_backend(args.backend, device=device, **kw)
     result = kernel.run(contigs, args.k)
@@ -54,6 +61,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     p = result.profile
     print(f"{len(contigs)} contigs, {p.inserts} insertions, "
           f"{p.extension_bases} extension bases -> {args.output}")
+    if result.degraded or result.retried:
+        print(f"overflow handling ({args.overflow_policy}): "
+              f"{len(result.degraded)} contig(s) degraded, "
+              f"{len(result.retried)} recovered by grow-retry")
     if args.memory_model == "trace" and getattr(kernel, "last_replay", None):
         launches = kernel.last_replay
         accesses = sum(s.accesses for s in launches)
@@ -75,8 +86,16 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _suite_config(args: argparse.Namespace) -> ExperimentConfig:
+    return ExperimentConfig(
+        scale=args.scale, seed=args.seed,
+        overflow_policy=getattr(args, "overflow_policy", "raise"),
+        checkpoint_dir=getattr(args, "checkpoint_dir", None),
+    )
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    suite = ExperimentSuite(ExperimentConfig(scale=args.scale, seed=args.seed))
+    suite = ExperimentSuite(_suite_config(args))
     names = (
         ["table1", "table2", "table3", "table4", "table5", "table6", "table7",
          "fig5", "fig6", "fig7", "fig8", "fig9"]
@@ -116,15 +135,21 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             print(f"unknown experiment {name!r}", file=sys.stderr)
             return 2
         print()
+    summary = suite.resilience_summary()
+    if summary:
+        print(render_resilience_summary(summary))
     return 0
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
     from repro.analysis.export import export_all
 
-    suite = ExperimentSuite(ExperimentConfig(scale=args.scale, seed=args.seed))
+    suite = ExperimentSuite(_suite_config(args))
     written = export_all(suite, args.out_dir)
     print(f"wrote {len(written)} files to {args.out_dir}")
+    summary = suite.resilience_summary()
+    if summary:
+        print(render_resilience_summary(summary))
     return 0
 
 
@@ -151,6 +176,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default), or additionally replay every "
                             "table-slot access through the exact batched "
                             "cache hierarchy and report measured traffic")
+    p_run.add_argument("--overflow-policy", default="raise",
+                       choices=_OVERFLOW_CHOICES,
+                       help="hash-table overflow semantics: abort (raise), "
+                            "drop the contig like the GPU kernel's "
+                            "'*hashtable full*' path, or grow-retry it")
     p_run.set_defaults(func=_cmd_run)
 
     p_gen = sub.add_parser("generate", help="generate a Table II-style dataset")
@@ -164,6 +194,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("name", help="table1..table7, fig5..fig9, or 'all'")
     p_exp.add_argument("--scale", type=float, default=0.02)
     p_exp.add_argument("--seed", type=int, default=2024)
+    p_exp.add_argument("--overflow-policy", default="raise",
+                       choices=_OVERFLOW_CHOICES)
+    p_exp.add_argument("--checkpoint-dir", default=None,
+                       help="persist each completed (device, k) run here and "
+                            "resume from matching checkpoints")
     p_exp.set_defaults(func=_cmd_experiment)
 
     p_export = sub.add_parser("export",
@@ -171,13 +206,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_export.add_argument("out_dir")
     p_export.add_argument("--scale", type=float, default=0.02)
     p_export.add_argument("--seed", type=int, default=2024)
+    p_export.add_argument("--overflow-policy", default="raise",
+                          choices=_OVERFLOW_CHOICES)
+    p_export.add_argument("--checkpoint-dir", default=None,
+                          help="persist each completed (device, k) run here "
+                               "and resume from matching checkpoints")
     p_export.set_defaults(func=_cmd_export)
     return ap
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        # every domain failure exits nonzero with a one-line diagnosis
+        # instead of a traceback
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

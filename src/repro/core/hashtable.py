@@ -115,7 +115,8 @@ class LocalHashTable:
             if idx == start:
                 if for_insert:
                     raise HashTableFullError(
-                        f"hash table full (capacity={self.capacity})"
+                        "hash table full", k=self.k,
+                        capacity=self.capacity, probes=probes,
                     )
                 self.stats.probes += probes
                 self.stats.collisions += probes - 1

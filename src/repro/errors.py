@@ -3,6 +3,13 @@
 Every error raised by the library derives from :class:`ReproError` so that
 callers can catch library failures with a single ``except`` clause while
 still distinguishing the failing subsystem.
+
+Errors further split into *fatal* conditions and :class:`TransientError`
+subclasses. Transient errors model conditions that a retry can clear —
+an injected launch failure, a backend that lost its device for one call —
+and are the only branch the resilience layer's bounded
+retry-with-backoff (:func:`repro.resilience.retry.retry_transient`)
+re-attempts; everything else propagates immediately.
 """
 
 from __future__ import annotations
@@ -24,9 +31,37 @@ class HashTableFullError(ReproError):
     """Raised when an open-addressing hash table runs out of free slots.
 
     Mirrors the ``*hashtable full*`` condition printed by the GPU kernel
-    (Appendix A of the paper); the Python implementations raise instead of
-    printing so callers can size tables correctly.
+    (Appendix A of the paper). The Python implementations raise instead
+    of printing so callers can size tables correctly — or opt into the
+    paper's drop-and-continue semantics via
+    :class:`repro.resilience.OverflowPolicy`.
+
+    Carries enough context to attribute the overflow to a specific
+    contig: ``contig_id`` (index in the run's contig list), ``k``,
+    ``capacity`` (slots of the overflowed table) and ``probes`` (probe
+    offset reached when the table wrapped). Any field may be ``None``
+    when the raising layer does not know it (e.g. the raw table
+    structure knows its capacity but not which contig owns it).
     """
+
+    def __init__(self, message: str = "hash table full", *,
+                 contig_id: int | None = None, k: int | None = None,
+                 capacity: int | None = None,
+                 probes: int | None = None) -> None:
+        self.contig_id = contig_id
+        self.k = k
+        self.capacity = capacity
+        self.probes = probes
+        parts = [message]
+        context = ", ".join(
+            f"{name}={value}"
+            for name, value in (("contig", contig_id), ("k", k),
+                                ("capacity", capacity), ("probes", probes))
+            if value is not None
+        )
+        if context:
+            parts.append(f"({context})")
+        super().__init__(" ".join(parts))
 
 
 class DatasetError(ReproError):
@@ -43,3 +78,20 @@ class KernelError(ReproError):
 
 class ModelError(ReproError):
     """Raised for invalid performance-model inputs (e.g. zero runtimes)."""
+
+
+class CheckpointError(ReproError):
+    """Raised for unreadable or mismatched experiment checkpoints."""
+
+
+class TransientError(ReproError):
+    """A failure a bounded retry may clear (the retryable branch).
+
+    The resilience layer re-attempts operations that raise a
+    ``TransientError`` subclass; all other :class:`ReproError` branches
+    are treated as fatal and propagate on first occurrence.
+    """
+
+
+class BackendLaunchError(TransientError):
+    """A kernel launch failed transiently (e.g. an injected launch fault)."""

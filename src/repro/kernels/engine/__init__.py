@@ -26,6 +26,8 @@ from repro.kernels.engine.construct import ConstructPhase, ConstructResult
 from repro.kernels.engine.events import (
     ITERATION_BASE_INSTRS,
     WALK_STEP_INTOPS,
+    ContigDropped,
+    ContigRetried,
     EventBus,
     LaunchDone,
     LaunchStarted,
@@ -48,6 +50,7 @@ from repro.kernels.engine.prepare import (
     FlattenedBin,
     PrepareCache,
     segmented_arange,
+    subset_batch,
 )
 from repro.kernels.engine.schedule import (
     BinnedLaunchPolicy,
@@ -79,6 +82,8 @@ __all__ = [
     # events + subscribers
     "ITERATION_BASE_INSTRS",
     "WALK_STEP_INTOPS",
+    "ContigDropped",
+    "ContigRetried",
     "EventBus",
     "LaunchDone",
     "LaunchStarted",
@@ -100,6 +105,7 @@ __all__ = [
     "FlattenedBin",
     "PrepareCache",
     "segmented_arange",
+    "subset_batch",
     # scheduling
     "BinnedLaunchPolicy",
     "LaunchConfig",

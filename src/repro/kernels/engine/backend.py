@@ -18,7 +18,7 @@ from typing import Callable, Protocol, runtime_checkable
 from repro.core.construct import build_table, insertions_for
 from repro.core.extension import DEFAULT_POLICY, WalkPolicy, WalkState
 from repro.core.merwalk import DEFAULT_MAX_WALK_LEN, mer_walk
-from repro.errors import KernelError
+from repro.errors import HashTableFullError, KernelError
 from repro.genomics.contig import Contig, End
 from repro.genomics.dna import reverse_complement
 from repro.genomics.reads import Read, ReadSet
@@ -59,6 +59,11 @@ class KernelRunResult:
     profile: KernelProfile
     right: list[tuple[str, WalkState]] = field(default_factory=list)
     left: list[tuple[str, WalkState]] = field(default_factory=list)
+    #: Contig indices whose extension was degraded (dropped on table
+    #: overflow under ``OverflowPolicy.DROP_CONTIG``). Sorted, unique.
+    degraded: list[int] = field(default_factory=list)
+    #: Contig indices recovered by grow-retry re-launches. Sorted, unique.
+    retried: list[int] = field(default_factory=list)
 
     def extension_of(self, i: int, end: End) -> tuple[str, WalkState]:
         return self.right[i] if end is End.RIGHT else self.left[i]
@@ -157,20 +162,68 @@ class ScalarReferenceBackend:
     def __init__(self, device: DeviceSpec | None = None,
                  policy: WalkPolicy = DEFAULT_POLICY,
                  max_walk_len: int = DEFAULT_MAX_WALK_LEN,
-                 seed: int = 0, **_ignored) -> None:
+                 seed: int = 0, overflow_policy="raise",
+                 table_capacity: int | None = None,
+                 grow_factor: float | None = None,
+                 max_grow_attempts: int | None = None, **_ignored) -> None:
         self.device = device
         self.policy = policy
         self.max_walk_len = max_walk_len
         self.seed = seed
+        self.overflow_policy = overflow_policy
+        #: Explicit per-contig table capacity; ``None`` sizes from the
+        #: reads. Undersizing it is how tests force the overflow paths.
+        self.table_capacity = table_capacity
+        self.grow_factor = grow_factor
+        self.max_grow_attempts = max_grow_attempts
+
+    def _build_table(self, reads: ReadSet, k: int, contig_id: int,
+                     profile: KernelProfile, retried: set):
+        """``build_table`` under the configured overflow policy.
+
+        Returns ``None`` when the contig is dropped (DROP_CONTIG, or
+        grow-retry exhausting its attempts).
+        """
+        # Imported here: repro.resilience.checkpoint imports this module.
+        from repro.resilience.policy import (
+            DEFAULT_GROW_FACTOR,
+            DEFAULT_MAX_GROW_ATTEMPTS,
+            OverflowPolicy,
+        )
+        policy = OverflowPolicy.parse(self.overflow_policy)
+        capacity = self.table_capacity
+        grow = self.grow_factor or DEFAULT_GROW_FACTOR
+        attempts = (DEFAULT_MAX_GROW_ATTEMPTS if self.max_grow_attempts is None
+                    else self.max_grow_attempts)
+        for attempt in range(attempts + 1):
+            try:
+                return build_table(reads, k, capacity=capacity, seed=self.seed)
+            except HashTableFullError as err:
+                if policy is OverflowPolicy.RAISE:
+                    raise HashTableFullError(
+                        "hash table overflow during construction",
+                        contig_id=contig_id, k=k, capacity=err.capacity,
+                        probes=err.probes) from None
+                if policy is OverflowPolicy.DROP_CONTIG or attempt == attempts:
+                    profile.contigs_dropped += 1
+                    return None
+                capacity = max(16, int((err.capacity or 16) * grow))
+                profile.overflow_retries += 1
+                retried.add(contig_id)
+        return None
 
     def _walk_end(self, contig: Contig, k: int, end: End,
-                  profile: KernelProfile) -> tuple[str, WalkState]:
+                  profile: KernelProfile, contig_id: int,
+                  degraded: set, retried: set) -> tuple[str, WalkState]:
         reads = contig.reads_for_end(end)
         if end is End.LEFT:
             reads = _reverse_complement_reads(reads)
         if k > len(contig) or reads.kmer_count(k + 1) == 0:
             return "", WalkState.MISSING
-        table = build_table(reads, k, seed=self.seed)
+        table = self._build_table(reads, k, contig_id, profile, retried)
+        if table is None:
+            degraded.add(contig_id)
+            return "", WalkState.MISSING
         profile.inserts += insertions_for(reads, k)
         seed_kmer = (contig.end_kmer(k, End.RIGHT) if end is End.RIGHT
                      else reverse_complement(contig.end_kmer(k, End.LEFT)))
@@ -193,11 +246,17 @@ class ScalarReferenceBackend:
         profile.contigs = len(contigs)
         right: list[tuple[str, WalkState]] = []
         left: list[tuple[str, WalkState]] = []
-        for contig in contigs:
-            right.append(self._walk_end(contig, k, End.RIGHT, profile))
-            left.append(self._walk_end(contig, k, End.LEFT, profile))
+        degraded: set = set()
+        retried: set = set()
+        for ci, contig in enumerate(contigs):
+            right.append(self._walk_end(contig, k, End.RIGHT, profile,
+                                        ci, degraded, retried))
+            left.append(self._walk_end(contig, k, End.LEFT, profile,
+                                       ci, degraded, retried))
         return KernelRunResult(device=self.device, k=k, profile=profile,
-                               right=right, left=left)
+                               right=right, left=left,
+                               degraded=sorted(degraded),
+                               retried=sorted(retried))
 
     def run_schedule(self, contigs: list[Contig],
                      k_schedule: tuple[int, ...] = (21, 33, 55, 77),

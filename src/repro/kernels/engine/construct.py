@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.errors import HashTableFullError
 from repro.kernels.engine.events import EventBus, ProbeIteration, SlotAccess, WaveExecuted
 from repro.kernels.engine.prepare import Batch, segmented_arange
 from repro.kernels.vectortable import WarpHashTables
@@ -33,14 +34,28 @@ class ConstructResult:
 
     waves: int          #: lockstep waves executed
     iterations: int     #: lockstep insert-probe iterations
+    #: Warps whose table overflowed (only under deferred overflow; the
+    #: default raising mode never returns with overflows).
+    overflowed: tuple[int, ...] = ()
 
 
 class ConstructPhase:
-    """Runs all construction waves of a launch, emitting events."""
+    """Runs all construction waves of a launch, emitting events.
 
-    def __init__(self, protocol, warp_size: int) -> None:
+    ``defer_overflow`` selects what a full table does: ``False`` (the
+    default) raises an enriched
+    :class:`~repro.errors.HashTableFullError`; ``True`` retires every
+    pending lane of the overflowed warp, excludes that warp from the
+    remaining waves, and reports it in
+    :attr:`ConstructResult.overflowed` so the engine can drop or retry
+    the contig (the paper's ``*hashtable full*`` semantics).
+    """
+
+    def __init__(self, protocol, warp_size: int,
+                 defer_overflow: bool = False) -> None:
         self.protocol = protocol
         self.warp_size = warp_size
+        self.defer_overflow = defer_overflow
 
     def run(self, batch: Batch, tables: WarpHashTables,
             bus: EventBus) -> ConstructResult:
@@ -51,6 +66,8 @@ class ConstructPhase:
         max_waves = int(np.ceil(n_ins_w.max() / W)) if n_ins_w.size and n_ins_w.max() else 0
         chain = 0
         waves_run = 0
+        dead = np.zeros(n_warps, dtype=bool)
+        overflowed: list[int] = []
         for t in range(max_waves):
             lo = ins_off[:-1] + t * W
             hi = np.minimum(lo + W, ins_off[1:])
@@ -58,15 +75,30 @@ class ConstructPhase:
             idx = np.repeat(lo, take) + segmented_arange(take)
             if idx.size == 0:
                 break
-            bus.emit(WaveExecuted(lanes=idx.size,
-                                  warps=int(np.count_nonzero(take))))
+            if overflowed:
+                idx = idx[~dead[batch.ins_warp[idx]]]
+                if idx.size == 0:
+                    continue
+                wave_warps = int(np.unique(batch.ins_warp[idx]).size)
+            else:
+                wave_warps = int(np.count_nonzero(take))
+            bus.emit(WaveExecuted(lanes=idx.size, warps=wave_warps))
             waves_run += 1
-            chain += self._insert_wave(batch, tables, idx, bus)
-        return ConstructResult(waves=waves_run, iterations=chain)
+            iters, wave_overflowed = self._insert_wave(batch, tables, idx, bus)
+            chain += iters
+            if wave_overflowed:
+                overflowed.extend(wave_overflowed)
+                dead[wave_overflowed] = True
+        return ConstructResult(waves=waves_run, iterations=chain,
+                               overflowed=tuple(overflowed))
 
     def _insert_wave(self, batch: Batch, tables: WarpHashTables,
-                     idx: np.ndarray, bus: EventBus) -> int:
-        """Probe until every lane of the wave has inserted; returns iterations."""
+                     idx: np.ndarray, bus: EventBus) -> tuple[int, list[int]]:
+        """Probe until every lane of the wave has inserted.
+
+        Returns ``(iterations, overflowed_warps)``; the second element
+        is always empty unless :attr:`defer_overflow` is set.
+        """
         proto = self.protocol
         warps = batch.ins_warp[idx]
         homes = batch.ins_home[idx]
@@ -77,10 +109,29 @@ class ConstructPhase:
         probe = np.zeros(n, dtype=np.int64)
         pending = np.ones(n, dtype=bool)
         iterations = 0
+        overflowed: list[int] = []
         emit_slots = bus.wants(SlotAccess)
         while pending.any():
-            iterations += 1
             p = np.nonzero(pending)[0]
+            over = probe[p] >= tables.capacities[warps[p]]
+            if over.any():
+                if not self.defer_overflow:
+                    j = int(p[np.nonzero(over)[0][0]])
+                    w = int(warps[j])
+                    raise HashTableFullError(
+                        "hash table overflow during construction",
+                        contig_id=int(batch.contig_ids[w]),
+                        k=int(batch.seeds.shape[1]),
+                        capacity=int(tables.capacities[w]),
+                        probes=int(probe[j]),
+                    )
+                bad = np.unique(warps[p[over]])
+                overflowed.extend(int(w) for w in bad)
+                pending &= ~np.isin(warps, bad)
+                if not pending.any():
+                    break
+                p = np.nonzero(pending)[0]
+            iterations += 1
             active_warps = int(np.unique(warps[p]).size)
 
             slots = tables.slot_of(warps[p], homes[p], probe[p])
@@ -135,4 +186,4 @@ class ConstructPhase:
             mismatch = occupied & ~match
             probe[p[mismatch]] += 1
             pending[p[done]] = False
-        return iterations
+        return iterations, overflowed

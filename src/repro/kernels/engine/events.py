@@ -128,6 +128,35 @@ class LaunchDone:
 
 
 @dataclass(frozen=True)
+class ContigDropped:
+    """A contig was dropped after its table overflowed.
+
+    The paper's ``*hashtable full*`` semantics, emitted under
+    :attr:`repro.resilience.OverflowPolicy.DROP_CONTIG` (or when
+    grow-retry exhausts its attempt budget).
+    """
+
+    contig_id: int                #: index in the run's contig list
+    k: int
+    end: str                      #: "right" | "left"
+    capacity: int                 #: slots of the table that overflowed
+
+
+@dataclass(frozen=True)
+class ContigRetried:
+    """A contig's launch is being re-run with a grown hash table.
+
+    Emitted once per failed contig per
+    :attr:`repro.resilience.OverflowPolicy.GROW_RETRY` attempt.
+    """
+
+    contig_id: int                #: index in the run's contig list
+    k: int
+    attempt: int                  #: 1-based retry attempt
+    capacity: int                 #: grown table capacity for the retry
+
+
+@dataclass(frozen=True)
 class MemoryTrafficResolved:
     """Published by :class:`TrafficSubscriber` after each launch."""
 
@@ -196,7 +225,8 @@ class ProfileSubscriber:
     """
 
     handled_events = (LaunchStarted, WaveExecuted, ProbeIteration, WalkStep,
-                      LaunchDone, MemoryTrafficResolved)
+                      LaunchDone, MemoryTrafficResolved, ContigDropped,
+                      ContigRetried)
 
     def __init__(self, profile, *, warp_size: int, protocol,
                  lane_parallel_walks: bool, dependent_cpi: float) -> None:
@@ -261,6 +291,10 @@ class ProfileSubscriber:
         elif isinstance(event, LaunchDone):
             self._launch_stats = event
             p.kernels_launched += 1
+        elif isinstance(event, ContigDropped):
+            p.contigs_dropped += 1
+        elif isinstance(event, ContigRetried):
+            p.overflow_retries += 1
         elif isinstance(event, MemoryTrafficResolved):
             p.hbm_bytes += event.hbm_bytes
             p.l1_hit_bytes += event.l1_bytes

@@ -73,6 +73,42 @@ class Batch:
         return len(self.contig_ids)
 
 
+def subset_batch(batch: Batch, warp_ids, capacities=None) -> Batch:
+    """A new :class:`Batch` holding only ``warp_ids`` of ``batch``.
+
+    Used by the grow-retry overflow policy to re-run just the warps whose
+    tables overflowed. Warp ids are renumbered densely in ascending order
+    of the original ids, which keeps every per-insertion array sorted by
+    warp as the phases require. ``capacities`` (aligned with the sorted
+    ``warp_ids``) overrides the per-warp table sizes — that is the whole
+    point of the retry. The flat code/quality streams are shared, not
+    copied; they are read-only to the phases.
+    """
+    ids = np.unique(np.asarray(list(warp_ids), dtype=np.int64))
+    if ids.size == 0 or ids[0] < 0 or ids[-1] >= batch.n_warps:
+        raise KernelError(f"warp ids {ids!r} out of range for "
+                          f"{batch.n_warps}-warp batch")
+    keep = np.isin(batch.ins_warp, ids)
+    remap = np.zeros(batch.n_warps, dtype=np.int64)
+    remap[ids] = np.arange(ids.size)
+    if capacities is None:
+        caps = batch.capacities[ids].copy()
+    else:
+        caps = np.asarray(capacities, dtype=np.int64).copy()
+        if caps.shape != ids.shape:
+            raise KernelError("capacities must align with warp_ids")
+    return Batch(
+        contig_ids=[batch.contig_ids[int(w)] for w in ids],
+        codes=batch.codes, quals=batch.quals,
+        ins_warp=remap[batch.ins_warp[keep]],
+        ins_home=batch.ins_home[keep], ins_fp=batch.ins_fp[keep],
+        ins_ext=batch.ins_ext[keep], ins_hi=batch.ins_hi[keep],
+        seeds=batch.seeds[ids].copy(), seed_valid=batch.seed_valid[ids].copy(),
+        capacities=caps,
+        read_bytes_per_warp=batch.read_bytes_per_warp[ids].copy(),
+    )
+
+
 @dataclass
 class FlattenedBin:
     """The k-independent part of one (bin, end) preparation."""

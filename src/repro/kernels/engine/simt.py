@@ -33,6 +33,8 @@ from repro.hashing.opcount import hash_intops
 from repro.kernels.engine.backend import KernelRunResult, ProtocolCosts
 from repro.kernels.engine.construct import ConstructPhase
 from repro.kernels.engine.events import (
+    ContigDropped,
+    ContigRetried,
     EventBus,
     LaunchDone,
     LaunchStarted,
@@ -41,7 +43,7 @@ from repro.kernels.engine.events import (
     TraceSubscriber,
     TrafficSubscriber,
 )
-from repro.kernels.engine.prepare import BatchPreparer, PrepareCache
+from repro.kernels.engine.prepare import BatchPreparer, PrepareCache, subset_batch
 from repro.kernels.engine.schedule import (
     BinnedLaunchPolicy,
     LaunchConfig,
@@ -50,6 +52,11 @@ from repro.kernels.engine.schedule import (
 )
 from repro.kernels.engine.walk import WalkPhase
 from repro.kernels.vectortable import SLOT_BYTES, WarpHashTables
+from repro.resilience.policy import (
+    DEFAULT_GROW_FACTOR,
+    DEFAULT_MAX_GROW_ATTEMPTS,
+    OverflowPolicy,
+)
 from repro.simt.counters import KernelProfile
 from repro.simt.device import DeviceSpec
 
@@ -101,6 +108,10 @@ class LocalAssemblyKernel:
         lane_parallel_walks: bool = False,
         launch_policy: LaunchPolicy | None = None,
         memory_model: str = "analytic",
+        overflow_policy: OverflowPolicy | str = OverflowPolicy.RAISE,
+        fault_injector=None,
+        grow_factor: float | None = None,
+        max_grow_attempts: int | None = None,
     ) -> None:
         if not hasattr(self, "protocol"):
             raise KernelError("use a concrete kernel subclass, not the base")
@@ -123,6 +134,23 @@ class LocalAssemblyKernel:
         #: scheduling, every lane of a warp can run its own mer-walk, so
         #: walk instructions stop wasting warp_size-1 issue lanes.
         self.lane_parallel_walks = lane_parallel_walks
+        #: What a table overflow does: raise (default), drop the contig
+        #: (the paper's ``*hashtable full*``), or grow-retry it.
+        self.overflow_policy = OverflowPolicy.parse(overflow_policy)
+        #: Optional :class:`repro.resilience.FaultInjector`; hooked
+        #: around every launch and subscribed to the event bus.
+        self.fault_injector = fault_injector
+        self.grow_factor = (DEFAULT_GROW_FACTOR if grow_factor is None
+                            else float(grow_factor))
+        self.max_grow_attempts = (DEFAULT_MAX_GROW_ATTEMPTS
+                                  if max_grow_attempts is None
+                                  else int(max_grow_attempts))
+        if self.grow_factor <= 1.0:
+            raise KernelError(
+                f"grow_factor must exceed 1, got {self.grow_factor}")
+        if self.max_grow_attempts < 1:
+            raise KernelError(
+                f"max_grow_attempts must be >= 1, got {self.max_grow_attempts}")
         self.launch_policy = launch_policy or BinnedLaunchPolicy()
         self.preparer = BatchPreparer(
             seed=seed, qual_threshold=qual_threshold,
@@ -175,6 +203,8 @@ class LocalAssemblyKernel:
         tracer = bus.subscribe(TraceSubscriber()) if self.record_trace else None
         replayer = (bus.subscribe(TraceReplaySubscriber(self.device))
                     if self.memory_model == "trace" else None)
+        if self.fault_injector is not None:
+            bus.subscribe(self.fault_injector)
         for sub in self.extra_subscribers:
             bus.subscribe(sub)
         return bus, traffic, tracer, replayer
@@ -222,40 +252,89 @@ class LocalAssemblyKernel:
         self.last_trace = []
         self.last_replay = []
         bus, traffic, tracer, replayer = self._build_bus(profile, parallel_scale)
-        construct = ConstructPhase(self.protocol, self.warp_size)
-        walker = WalkPhase(self.policy, self.max_walk_len, self.seed)
+        defer = self.overflow_policy is not OverflowPolicy.RAISE
+        construct = ConstructPhase(self.protocol, self.warp_size,
+                                   defer_overflow=defer)
+        walker = WalkPhase(self.policy, self.max_walk_len, self.seed,
+                           defer_overflow=defer)
         ops = hash_intops(k)
+        injector = self.fault_injector
+        degraded: set[int] = set()
+        retried: set[int] = set()
         for plan in plans:
+            ordinal = injector.begin_launch() if injector is not None else -1
             batch = self.preparer.prepare(contigs, plan.bin, plan.end, k,
                                           cache=prep_cache)
-            tables = WarpHashTables(batch.capacities, k)
-            bus.emit(LaunchStarted(
-                k=k, hash_ops=ops, n_warps=batch.n_warps,
-                mean_table_bytes=float(np.mean(batch.capacities)) * SLOT_BYTES,
-                mean_read_bytes=float(np.mean(batch.read_bytes_per_warp)),
-                cold_footprint_bytes=tables.total_bytes + 2 * batch.codes.size,
-            ))
-            cres = construct.run(batch, tables, bus)
-            wres = walker.run(batch, tables, bus)
-            bus.emit(LaunchDone(
-                waves=cres.waves, construct_iterations=cres.iterations,
-                walk_steps=wres.steps, walk_iterations=wres.iterations,
-            ))
-            self._last_access_latency = traffic.last_access_latency
-            for w, ci in enumerate(batch.contig_ids):
-                if plan.end is End.RIGHT:
-                    right[ci] = (wres.bases[w], wres.states[w])
-                else:
-                    rc = reverse_complement(wres.bases[w])
-                    assert isinstance(rc, str)
-                    left[ci] = (rc, wres.states[w])
+            if injector is not None:
+                injector.shape_batch(batch, ordinal)
+            sub = batch
+            attempt = 0
+            while True:
+                tables = WarpHashTables(sub.capacities, k)
+                bus.emit(LaunchStarted(
+                    k=k, hash_ops=ops, n_warps=sub.n_warps,
+                    mean_table_bytes=float(np.mean(sub.capacities)) * SLOT_BYTES,
+                    mean_read_bytes=float(np.mean(sub.read_bytes_per_warp)),
+                    cold_footprint_bytes=tables.total_bytes + 2 * sub.codes.size,
+                ))
+                cres = construct.run(sub, tables, bus)
+                wres = walker.run(sub, tables, bus)
+                bus.emit(LaunchDone(
+                    waves=cres.waves, construct_iterations=cres.iterations,
+                    walk_steps=wres.steps, walk_iterations=wres.iterations,
+                ))
+                self._last_access_latency = traffic.last_access_latency
+                failed = sorted(set(cres.overflowed) | set(wres.overflowed))
+                failed_set = set(failed)
+                for w, ci in enumerate(sub.contig_ids):
+                    if w in failed_set:
+                        continue
+                    if plan.end is End.RIGHT:
+                        right[ci] = (wres.bases[w], wres.states[w])
+                    else:
+                        rc = reverse_complement(wres.bases[w])
+                        assert isinstance(rc, str)
+                        left[ci] = (rc, wres.states[w])
+                if not failed:
+                    break
+                if (self.overflow_policy is OverflowPolicy.GROW_RETRY
+                        and attempt < self.max_grow_attempts):
+                    attempt += 1
+                    grown = np.maximum(
+                        sub.capacities[failed] + 1,
+                        np.ceil(sub.capacities[failed]
+                                * self.grow_factor).astype(np.int64))
+                    for w, cap in zip(failed, grown):
+                        bus.emit(ContigRetried(
+                            contig_id=sub.contig_ids[w], k=k,
+                            attempt=attempt, capacity=int(cap)))
+                        retried.add(sub.contig_ids[w])
+                    sub = subset_batch(sub, failed, grown)
+                    continue
+                end_name = "right" if plan.end is End.RIGHT else "left"
+                for w in failed:
+                    ci = sub.contig_ids[w]
+                    bus.emit(ContigDropped(
+                        contig_id=ci, k=k, end=end_name,
+                        capacity=int(sub.capacities[w])))
+                    degraded.add(ci)
+                    if plan.end is End.RIGHT:
+                        right[ci] = ("", WalkState.MISSING)
+                    else:
+                        left[ci] = ("", WalkState.MISSING)
+                break
         if tracer is not None:
             self.last_trace = tracer.traces
         if replayer is not None:
             self.last_replay = replayer.launches
             self.last_replay_subscriber = replayer
-        return KernelRunResult(device=self.device, k=k, profile=profile,
-                               right=right, left=left)
+        result = KernelRunResult(device=self.device, k=k, profile=profile,
+                                 right=right, left=left,
+                                 degraded=sorted(degraded),
+                                 retried=sorted(retried))
+        if injector is not None:
+            injector.degrade_result(result)
+        return result
 
     def run_schedule(
         self,
@@ -277,11 +356,15 @@ class LocalAssemblyKernel:
         cache = PrepareCache()
         self.last_prep_cache = cache
         schedule_replay: list = []
+        degraded: set[int] = set()
+        retried: set[int] = set()
 
         def _run_one(k: int) -> KernelRunResult:
             res = self.run(contigs, k, parallel_scale=parallel_scale,
                            prep_cache=cache)
             schedule_replay.extend(self.last_replay)
+            degraded.update(res.degraded)
+            retried.update(res.retried)
             return res
 
         last_k, merged, right, left = iterate_k_schedule(
@@ -290,4 +373,6 @@ class LocalAssemblyKernel:
         if self.memory_model == "trace":
             self.last_replay = schedule_replay
         return KernelRunResult(device=self.device, k=last_k, profile=merged,
-                               right=right, left=left)
+                               right=right, left=left,
+                               degraded=sorted(degraded),
+                               retried=sorted(retried))

@@ -26,6 +26,7 @@ from repro.core.extension import (
     resolve_extension_batch,
 )
 from repro.core.merwalk import DEFAULT_MAX_WALK_LEN
+from repro.errors import HashTableFullError
 from repro.genomics.kmer import fingerprint_matrix
 from repro.hashing.murmur import murmur2_batch
 from repro.kernels.engine.events import EventBus, ProbeIteration, SlotAccess, WalkStep
@@ -43,17 +44,27 @@ class WalkOutput:
     states: list[WalkState]     #: terminal state per warp
     steps: int                  #: lockstep walk steps executed
     iterations: int             #: lockstep lookup-probe iterations
+    #: Warps whose lookup wrapped a full table (deferred overflow only).
+    overflowed: tuple[int, ...] = ()
 
 
 class WalkPhase:
-    """Mer-walks every warp's seed, emitting events."""
+    """Mer-walks every warp's seed, emitting events.
+
+    ``defer_overflow`` mirrors :class:`ConstructPhase`: a lookup that
+    wraps a completely full table (possible when construction exactly
+    filled it) either raises an enriched
+    :class:`~repro.errors.HashTableFullError` (default) or terminates
+    that warp's walk and reports it in :attr:`WalkOutput.overflowed`.
+    """
 
     def __init__(self, policy: WalkPolicy = DEFAULT_POLICY,
                  max_walk_len: int = DEFAULT_MAX_WALK_LEN,
-                 seed: int = 0) -> None:
+                 seed: int = 0, defer_overflow: bool = False) -> None:
         self.policy = policy
         self.max_walk_len = max_walk_len
         self.seed = seed
+        self.defer_overflow = defer_overflow
 
     def run(self, batch: Batch, tables: WarpHashTables,
             bus: EventBus) -> WalkOutput:
@@ -70,6 +81,7 @@ class WalkPhase:
                 visited[w].add(int(fp))
         chain = 0
         steps_run = 0
+        overflowed: list[int] = []
         emit_slots = bus.wants(SlotAccess)
         for _step in range(self.max_walk_len + 1):
             if not alive.any():
@@ -89,8 +101,30 @@ class WalkPhase:
             probe = np.zeros(a.size, dtype=np.int64)
             unresolved = np.ones(a.size, dtype=bool)
             while unresolved.any():
-                chain += 1
                 u = np.nonzero(unresolved)[0]
+                over = probe[u] >= tables.capacities[a[u]]
+                if over.any():
+                    # A wrapped probe means the table is completely full
+                    # and the key absent; the open-addressing loop would
+                    # never terminate.
+                    if not self.defer_overflow:
+                        j = int(u[np.nonzero(over)[0][0]])
+                        w = int(a[j])
+                        raise HashTableFullError(
+                            "hash table wrapped during walk lookup",
+                            contig_id=int(batch.contig_ids[w]),
+                            k=int(cur.shape[1]),
+                            capacity=int(tables.capacities[w]),
+                            probes=int(probe[j]),
+                        )
+                    bad = u[over]
+                    overflowed.extend(int(w) for w in a[bad])
+                    missing[bad] = True
+                    unresolved[bad] = False
+                    if not unresolved.any():
+                        break
+                    u = np.nonzero(unresolved)[0]
+                chain += 1
                 slots = tables.slot_of(a[u], homes[u], probe[u])
                 if emit_slots:
                     bus.emit(SlotAccess(slots=slots))
@@ -149,4 +183,5 @@ class WalkPhase:
             first_step[a] = False
             alive = next_alive
         return WalkOutput(bases=["".join(b) for b in bases], states=states,
-                          steps=steps_run, iterations=chain)
+                          steps=steps_run, iterations=chain,
+                          overflowed=tuple(overflowed))

@@ -73,8 +73,14 @@ class WarpHashTables:
                 probes: np.ndarray) -> np.ndarray:
         """Global slot index for (warp, home hash, probe offset) triples."""
         caps = self.capacities[warps]
-        if (np.asarray(probes) >= caps).any():
-            raise HashTableFullError("probe offset wrapped a full table")
+        wrapped = np.asarray(probes) >= caps
+        if wrapped.any():
+            j = int(np.argmax(wrapped))
+            raise HashTableFullError(
+                "probe offset wrapped a full table",
+                capacity=int(np.ravel(caps)[j]),
+                probes=int(np.ravel(probes)[j]),
+            )
         return self.offsets[warps] + (homes.astype(np.int64) + probes) % caps
 
     def inspect(self, slots: np.ndarray) -> tuple[np.ndarray, np.ndarray]:

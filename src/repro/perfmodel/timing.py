@@ -27,6 +27,7 @@ The two phases serialize inside a launch, so::
 from __future__ import annotations
 
 import copy
+import math
 from dataclasses import dataclass
 
 from repro.errors import ModelError
@@ -69,6 +70,10 @@ def predict_time(profile: KernelProfile, device: DeviceSpec) -> TimingBreakdown:
     """Model the kernel time for a profiled run on ``device``."""
     if profile.intops <= 0:
         raise ModelError("cannot time an empty profile")
+    if not math.isfinite(profile.hbm_bytes) or profile.hbm_bytes < 0:
+        raise ModelError(
+            f"degenerate HBM byte count {profile.hbm_bytes!r}; "
+            "the profile's memory traffic must be finite and non-negative")
     timing_peak = device.timing_peak_gintops or device.peak_gintops
     sustained_ops = timing_peak * 1e9 * device.pipeline_efficiency
     sustained_bw = device.hbm_bw_gbps * 1e9 * device.memory_efficiency
@@ -124,6 +129,7 @@ def extrapolate_profile(profile: KernelProfile, device: DeviceSpec,
         "intops", "warp_instructions", "lane_instructions", "inserts",
         "insert_probe_iterations", "lookups", "lookup_probe_iterations",
         "walk_steps", "sync_ops", "atomics", "contigs", "extension_bases",
+        "contigs_dropped", "overflow_retries",
         "construct_intops", "walk_intops",
     ):
         setattr(full, name, int(round(getattr(profile, name) * inv)))

@@ -1,0 +1,162 @@
+"""Checkpoint persistence for experiment runs.
+
+A :class:`CheckpointStore` writes one JSON file per completed
+``(device, k)`` run — the functional :class:`KernelRunResult` plus the
+extrapolated full-scale :class:`KernelProfile` — so a Table II-scale
+suite that dies mid-flight resumes from its last completed run instead
+of replaying tens of millions of trace accesses from zero.
+
+Checkpoints carry the suite configuration fingerprint (scale, seed,
+policy, ...) that produced them; loading against a different
+configuration raises :class:`~repro.errors.CheckpointError` rather than
+silently mixing incompatible records.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+from repro.core.extension import WalkState
+from repro.errors import CheckpointError
+from repro.kernels.engine.backend import KernelRunResult
+from repro.simt.counters import KernelProfile
+from repro.simt.device import DeviceSpec
+
+#: Bumped when the on-disk layout changes incompatibly.
+CHECKPOINT_FORMAT = 1
+
+
+def profile_to_dict(profile: KernelProfile) -> dict:
+    """Serialize a profile to plain JSON-compatible types."""
+    return dataclasses.asdict(profile)
+
+
+def profile_from_dict(data: dict) -> KernelProfile:
+    """Rebuild a profile; unknown fields mean a format drift."""
+    try:
+        return KernelProfile(**data)
+    except TypeError as exc:
+        raise CheckpointError(f"unreadable profile payload: {exc}") from None
+
+
+def _ends_to_lists(ends: list[tuple[str, WalkState]]) -> list[list]:
+    return [[bases, state.value] for bases, state in ends]
+
+
+def _ends_from_lists(data: list) -> list[tuple[str, WalkState]]:
+    try:
+        return [(bases, WalkState(state)) for bases, state in data]
+    except (TypeError, ValueError) as exc:
+        raise CheckpointError(f"unreadable extension payload: {exc}") from None
+
+
+def result_to_dict(result: KernelRunResult) -> dict:
+    """Serialize a run result (device stored by name)."""
+    return {
+        "device": result.device.name if result.device is not None else None,
+        "k": result.k,
+        "profile": profile_to_dict(result.profile),
+        "right": _ends_to_lists(result.right),
+        "left": _ends_to_lists(result.left),
+        "degraded": list(result.degraded),
+        "retried": list(result.retried),
+    }
+
+
+def result_from_dict(data: dict, device: DeviceSpec | None) -> KernelRunResult:
+    """Rebuild a run result against the caller's device object."""
+    stored = data.get("device")
+    if device is not None and stored is not None and stored != device.name:
+        raise CheckpointError(
+            f"checkpoint device {stored!r} does not match {device.name!r}")
+    return KernelRunResult(
+        device=device,
+        k=int(data["k"]),
+        profile=profile_from_dict(data["profile"]),
+        right=_ends_from_lists(data["right"]),
+        left=_ends_from_lists(data["left"]),
+        degraded=[int(c) for c in data.get("degraded", [])],
+        retried=[int(c) for c in data.get("retried", [])],
+    )
+
+
+class CheckpointStore:
+    """One JSON checkpoint per completed ``(device, k)`` run.
+
+    Args:
+        directory: checkpoint directory (created if missing).
+        meta: configuration fingerprint of the producing suite; a loaded
+            checkpoint whose fingerprint differs is rejected with
+            :class:`~repro.errors.CheckpointError`.
+    """
+
+    def __init__(self, directory: str | Path,
+                 meta: dict | None = None) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.meta = dict(meta or {})
+
+    def path_for(self, device_name: str, k: int) -> Path:
+        return self.directory / f"{device_name}_k{k}.json"
+
+    def save(self, device_name: str, k: int, result: KernelRunResult,
+             full_profile: KernelProfile) -> Path:
+        """Persist one completed run (atomically via rename)."""
+        payload = {
+            "format": CHECKPOINT_FORMAT,
+            "meta": self.meta,
+            "device": device_name,
+            "k": k,
+            "result": result_to_dict(result),
+            "full_profile": profile_to_dict(full_profile),
+        }
+        path = self.path_for(device_name, k)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload) + "\n")
+        tmp.replace(path)
+        return path
+
+    def load(self, device: DeviceSpec,
+             k: int) -> tuple[KernelRunResult, KernelProfile] | None:
+        """Load one run, or ``None`` when no checkpoint exists.
+
+        Raises :class:`~repro.errors.CheckpointError` for corrupt files,
+        format mismatches, or a configuration-fingerprint mismatch.
+        """
+        path = self.path_for(device.name, k)
+        if not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CheckpointError(f"corrupt checkpoint {path}: {exc}") from None
+        if payload.get("format") != CHECKPOINT_FORMAT:
+            raise CheckpointError(
+                f"checkpoint {path} has format {payload.get('format')!r}, "
+                f"expected {CHECKPOINT_FORMAT}")
+        if payload.get("meta") != self.meta:
+            raise CheckpointError(
+                f"checkpoint {path} was written by a different configuration "
+                f"({payload.get('meta')} != {self.meta}); use a fresh "
+                "checkpoint directory or matching settings")
+        result = result_from_dict(payload["result"], device)
+        full = profile_from_dict(payload["full_profile"])
+        return result, full
+
+    def completed(self) -> set[tuple[str, int]]:
+        """The ``(device_name, k)`` pairs with a checkpoint on disk."""
+        done: set[tuple[str, int]] = set()
+        for path in self.directory.glob("*.json"):
+            try:
+                payload = json.loads(path.read_text())
+                done.add((str(payload["device"]), int(payload["k"])))
+            except (OSError, json.JSONDecodeError, KeyError, ValueError):
+                continue  # unreadable files simply don't count as done
+        return done
+
+    def clear(self) -> None:
+        """Delete every checkpoint in the directory."""
+        for path in self.directory.glob("*.json"):
+            path.unlink()

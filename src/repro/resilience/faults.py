@@ -1,0 +1,288 @@
+"""Deterministic fault injection for the engine and the experiment suite.
+
+A :class:`FaultPlan` is a seeded, declarative list of :class:`FaultSpec`
+entries; a :class:`FaultInjector` executes the plan through two
+mechanisms:
+
+* **explicit hook points** — the SIMT engine calls
+  :meth:`FaultInjector.begin_launch` / :meth:`FaultInjector.shape_batch`
+  / :meth:`FaultInjector.degrade_result` around each launch, and
+  :class:`~repro.analysis.experiments.ExperimentSuite` calls
+  :meth:`FaultInjector.before_run` around each ``(device, k)`` run;
+* **the EventBus subscriber mechanism** — the injector subscribes to the
+  engine's bus and logs every :class:`LaunchStarted` /
+  :class:`ContigDropped` / :class:`ContigRetried` it observes, so a test
+  can attribute exactly which launches a fault hit and what degradation
+  it caused.
+
+All randomness (which bases a corruption flips) comes from one
+``numpy`` generator seeded by the plan, so a plan replays identically
+run after run — faults are reproducible test fixtures, not chaos.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from repro.errors import BackendLaunchError, ReproError
+
+
+class InjectedCrashError(ReproError):
+    """A deliberately injected *fatal* failure (not retryable).
+
+    Distinct from :class:`~repro.errors.TransientError` so checkpoint /
+    resume tests can kill a suite mid-run and assert that retries do
+    *not* absorb the crash.
+    """
+
+
+class FaultKind(Enum):
+    """The failure modes a :class:`FaultPlan` can inject."""
+
+    #: Clamp chosen warps' hash-table capacities, forcing overflow.
+    TABLE_PRESSURE = "table-pressure"
+    #: Corrupt read extension bases feeding chosen launches' votes.
+    READ_CORRUPTION = "read-corruption"
+    #: Raise :class:`~repro.errors.BackendLaunchError` (transient) at launch.
+    LAUNCH_FAILURE = "launch-failure"
+    #: Zero / NaN the run's profile so the perf model sees degenerate input.
+    DEGENERATE_PROFILE = "degenerate-profile"
+    #: Abort an :class:`ExperimentSuite` run (fatal unless ``transient``).
+    SUITE_CRASH = "suite-crash"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault.
+
+    Attributes:
+        kind: which failure mode to inject.
+        launch: global launch ordinal (0-based, counted across the
+            kernel run) the fault targets; ``None`` matches the next
+            opportunity. Used by the engine-level kinds.
+        run: suite run ordinal (0-based, counted across
+            ``ExperimentSuite`` executions) for :attr:`FaultKind.SUITE_CRASH`;
+            ``None`` matches the next run.
+        device: restrict a suite fault to one device name (optional).
+        k: restrict a suite fault to one k (optional).
+        warps: warp indices whose tables get clamped (TABLE_PRESSURE).
+        capacity: clamped slot count per targeted warp (TABLE_PRESSURE).
+        fraction: fraction of insertion bases to corrupt (READ_CORRUPTION).
+        mode: degenerate-profile flavor: ``"zero-intops"`` (an empty
+            runtime: the timing model refuses) or ``"nan-bytes"`` (NaN
+            intensity: the roofline refuses).
+        transient: SUITE_CRASH raises a retryable
+            :class:`~repro.errors.BackendLaunchError` instead of the
+            fatal :class:`InjectedCrashError`.
+        times: how many times the fault may fire before it is spent.
+    """
+
+    kind: FaultKind
+    launch: int | None = None
+    run: int | None = None
+    device: str | None = None
+    k: int | None = None
+    warps: tuple[int, ...] = (0,)
+    capacity: int = 2
+    fraction: float = 0.05
+    mode: str = "zero-intops"
+    transient: bool = False
+    times: int = 1
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, ordered set of faults to inject."""
+
+    faults: tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One fired fault (or observed consequence), for attribution."""
+
+    kind: FaultKind
+    site: str                    #: hook that fired ("launch", "run", ...)
+    detail: dict = field(default_factory=dict)
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` against the engine and the suite.
+
+    Attach the same injector instance to every kernel of a suite (the
+    suite does this when ``ExperimentConfig.fault_injector`` is set) so
+    launch and run ordinals count globally across the whole workload.
+    """
+
+    _handled: tuple | None = None
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.rng = np.random.default_rng(plan.seed)
+        self._remaining = [spec.times for spec in plan.faults]
+        self.fired: list[FaultRecord] = []
+        self.observed: list[FaultRecord] = []
+        self._launch_ordinal = 0
+        self._run_ordinal = 0
+
+    # ------------------------------------------------------------------
+    # EventBus subscriber mechanism (observation / attribution)
+
+    @property
+    def handled_events(self) -> tuple:
+        # resolved lazily: faults.py must not import the engine at module
+        # scope (the engine imports resilience.policy during its own init)
+        cls = type(self)
+        if cls._handled is None:
+            from repro.kernels.engine.events import (
+                ContigDropped,
+                ContigRetried,
+                LaunchStarted,
+            )
+            cls._handled = (LaunchStarted, ContigDropped, ContigRetried)
+        return cls._handled
+
+    def handle(self, event, bus) -> None:
+        launch_started, dropped, retried = self.handled_events
+        if isinstance(event, launch_started):
+            self.observed.append(FaultRecord(
+                FaultKind.TABLE_PRESSURE, "observe-launch",
+                {"k": event.k, "n_warps": event.n_warps}))
+        elif isinstance(event, dropped):
+            self.observed.append(FaultRecord(
+                FaultKind.TABLE_PRESSURE, "observe-drop",
+                {"contig_id": event.contig_id, "k": event.k}))
+        elif isinstance(event, retried):
+            self.observed.append(FaultRecord(
+                FaultKind.TABLE_PRESSURE, "observe-retry",
+                {"contig_id": event.contig_id, "k": event.k,
+                 "attempt": event.attempt}))
+
+    # ------------------------------------------------------------------
+    # matching / bookkeeping
+
+    def _take(self, kind: FaultKind, *, launch: int | None = None,
+              device: str | None = None, k: int | None = None,
+              run: int | None = None) -> FaultSpec | None:
+        """Consume one charge of the first matching live spec, if any."""
+        for i, spec in enumerate(self.plan.faults):
+            if spec.kind is not kind or self._remaining[i] <= 0:
+                continue
+            if launch is not None and spec.launch is not None \
+                    and spec.launch != launch:
+                continue
+            if run is not None and spec.run is not None and spec.run != run:
+                continue
+            if spec.device is not None and device is not None \
+                    and spec.device != device:
+                continue
+            if spec.k is not None and k is not None and spec.k != k:
+                continue
+            self._remaining[i] -= 1
+            return spec
+        return None
+
+    def counts(self) -> dict[str, int]:
+        """Fired-fault tally by kind value (for smoke checks)."""
+        out: dict[str, int] = {}
+        for rec in self.fired:
+            out[rec.kind.value] = out.get(rec.kind.value, 0) + 1
+        return out
+
+    # ------------------------------------------------------------------
+    # engine hook points
+
+    def begin_launch(self) -> int:
+        """Called by the engine before each planned launch.
+
+        Returns the launch ordinal; raises
+        :class:`~repro.errors.BackendLaunchError` when a
+        :attr:`FaultKind.LAUNCH_FAILURE` spec targets this launch.
+        """
+        ordinal = self._launch_ordinal
+        self._launch_ordinal += 1
+        spec = self._take(FaultKind.LAUNCH_FAILURE, launch=ordinal)
+        if spec is not None:
+            self.fired.append(FaultRecord(spec.kind, "launch",
+                                          {"launch": ordinal}))
+            raise BackendLaunchError(
+                f"injected transient launch failure (launch {ordinal})")
+        return ordinal
+
+    def shape_batch(self, batch, ordinal: int) -> None:
+        """Apply capacity pressure / read corruption to a prepared batch.
+
+        Mutates the batch in place: ``capacities`` are clamped for
+        targeted warps (TABLE_PRESSURE) and a seeded sample of insertion
+        extension bases is rewritten to a different base
+        (READ_CORRUPTION).
+        """
+        spec = self._take(FaultKind.TABLE_PRESSURE, launch=ordinal)
+        if spec is not None:
+            warps = [w for w in spec.warps if w < batch.n_warps]
+            if warps:
+                batch.capacities[warps] = max(1, spec.capacity)
+            self.fired.append(FaultRecord(spec.kind, "batch", {
+                "launch": ordinal, "warps": tuple(warps),
+                "capacity": spec.capacity}))
+        spec = self._take(FaultKind.READ_CORRUPTION, launch=ordinal)
+        if spec is not None:
+            n = batch.ins_ext.size
+            hits = 0
+            if n:
+                hits = max(1, int(round(spec.fraction * n)))
+                idx = self.rng.choice(n, size=min(hits, n), replace=False)
+                # rotate each base by 1..3 so every hit becomes a
+                # different base — a guaranteed-visible corruption
+                shift = self.rng.integers(1, 4, size=idx.size,
+                                          dtype=np.uint8)
+                batch.ins_ext[idx] = (batch.ins_ext[idx] + shift) % 4
+            self.fired.append(FaultRecord(spec.kind, "batch", {
+                "launch": ordinal, "corrupted": int(hits)}))
+
+    def degrade_result(self, result) -> None:
+        """Inject degenerate perf-model inputs into a finished run."""
+        while True:
+            spec = self._take(FaultKind.DEGENERATE_PROFILE)
+            if spec is None:
+                break
+            if spec.mode == "zero-intops":
+                result.profile.intops = 0
+            elif spec.mode == "nan-bytes":
+                result.profile.hbm_bytes = float("nan")
+            else:
+                raise ReproError(
+                    f"unknown degenerate-profile mode {spec.mode!r}")
+            self.fired.append(FaultRecord(spec.kind, "result",
+                                          {"mode": spec.mode}))
+
+    # ------------------------------------------------------------------
+    # suite hook point
+
+    def before_run(self, device_name: str, k: int) -> None:
+        """Called by the suite before each ``(device, k)`` execution.
+
+        Raises :class:`InjectedCrashError` (fatal) or
+        :class:`~repro.errors.BackendLaunchError` (transient, per the
+        spec) when a :attr:`FaultKind.SUITE_CRASH` targets this run.
+        """
+        ordinal = self._run_ordinal
+        self._run_ordinal += 1
+        spec = self._take(FaultKind.SUITE_CRASH, run=ordinal,
+                          device=device_name, k=k)
+        if spec is None:
+            return
+        detail = {"run": ordinal, "device": device_name, "k": k}
+        self.fired.append(FaultRecord(spec.kind, "run", detail))
+        if spec.transient:
+            raise BackendLaunchError(
+                f"injected transient suite failure at {device_name}/k={k}")
+        raise InjectedCrashError(
+            f"injected suite crash at {device_name}/k={k} (run {ordinal})")

@@ -1,0 +1,55 @@
+"""Overflow semantics: what a kernel does when a per-contig table fills.
+
+The paper's GPU kernel prints ``*hashtable full*`` (Appendix A) and drops
+the contig — at MetaHipMer scale losing one contig must never kill a
+batch of thousands. The reproduction raises by default (so sizing bugs
+stay loud) but can opt into the paper's semantics, or into a retry that
+re-runs only the overflowed contigs with geometrically grown tables.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.errors import KernelError
+
+#: Capacity multiplier applied per grow-retry attempt.
+DEFAULT_GROW_FACTOR = 2.0
+
+#: Retry-attempt cap for :attr:`OverflowPolicy.GROW_RETRY`.
+DEFAULT_MAX_GROW_ATTEMPTS = 4
+
+
+class OverflowPolicy(Enum):
+    """What the engine does when a per-contig hash table overflows.
+
+    * ``RAISE`` — propagate :class:`~repro.errors.HashTableFullError`
+      (enriched with contig/k/capacity context). The default: a sizing
+      bug aborts the run loudly.
+    * ``DROP_CONTIG`` — the paper's ``*hashtable full*`` semantics: the
+      overflowing contig is recorded as degraded (a
+      :class:`~repro.kernels.engine.events.ContigDropped` event, an
+      empty extension) and the wave continues for every other warp.
+    * ``GROW_RETRY`` — re-run only the overflowed contigs with
+      geometrically grown table capacity (capped attempts); functional
+      output is byte-identical to a run whose tables were sized large
+      enough from the start, because per-warp tables are independent
+      and vote contents do not depend on capacity.
+    """
+
+    RAISE = "raise"
+    DROP_CONTIG = "drop-contig"
+    GROW_RETRY = "grow-retry"
+
+    @classmethod
+    def parse(cls, value: "OverflowPolicy | str") -> "OverflowPolicy":
+        """Coerce a policy or its CLI spelling to an :class:`OverflowPolicy`."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value))
+        except ValueError:
+            options = ", ".join(p.value for p in cls)
+            raise KernelError(
+                f"unknown overflow policy {value!r}; expected one of {options}"
+            ) from None

@@ -1,0 +1,53 @@
+"""Bounded retry-with-backoff for transient failures.
+
+Only :class:`~repro.errors.TransientError` subclasses are retried —
+every other exception (including the rest of the
+:class:`~repro.errors.ReproError` hierarchy) is fatal and propagates on
+first occurrence. The sleeper is injectable so tests run at full speed.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, TypeVar
+
+from repro.errors import TransientError
+
+T = TypeVar("T")
+
+#: Default retry budget (attempts beyond the first).
+DEFAULT_RETRIES = 2
+
+#: Default base backoff in seconds (doubles per attempt).
+DEFAULT_BACKOFF = 0.05
+
+
+def retry_transient(
+    fn: Callable[[], T],
+    *,
+    retries: int = DEFAULT_RETRIES,
+    backoff: float = DEFAULT_BACKOFF,
+    sleep: Callable[[float], None] = time.sleep,
+    on_retry: Callable[[int, TransientError], None] | None = None,
+) -> T:
+    """Call ``fn``, retrying up to ``retries`` times on transient errors.
+
+    Backoff grows geometrically (``backoff * 2**attempt`` seconds before
+    re-attempt ``attempt``). ``on_retry(attempt, exc)`` is invoked before
+    each sleep, for logging. The final transient failure — and any
+    non-transient exception — propagates to the caller.
+    """
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    attempt = 0
+    while True:
+        try:
+            return fn()
+        except TransientError as exc:
+            if attempt >= retries:
+                raise
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            if backoff > 0:
+                sleep(backoff * (2 ** attempt))
+            attempt += 1

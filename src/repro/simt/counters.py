@@ -67,6 +67,11 @@ class KernelProfile:
     kernels_launched: int = 0
     contigs: int = 0
     extension_bases: int = 0
+    #: Contig-end launches dropped on table overflow (the paper's
+    #: ``*hashtable full*`` path, under OverflowPolicy.DROP_CONTIG).
+    contigs_dropped: int = 0
+    #: Grow-retry re-launches performed after table overflows.
+    overflow_retries: int = 0
     seconds: float = 0.0
     # --- phase breakdown consumed by the timing model ---
     construct_intops: int = 0
@@ -85,6 +90,7 @@ class KernelProfile:
             "insert_probe_iterations", "lookups", "lookup_probe_iterations",
             "walk_steps", "sync_ops", "atomics", "serial_depth",
             "kernels_launched", "contigs", "extension_bases",
+            "contigs_dropped", "overflow_retries",
             "construct_intops", "walk_intops",
         ):
             setattr(self, name, getattr(self, name) + getattr(other, name))

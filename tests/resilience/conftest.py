@@ -1,0 +1,22 @@
+"""Shared fixtures for the resilience lane (kept tiny for speed)."""
+
+import pytest
+
+from repro.datasets.generate import generate_paper_dataset
+from repro.kernels import CudaLocalAssemblyKernel
+from repro.simt.device import A100
+
+SCALE = 0.004
+SEED = 7
+K = 21
+
+
+@pytest.fixture(scope="package")
+def contigs():
+    return generate_paper_dataset(K, scale=SCALE, seed=SEED)
+
+
+@pytest.fixture(scope="package")
+def clean_run(contigs):
+    """An un-faulted, adequately-sized reference run."""
+    return CudaLocalAssemblyKernel(A100).run(contigs, K)

@@ -1,0 +1,78 @@
+"""CLI resilience surface: policy flags, checkpoint flag, error exits."""
+
+import pytest
+
+from repro.cli import main
+from repro.genomics.io import read_dat, write_dat
+
+from .conftest import K
+
+pytestmark = pytest.mark.resilience
+
+
+@pytest.fixture()
+def dat_file(tmp_path, contigs):
+    path = tmp_path / "in.dat"
+    write_dat(contigs, path)
+    return path
+
+
+class TestOverflowPolicyFlag:
+    def test_run_accepts_policies(self, tmp_path, dat_file):
+        for policy in ("raise", "drop-contig", "grow-retry"):
+            rc = main(["run", str(dat_file), str(K),
+                       str(tmp_path / f"{policy}.fa"),
+                       "--overflow-policy", policy])
+            assert rc == 0
+
+    def test_unknown_policy_rejected(self, tmp_path, dat_file):
+        with pytest.raises(SystemExit):
+            main(["run", str(dat_file), str(K), str(tmp_path / "o.fa"),
+                  "--overflow-policy", "explode"])
+
+    def test_scalar_backend_takes_policy(self, tmp_path, dat_file):
+        rc = main(["run", str(dat_file), str(K), str(tmp_path / "o.fa"),
+                   "--backend", "scalar", "--overflow-policy", "drop-contig"])
+        assert rc == 0
+
+
+class TestErrorExit:
+    def test_repro_error_is_one_line_exit_1(self, tmp_path, capsys):
+        # missing magic header -> read_dat raises DatasetError (ReproError)
+        bad = tmp_path / "bad.dat"
+        bad.write_text("name\tACGT\t2\tACGT\tIIII\tACGT\tIIII\n")
+        capsys.readouterr()
+        rc = main(["run", str(bad), "21", str(tmp_path / "o.fa")])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert len(err.strip().splitlines()) == 1
+        assert "Traceback" not in err
+
+
+class TestCheckpointFlag:
+    def test_experiment_writes_and_reuses_checkpoints(self, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        args = ["experiment", "fig5", "--scale", "0.002",
+                "--checkpoint-dir", str(ckpt)]
+        assert main(args) == 0
+        files = list(ckpt.glob("*.json"))
+        assert files  # one checkpoint per (device, k)
+        capsys.readouterr()
+        assert main(args) == 0  # second invocation resumes from disk
+        out = capsys.readouterr().out
+        assert "from_checkpoint" in out or "resilience" in out
+
+    def test_mismatched_checkpoint_dir_fails_cleanly(self, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        assert main(["experiment", "fig5", "--scale", "0.002",
+                     "--checkpoint-dir", str(ckpt)]) == 0
+        capsys.readouterr()
+        rc = main(["experiment", "fig5", "--scale", "0.003",
+                   "--checkpoint-dir", str(ckpt)])
+        assert rc == 1
+        assert "error: CheckpointError" in capsys.readouterr().err
+
+
+def test_dat_roundtrip_fixture_sane(dat_file, contigs):
+    assert len(read_dat(dat_file)) == len(contigs)
