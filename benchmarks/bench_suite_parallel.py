@@ -1,0 +1,76 @@
+"""Tentpole bench: serial vs process-parallel experiment suite.
+
+Times ``ExperimentSuite.run_all()`` (the historical serial sweep of the
+12-cell ``(device, k)`` grid) against ``run_all(workers=N)`` (the grid
+sharded across a process pool, results merged through the checkpoint
+codec) and asserts the parallel suite's artifacts are identical —
+``figure5`` rows and Table IV/VII efficiency summaries compare equal,
+and the byte-level export parity is covered by
+``tests/analysis/test_parallel_suite.py``.
+
+The >=1.5x speedup assertion arms only at the acceptance configuration:
+default scale (>= 0.02) *and* at least 4 usable cores. The CI smoke run
+(tiny scale, any core count) still exercises the full parallel path and
+the identity asserts, it just skips the timing claim — same convention
+as ``bench_cachesim_replay.py``'s >=10x floor.
+"""
+
+import os
+import time
+
+from conftest import BENCH_SCALE, banner
+
+from repro.analysis.experiments import ExperimentConfig, ExperimentSuite
+from repro.analysis.report import render_table
+
+WORKERS = int(os.environ.get("REPRO_SUITE_BENCH_WORKERS", "4"))
+SPEEDUP_FLOOR = 1.5
+ASSERT_SCALE = 0.02  # the suite's default / acceptance scale
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - t0
+
+
+def test_suite_parallel_speedup_and_identity(benchmark):
+    serial = ExperimentSuite(ExperimentConfig(scale=BENCH_SCALE))
+    _, t_serial = _timed(serial.run_all)
+
+    parallel = ExperimentSuite(ExperimentConfig(scale=BENCH_SCALE,
+                                                workers=WORKERS))
+    _, t_parallel = _timed(parallel.run_all)
+
+    # identical artifacts, not just close: the codec round-trip is exact
+    assert parallel.figure5() == serial.figure5()
+    assert parallel.table4() == serial.table4()
+    assert parallel.table7() == serial.table7()
+    assert parallel._runs.keys() == serial._runs.keys()
+
+    benchmark.pedantic(
+        lambda: ExperimentSuite(
+            ExperimentConfig(scale=BENCH_SCALE, workers=WORKERS)).run_all(),
+        rounds=1, iterations=1)
+
+    speedup = t_serial / t_parallel
+    n_runs = len(serial._runs)
+    cores = _usable_cores()
+    print(banner(f"Suite parallelism — {n_runs} (device, k) runs, "
+                 f"{WORKERS} workers, {cores} usable cores"))
+    print(render_table(
+        ["runs", "workers", "serial (s)", "parallel (s)", "speedup"],
+        [[n_runs, WORKERS, round(t_serial, 2), round(t_parallel, 2),
+          round(speedup, 2)]]))
+
+    if BENCH_SCALE >= ASSERT_SCALE and cores >= WORKERS:
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"parallel suite must be >={SPEEDUP_FLOOR}x serial at "
+            f"acceptance scale on >= {WORKERS} cores; got {speedup:.2f}x")

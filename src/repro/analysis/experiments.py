@@ -9,9 +9,13 @@ returning the same rows/series the paper reports. The benches under
 
 from __future__ import annotations
 
+import dataclasses
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.core.extension import PRODUCTION_POLICY, WalkPolicy
+from repro.core.parallel import chunk_evenly
+from repro.errors import ReproError
 from repro.datasets.characteristics import TABLE_II, measure_characteristics
 from repro.datasets.generate import generate_paper_dataset
 from repro.hashing.opcount import hash_intops_breakdown
@@ -27,10 +31,16 @@ from repro.perfmodel.theoretical import (
     theoretical_ii,
 )
 from repro.perfmodel.timing import extrapolate_profile, predict_time
-from repro.resilience.checkpoint import CheckpointStore
+from repro.resilience.checkpoint import (
+    CheckpointStore,
+    profile_from_dict,
+    profile_to_dict,
+    result_from_dict,
+    result_to_dict,
+)
 from repro.resilience.retry import DEFAULT_BACKOFF, DEFAULT_RETRIES, retry_transient
 from repro.simt.counters import KernelProfile
-from repro.simt.device import PLATFORMS, DeviceSpec
+from repro.simt.device import PLATFORMS, DeviceSpec, device_by_name
 
 #: Production k-mer schedule (the four datasets of Table II).
 K_VALUES = (21, 33, 55, 77)
@@ -60,6 +70,10 @@ class ExperimentConfig:
             :class:`~repro.errors.BackendLaunchError`) is retried —
             anything else stays fatal.
         retry_sleep: injectable sleep for tests (``None`` = real sleep).
+            Not forwarded to worker processes (they use the real sleep).
+        workers: default process count for :meth:`ExperimentSuite.run_all`;
+            1 (the default) runs serially in-process. See
+            :meth:`ExperimentSuite.run_all` for the parallel semantics.
     """
 
     scale: float = 0.02
@@ -72,6 +86,7 @@ class ExperimentConfig:
     max_retries: int = DEFAULT_RETRIES
     retry_backoff: float = DEFAULT_BACKOFF
     retry_sleep: object | None = None
+    workers: int = 1
 
 
 @dataclass
@@ -168,10 +183,78 @@ class ExperimentSuite:
         self._runs[key] = rec
         return rec
 
-    def run_all(self) -> None:
-        for device in PLATFORMS:
-            for k in self.config.k_values:
+    def run_all(self, workers: int | None = None) -> None:
+        """Execute the full ``(device, k)`` grid, optionally in parallel.
+
+        Args:
+            workers: process count; ``None`` takes
+                :attr:`ExperimentConfig.workers`. ``1`` runs the grid
+                serially in-process (the historical behavior).
+
+        With ``workers > 1`` the pending grid cells are sharded across a
+        ``ProcessPoolExecutor`` (same chunking helper as
+        :func:`repro.core.parallel.assemble_parallel`). Each worker owns
+        a private :class:`ExperimentSuite` built from this suite's
+        config, so the per-run machinery — dataset generation,
+        ``retry_transient``, fault-injector hooks, checkpoint writes —
+        is exactly the serial code path; results travel back through the
+        checkpoint codec (``result_to_dict`` / ``profile_to_dict``) and
+        are merged into ``_runs`` in deterministic grid order, making
+        every table/figure/export byte-identical to a serial run.
+
+        When a checkpoint store is configured, already-completed runs
+        (validated fingerprint) are resumed in the parent and never
+        dispatched; workers checkpoint their own completions, so a
+        mid-flight crash loses only in-flight runs.
+
+        Caveats of the parallel path: ``retry_sleep`` is not forwarded
+        (workers sleep for real), and a ``fault_injector``'s launch/run
+        ordinals count per worker process rather than globally — specs
+        targeting parallel suites should match on ``device``/``k``.
+        """
+        workers = self.config.workers if workers is None else workers
+        if workers <= 0:
+            raise ReproError(f"workers must be positive, got {workers}")
+        grid = [(device, k) for device in PLATFORMS
+                for k in self.config.k_values]
+        if workers == 1:
+            for device, k in grid:
                 self.run(device, k)
+            return
+        store = self.checkpoint_store()
+        done = store.completed() if store is not None else set()
+        pending: list[tuple[str, int]] = []
+        for device, k in grid:
+            key = (device.name, k)
+            if key in self._runs:
+                continue
+            if key in done:
+                self.run(device, k)  # validated load, no re-dispatch
+                continue
+            pending.append(key)
+        if not pending:
+            return
+        worker_config = dataclasses.replace(self.config, retry_sleep=None)
+        shards = chunk_evenly(pending, workers)
+        by_key: dict[tuple[str, int], dict] = {}
+        with ProcessPoolExecutor(
+                max_workers=min(workers, len(shards)),
+                initializer=_init_suite_worker,
+                initargs=(worker_config,)) as pool:
+            for shard_out in pool.map(_run_suite_shard, shards):
+                for item in shard_out:
+                    by_key[(item["device"], item["k"])] = item
+        for device, k in grid:
+            key = (device.name, k)
+            if key in self._runs:
+                continue
+            item = by_key[key]
+            self._runs[key] = RunRecord(
+                device=device, k=k,
+                result=result_from_dict(item["result"], device),
+                full_profile=profile_from_dict(item["full_profile"]),
+                from_checkpoint=bool(item["from_checkpoint"]),
+            )
 
     def resilience_summary(self) -> list[dict]:
         """Per-run degradation/retry/checkpoint accounting (post-``run``)."""
@@ -389,6 +472,10 @@ class ExperimentSuite:
                 )
         return points
 
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+
     def timing_breakdown(self) -> list[dict]:
         """Extra diagnostic: per-resource time split (not in the paper)."""
         rows = []
@@ -407,3 +494,40 @@ class ExperimentSuite:
                     }
                 )
         return rows
+
+
+# ----------------------------------------------------------------------
+# Process-pool shard workers (module-level so they pickle by name).
+#
+# Each pool worker builds one private ExperimentSuite at startup and
+# reuses it for every shard it executes, so datasets generated for one
+# (device, k) cell are cached for later same-k cells in that process.
+# Results cross the process boundary as checkpoint-codec dicts — the
+# same wire format the on-disk store uses — so the parent rebuilds
+# RunRecords without any parallel-only serialization path.
+# ----------------------------------------------------------------------
+
+_WORKER_SUITE: ExperimentSuite | None = None
+
+
+def _init_suite_worker(config: ExperimentConfig) -> None:
+    global _WORKER_SUITE
+    _WORKER_SUITE = ExperimentSuite(config)
+
+
+def _run_suite_shard(shard: list[tuple[str, int]]) -> list[dict]:
+    """Execute one shard of ``(device_name, k)`` cells; returns codec dicts."""
+    suite = _WORKER_SUITE
+    if suite is None:  # pragma: no cover - initializer always ran
+        raise ReproError("suite worker used before initialization")
+    out = []
+    for device_name, k in shard:
+        rec = suite.run(device_by_name(device_name), k)
+        out.append({
+            "device": device_name,
+            "k": k,
+            "result": result_to_dict(rec.result),
+            "full_profile": profile_to_dict(rec.full_profile),
+            "from_checkpoint": rec.from_checkpoint,
+        })
+    return out

@@ -12,6 +12,7 @@ import json
 from pathlib import Path
 
 from repro.analysis.experiments import ExperimentSuite
+from repro.analysis.report import union_headers
 from repro.perfmodel.roofline import roofline_series
 from repro.perfmodel.speedup import iso_curve, iso_curve_levels
 from repro.simt.device import PLATFORMS
@@ -29,8 +30,9 @@ def _dicts_to_tsv(path: Path, comment: str, rows: list[dict]) -> None:
     if not rows:
         path.write_text(f"# {comment}\n# (no rows)\n")
         return
-    headers = list(rows[0].keys())
-    _write_tsv(path, comment, headers, [[r[h] for h in headers] for r in rows])
+    headers = union_headers(rows)
+    _write_tsv(path, comment, headers,
+               [[r.get(h, "") for h in headers] for r in rows])
 
 
 def export_all(suite: ExperimentSuite, out_dir: str | Path) -> list[Path]:

@@ -42,12 +42,29 @@ def render_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = 
     return "\n".join(out)
 
 
+def union_headers(rows: Sequence[dict]) -> list[str]:
+    """Every key appearing in any row, in first-seen order.
+
+    Heterogeneous rows (e.g. mixed resilience-summary shapes) are legal:
+    headers are the union, and rows missing a key render blank.
+    """
+    headers: list[str] = []
+    seen: set[str] = set()
+    for row in rows:
+        for key in row:
+            if key not in seen:
+                seen.add(key)
+                headers.append(key)
+    return headers
+
+
 def render_dict_table(rows: Sequence[dict], title: str = "") -> str:
-    """Render a list of homogeneous dicts as a table (keys become headers)."""
+    """Render a list of dicts as a table (union of keys becomes headers)."""
     if not rows:
         return title
-    headers = list(rows[0].keys())
-    return render_table(headers, [[r[h] for h in headers] for r in rows], title)
+    headers = union_headers(rows)
+    return render_table(headers, [[r.get(h, "") for h in headers] for r in rows],
+                        title)
 
 
 def render_series(name: str, xs: Sequence, ys: Sequence, x_label: str = "x",
@@ -66,14 +83,14 @@ def render_resilience_summary(rows: Sequence[dict]) -> str:
     retries, nothing resumed from checkpoints) renders as a single line
     rather than a table of zeros.
     """
+    if not rows:
+        return "resilience: no runs recorded"
     interesting = [
         r for r in rows
         if r.get("degraded_contigs") or r.get("retried_contigs")
         or r.get("launches_dropped") or r.get("overflow_retries")
         or r.get("from_checkpoint")
     ]
-    if not rows:
-        return "resilience: no runs recorded"
     if not interesting:
         return (f"resilience: all {len(rows)} runs clean "
                 "(no drops, retries, or checkpoint resumes)")

@@ -91,11 +91,16 @@ def _suite_config(args: argparse.Namespace) -> ExperimentConfig:
         scale=args.scale, seed=args.seed,
         overflow_policy=getattr(args, "overflow_policy", "raise"),
         checkpoint_dir=getattr(args, "checkpoint_dir", None),
+        workers=getattr(args, "workers", 1),
     )
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     suite = ExperimentSuite(_suite_config(args))
+    if suite.config.workers > 1:
+        # populate the run cache across processes up front; the table /
+        # figure methods below then only read cached records
+        suite.run_all()
     names = (
         ["table1", "table2", "table3", "table4", "table5", "table6", "table7",
          "fig5", "fig6", "fig7", "fig8", "fig9"]
@@ -199,6 +204,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--checkpoint-dir", default=None,
                        help="persist each completed (device, k) run here and "
                             "resume from matching checkpoints")
+    p_exp.add_argument("--workers", type=int, default=1,
+                       help="processes for the (device, k) grid; results "
+                            "are identical to --workers 1, only faster")
     p_exp.set_defaults(func=_cmd_experiment)
 
     p_export = sub.add_parser("export",
@@ -211,6 +219,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_export.add_argument("--checkpoint-dir", default=None,
                           help="persist each completed (device, k) run here "
                                "and resume from matching checkpoints")
+    p_export.add_argument("--workers", type=int, default=1,
+                          help="processes for the (device, k) grid; output "
+                               "files are identical to --workers 1")
     p_export.set_defaults(func=_cmd_export)
     return ap
 

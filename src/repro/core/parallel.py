@@ -12,12 +12,45 @@ only wall-clock changes.
 
 from __future__ import annotations
 
+import math
 import os
 from concurrent.futures import ProcessPoolExecutor
 
 from repro.core.pipeline import AssemblyResult, LocalAssembler
 from repro.errors import ReproError
 from repro.genomics.contig import Contig
+
+#: Target tasks per worker: enough chunks for load balancing, few enough
+#: to amortize per-task pickling.
+TASKS_PER_WORKER = 4
+
+
+def chunk_size_for(n_items: int, workers: int,
+                   tasks_per_worker: int = TASKS_PER_WORKER) -> int:
+    """Chunk size yielding at most ``workers * tasks_per_worker`` tasks.
+
+    Ceil division: ``floor`` would let the remainder spill into extra
+    tasks (up to nearly double the target) and degenerate to 1-item
+    chunks for small inputs.
+    """
+    if workers <= 0:
+        raise ReproError(f"workers must be positive, got {workers}")
+    return max(1, math.ceil(n_items / (workers * tasks_per_worker)))
+
+
+def chunk_evenly(items: list, workers: int,
+                 tasks_per_worker: int = TASKS_PER_WORKER,
+                 chunk_size: int | None = None) -> list[list]:
+    """Split ``items`` into contiguous chunks of :func:`chunk_size_for` size.
+
+    Shared by :func:`assemble_parallel` (contig chunks) and
+    :meth:`repro.analysis.experiments.ExperimentSuite.run_all`
+    (``(device, k)`` shards).
+    """
+    if chunk_size is None:
+        chunk_size = chunk_size_for(len(items), workers, tasks_per_worker)
+    return [items[i: i + chunk_size]
+            for i in range(0, len(items), chunk_size)]
 
 
 def _assemble_chunk(args: tuple) -> list[tuple[int, Contig]]:
@@ -45,8 +78,9 @@ def assemble_parallel(
         workers: pool size; defaults to the CPU count. ``workers=1`` (or a
             single-chunk input) runs serially in-process — useful under
             debuggers and on platforms without fork.
-        chunk_size: contigs per task; defaults to an even split into
-            ~4 tasks per worker (load balancing vs pickling overhead).
+        chunk_size: contigs per task; defaults to
+            :func:`chunk_size_for` — at most ``workers * 4`` tasks
+            (load balancing vs pickling overhead).
     """
     assembler = assembler or LocalAssembler()
     if workers is None:
@@ -55,10 +89,8 @@ def assemble_parallel(
         raise ReproError(f"workers must be positive, got {workers}")
     if not contigs:
         return []
-    if chunk_size is None:
-        chunk_size = max(1, len(contigs) // (workers * 4))
     indexed = list(enumerate(contigs))
-    chunks = [indexed[i : i + chunk_size] for i in range(0, len(indexed), chunk_size)]
+    chunks = chunk_evenly(indexed, workers, chunk_size=chunk_size)
 
     if workers == 1 or len(chunks) == 1:
         merged = [pair for chunk in chunks for pair in _assemble_chunk((assembler, chunk))]

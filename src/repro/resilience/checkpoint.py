@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
 from pathlib import Path
 
 from repro.core.extension import WalkState
@@ -82,8 +83,39 @@ def result_from_dict(data: dict, device: DeviceSpec | None) -> KernelRunResult:
     )
 
 
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe (signal 0); unprobeable pids count dead."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    except (OverflowError, ValueError, OSError):
+        return False
+    return True
+
+
+def _tmp_owner_pid(path: Path) -> int | None:
+    """The writer pid encoded in a ``<name>.json.<pid>.tmp`` scratch file."""
+    parts = path.name.split(".")
+    if len(parts) < 3:
+        return None
+    try:
+        return int(parts[-2])
+    except ValueError:
+        return None
+
+
 class CheckpointStore:
     """One JSON checkpoint per completed ``(device, k)`` run.
+
+    Safe for concurrent writers: each process stages into its own
+    ``<checkpoint>.json.<pid>.tmp`` scratch file, fsyncs, and atomically
+    renames over the final path, so readers only ever observe complete
+    checkpoints and two processes saving the same run never interleave
+    bytes. Scratch files left by crashed writers are swept on
+    construction (live writers — pid still running — are left alone).
 
     Args:
         directory: checkpoint directory (created if missing).
@@ -97,13 +129,33 @@ class CheckpointStore:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.meta = dict(meta or {})
+        self.sweep_stale_tmps()
 
     def path_for(self, device_name: str, k: int) -> Path:
         return self.directory / f"{device_name}_k{k}.json"
 
+    def sweep_stale_tmps(self) -> list[Path]:
+        """Remove scratch files whose writer is gone; returns what was swept."""
+        swept: list[Path] = []
+        for tmp in self.directory.glob("*.tmp"):
+            pid = _tmp_owner_pid(tmp)
+            if pid is not None and _pid_alive(pid):
+                continue  # an in-flight writer owns this one
+            try:
+                tmp.unlink()
+                swept.append(tmp)
+            except OSError:
+                pass  # raced with the writer's own rename/cleanup
+        return swept
+
     def save(self, device_name: str, k: int, result: KernelRunResult,
              full_profile: KernelProfile) -> Path:
-        """Persist one completed run (atomically via rename)."""
+        """Persist one completed run (atomically via rename).
+
+        The payload is staged in a per-process scratch file and fsynced
+        before the rename; on any failure the scratch file is removed so
+        aborted saves leave nothing behind.
+        """
         payload = {
             "format": CHECKPOINT_FORMAT,
             "meta": self.meta,
@@ -113,9 +165,16 @@ class CheckpointStore:
             "full_profile": profile_to_dict(full_profile),
         }
         path = self.path_for(device_name, k)
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(payload) + "\n")
-        tmp.replace(path)
+        tmp = self.directory / f"{path.name}.{os.getpid()}.tmp"
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                fh.write(json.dumps(payload) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            tmp.replace(path)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
         return path
 
     def load(self, device: DeviceSpec,
@@ -146,14 +205,29 @@ class CheckpointStore:
         return result, full
 
     def completed(self) -> set[tuple[str, int]]:
-        """The ``(device_name, k)`` pairs with a checkpoint on disk."""
+        """The ``(device_name, k)`` pairs with a *usable* checkpoint on disk.
+
+        Applies the same format-version and configuration-fingerprint
+        validation as :meth:`load`: a parseable file written by a
+        different format or configuration does not count as done (it
+        would be rejected at load time anyway).
+        """
         done: set[tuple[str, int]] = set()
         for path in self.directory.glob("*.json"):
             try:
                 payload = json.loads(path.read_text())
-                done.add((str(payload["device"]), int(payload["k"])))
-            except (OSError, json.JSONDecodeError, KeyError, ValueError):
+            except (OSError, json.JSONDecodeError):
                 continue  # unreadable files simply don't count as done
+            if not isinstance(payload, dict):
+                continue
+            if payload.get("format") != CHECKPOINT_FORMAT:
+                continue
+            if payload.get("meta") != self.meta:
+                continue
+            try:
+                done.add((str(payload["device"]), int(payload["k"])))
+            except (KeyError, TypeError, ValueError):
+                continue
         return done
 
     def clear(self) -> None:

@@ -58,6 +58,16 @@ class TestExport:
         out, _ = exported
         assert "scale=0.004" in (out / "fig5_kernel_time.tsv").read_text()
 
+    def test_heterogeneous_rows_union_headers(self, tmp_path):
+        from repro.analysis.export import _dicts_to_tsv
+
+        p = tmp_path / "het.tsv"
+        _dicts_to_tsv(p, "mixed", [{"a": 1, "b": 2}, {"b": 3, "c": 4}])
+        lines = p.read_text().splitlines()
+        assert lines[1].split("\t") == ["a", "b", "c"]
+        assert lines[2].split("\t") == ["1", "2", ""]
+        assert lines[3].split("\t") == ["", "3", "4"]
+
     def test_cli_export(self, tmp_path, capsys):
         from repro.cli import main
 

@@ -1,6 +1,21 @@
 """Tests for the ASCII report renderers."""
 
-from repro.analysis.report import render_dict_table, render_series, render_table
+from repro.analysis.report import (
+    render_dict_table,
+    render_resilience_summary,
+    render_series,
+    render_table,
+    union_headers,
+)
+
+
+class TestUnionHeaders:
+    def test_first_seen_order(self):
+        rows = [{"a": 1, "b": 2}, {"b": 3, "c": 4}, {"a": 5}]
+        assert union_headers(rows) == ["a", "b", "c"]
+
+    def test_empty(self):
+        assert union_headers([]) == []
 
 
 class TestRenderTable:
@@ -38,6 +53,36 @@ class TestRenderDictTable:
 
     def test_empty(self):
         assert render_dict_table([], title="none") == "none"
+
+    def test_heterogeneous_rows_blank_filled(self):
+        # mixed shapes (e.g. resilience-summary rows from different
+        # policies) used to raise KeyError on rows missing a header
+        out = render_dict_table([{"device": "A100", "k": 21},
+                                 {"device": "MI250X", "extra": 7}])
+        lines = out.splitlines()
+        assert lines[0].split(" | ")[-1].strip() == "extra"
+        assert len(lines) == 4
+        assert "7" in lines[3]
+
+
+class TestRenderResilienceSummary:
+    def test_no_rows(self):
+        assert render_resilience_summary([]) == "resilience: no runs recorded"
+
+    def test_all_clean(self):
+        rows = [{"device": "A100", "k": 21, "degraded_contigs": 0,
+                 "from_checkpoint": False}]
+        assert "all 1 runs clean" in render_resilience_summary(rows)
+
+    def test_heterogeneous_interesting_rows(self):
+        rows = [
+            {"device": "A100", "k": 21, "degraded_contigs": 2},
+            {"device": "MI250X", "k": 33, "from_checkpoint": True,
+             "overflow_retries": 1},
+        ]
+        out = render_resilience_summary(rows)
+        assert out.startswith("Resilience summary")
+        assert "from_checkpoint" in out and "degraded_contigs" in out
 
 
 class TestRenderSeries:

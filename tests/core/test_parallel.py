@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.parallel import assemble_parallel
+from repro.core.parallel import assemble_parallel, chunk_evenly, chunk_size_for
 from repro.core.pipeline import LocalAssembler
 from repro.errors import ReproError
 from repro.genomics.simulate import PERFECT_READS, ScenarioSpec, simulate_batch
@@ -15,6 +15,40 @@ SPEC = ScenarioSpec(contig_length=180, flank_length=50, read_length=80,
 def _contigs(n=8, seed=13):
     rng = np.random.default_rng(seed)
     return [sc.contig for sc in simulate_batch(n, SPEC, rng, PERFECT_READS)]
+
+
+class TestChunkHelpers:
+    def test_never_exceeds_task_target(self):
+        # the old floor division spilled the remainder into extra tasks
+        # (e.g. 10 items / 1 worker -> 5 tasks instead of <= 4)
+        for n in range(1, 200):
+            for workers in (1, 2, 4, 7):
+                chunks = chunk_evenly(list(range(n)), workers)
+                assert len(chunks) <= workers * 4, (n, workers)
+                assert sum(len(c) for c in chunks) == n
+                assert [x for c in chunks for x in c] == list(range(n))
+
+    def test_ceil_division(self):
+        assert chunk_size_for(10, 1) == 3   # ceil(10/4), floor gave 2
+        assert chunk_size_for(16, 1) == 4
+        assert chunk_size_for(17, 1) == 5
+        assert chunk_size_for(3, 4) == 1
+        assert chunk_size_for(0, 4) == 1
+
+    def test_small_inputs_not_degenerate(self):
+        # 9 items, 2 workers: floor gave 1-item chunks (9 tasks);
+        # ceil packs them into <= 8 tasks of 2
+        chunks = chunk_evenly(list(range(9)), 2)
+        assert len(chunks) <= 8
+        assert max(len(c) for c in chunks) == 2
+
+    def test_explicit_chunk_size_respected(self):
+        chunks = chunk_evenly(list(range(5)), 2, chunk_size=2)
+        assert [len(c) for c in chunks] == [2, 2, 1]
+
+    def test_rejects_bad_workers(self):
+        with pytest.raises(ReproError):
+            chunk_size_for(10, 0)
 
 
 class TestAssembleParallel:

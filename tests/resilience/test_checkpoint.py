@@ -81,6 +81,28 @@ class TestValidation:
         with pytest.raises(CheckpointError, match="does not match"):
             result_from_dict(data, PLATFORMS[1])
 
+    def test_completed_skips_mismatched_fingerprint(self, tmp_path, clean_run):
+        CheckpointStore(tmp_path, meta={"scale": 0.004}).save(
+            "A100", K, clean_run, clean_run.profile)
+        other = CheckpointStore(tmp_path, meta={"scale": 0.02})
+        assert other.completed() == set()
+        same = CheckpointStore(tmp_path, meta={"scale": 0.004})
+        assert same.completed() == {("A100", K)}
+
+    def test_completed_skips_format_drift(self, tmp_path, clean_run):
+        store = CheckpointStore(tmp_path)
+        path = store.save("A100", K, clean_run, clean_run.profile)
+        payload = json.loads(path.read_text())
+        payload["format"] = 999
+        path.write_text(json.dumps(payload))
+        assert store.completed() == set()
+
+    def test_completed_skips_unparseable_json(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.path_for("A100", K).write_text("{not json")
+        (store.directory / "list.json").write_text("[1, 2]")
+        assert store.completed() == set()
+
 
 class TestSuiteResume:
     def test_crash_then_resume_matches_uninterrupted(self, tmp_path):
