@@ -8,6 +8,7 @@ Sub-commands::
     experiment  regenerate a paper table or figure (table1..table7,
                 fig5..fig9, all)
     export      write every table/figure as TSV + summary.json
+    lint        run the repo-invariant static lint rules (REP001..)
 """
 
 from __future__ import annotations
@@ -25,6 +26,7 @@ from repro.genomics.io import read_dat, write_dat, write_fasta
 from repro.kernels import available_backends, backend_for_device, create_backend
 from repro.kernels.engine import replay_l2_hit_rate, replay_suggested_l2_churn
 from repro.resilience import OverflowPolicy
+from repro.sanitize import parse_checks  # also registers the buggy-demo backend
 from repro.simt.device import PLATFORMS, device_by_name
 
 #: CLI spellings of the overflow policies.
@@ -36,6 +38,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
     device = device_by_name(args.device)
     kw = {"policy": PRODUCTION_POLICY, "memory_model": args.memory_model,
           "overflow_policy": args.overflow_policy}
+    if args.sanitize:
+        if args.backend == "scalar":
+            print("--sanitize shadows the SIMT warp protocols; the scalar "
+                  "reference has none (pick a SIMT backend)", file=sys.stderr)
+            return 2
+        try:
+            parse_checks(args.sanitize)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        kw["sanitize"] = args.sanitize
     if args.backend == "auto":
         kernel = backend_for_device(device, **kw)
     elif args.backend == "scalar":
@@ -75,6 +88,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
               f"accesses, L2 hit rate {hit:.3f}, {hbm / 1e9:.3f} GB HBM "
               f"(analytic model used l2_churn={kernel.l2_churn:g}; "
               f"replay suggests {churn:.2f})")
+    if args.sanitize:
+        report = kernel.last_sanitizer_report
+        if report is not None:
+            print(report.render())
+            if not report.ok:
+                return 1
     return 0
 
 
@@ -146,6 +165,26 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.sanitize.lint import (
+        lint_paths,
+        render_json,
+        render_text,
+        select_rules,
+    )
+
+    try:
+        rules = (select_rules([s.strip() for s in args.select.split(",")])
+                 if args.select else None)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    findings = lint_paths(args.paths, rules)
+    print(render_json(findings) if args.format == "json"
+          else render_text(findings))
+    return 1 if findings else 0
+
+
 def _cmd_export(args: argparse.Namespace) -> int:
     from repro.analysis.export import export_all
 
@@ -186,6 +225,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="hash-table overflow semantics: abort (raise), "
                             "drop the contig like the GPU kernel's "
                             "'*hashtable full*' path, or grow-retry it")
+    p_run.add_argument("--sanitize", default=None, metavar="CHECKS",
+                       help="shadow the warp protocols compute-sanitizer "
+                            "style: 'all' or a comma list of racecheck, "
+                            "synccheck, initcheck; exits 1 on findings")
     p_run.set_defaults(func=_cmd_run)
 
     p_gen = sub.add_parser("generate", help="generate a Table II-style dataset")
@@ -223,6 +266,15 @@ def build_parser() -> argparse.ArgumentParser:
                           help="processes for the (device, k) grid; output "
                                "files are identical to --workers 1")
     p_export.set_defaults(func=_cmd_export)
+
+    p_lint = sub.add_parser(
+        "lint", help="run the repo-invariant static lint rules")
+    p_lint.add_argument("paths", nargs="*", default=["src"],
+                        help="files/directories to lint (default: src)")
+    p_lint.add_argument("--format", default="text", choices=("text", "json"))
+    p_lint.add_argument("--select", default=None, metavar="IDS",
+                        help="comma-separated rule ids (default: all rules)")
+    p_lint.set_defaults(func=_cmd_lint)
     return ap
 
 

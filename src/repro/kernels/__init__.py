@@ -75,6 +75,18 @@ def _register_ports() -> None:
 
         register_backend(name, factory)
 
+    if "buggy-demo" not in _REGISTRY:
+        # the sanitizer's self-test backend lives in repro.sanitize (which
+        # depends on this package); register it lazily so it is selectable
+        # by name regardless of import order, without a module-level cycle
+        def buggy_factory(device=None, **kw):
+            from repro.sanitize.demo import BuggyDemoKernel
+
+            return BuggyDemoKernel(device if device is not None else A100,
+                                   **kw)
+
+        register_backend("buggy-demo", buggy_factory)
+
 
 _register_ports()
 

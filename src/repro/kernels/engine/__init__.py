@@ -26,6 +26,7 @@ from repro.kernels.engine.construct import ConstructPhase, ConstructResult
 from repro.kernels.engine.events import (
     ITERATION_BASE_INSTRS,
     WALK_STEP_INTOPS,
+    BarrierSync,
     ContigDropped,
     ContigRetried,
     EventBus,
@@ -35,6 +36,8 @@ from repro.kernels.engine.events import (
     ProbeIteration,
     ProfileSubscriber,
     SlotAccess,
+    SlotRead,
+    SlotWrite,
     TraceReplayStats,
     TraceReplaySubscriber,
     TraceSubscriber,
@@ -82,6 +85,7 @@ __all__ = [
     # events + subscribers
     "ITERATION_BASE_INSTRS",
     "WALK_STEP_INTOPS",
+    "BarrierSync",
     "ContigDropped",
     "ContigRetried",
     "EventBus",
@@ -91,6 +95,8 @@ __all__ = [
     "ProbeIteration",
     "ProfileSubscriber",
     "SlotAccess",
+    "SlotRead",
+    "SlotWrite",
     "TraceReplayStats",
     "TraceReplaySubscriber",
     "TraceSubscriber",

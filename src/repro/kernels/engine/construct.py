@@ -13,7 +13,15 @@ All measured quantities leave the phase as events
 (:class:`~repro.kernels.engine.events.WaveExecuted`,
 :class:`~repro.kernels.engine.events.ProbeIteration`,
 :class:`~repro.kernels.engine.events.SlotAccess`); the phase itself never
-touches a profile or traffic ledger.
+touches a profile or traffic ledger. When a sanitizer subscribes, the
+phase additionally emits :class:`~repro.kernels.engine.events.SlotWrite`
+records at every slot-state commit and
+:class:`~repro.kernels.engine.events.BarrierSync` records at every
+protocol synchronization point — all gated on ``bus.wants``, so
+unsanitized runs pay nothing. The commit/claim/barrier steps are small
+overridable methods, which is how the deliberately-buggy demo backend
+(:mod:`repro.sanitize.demo`) seeds the protocol violations the sanitizer
+self-test must catch.
 """
 
 from __future__ import annotations
@@ -23,7 +31,14 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import HashTableFullError
-from repro.kernels.engine.events import EventBus, ProbeIteration, SlotAccess, WaveExecuted
+from repro.kernels.engine.events import (
+    BarrierSync,
+    EventBus,
+    ProbeIteration,
+    SlotAccess,
+    SlotWrite,
+    WaveExecuted,
+)
 from repro.kernels.engine.prepare import Batch, segmented_arange
 from repro.kernels.vectortable import WarpHashTables
 
@@ -57,6 +72,38 @@ class ConstructPhase:
         self.warp_size = warp_size
         self.defer_overflow = defer_overflow
 
+    # ------------------------------------------------------------------
+    # slot-state commit hooks (overridden by the buggy demo backend)
+
+    def _claim(self, tables: WarpHashTables, slots: np.ndarray,
+               fps: np.ndarray, warps: np.ndarray,
+               lanes: np.ndarray | None, bus: EventBus,
+               emit_writes: bool) -> np.ndarray:
+        """atomicCAS tag claim; exactly one winner per distinct slot."""
+        if emit_writes:
+            bus.emit(SlotWrite(phase="construct", kind="claim", slots=slots,
+                               warps=warps, lanes=lanes, atomic=True))
+        return tables.claim(slots, fps)
+
+    def _vote(self, tables: WarpHashTables, slots: np.ndarray,
+              exts: np.ndarray, his: np.ndarray, warps: np.ndarray,
+              lanes: np.ndarray | None, bus: EventBus,
+              emit_writes: bool) -> None:
+        """atomicAdd vote accumulation on the slot value region."""
+        if emit_writes:
+            bus.emit(SlotWrite(phase="construct", kind="vote", slots=slots,
+                               warps=warps, lanes=lanes, atomic=True))
+        tables.vote(slots, exts, his)
+
+    def _barrier(self, warps: np.ndarray, active_counts: np.ndarray,
+                 bus: EventBus) -> None:
+        """The protocol's per-iteration sync; mask = the active lane set."""
+        bus.emit(BarrierSync(phase="construct", warps=warps,
+                             mask_lanes=active_counts,
+                             active_lanes=active_counts))
+
+    # ------------------------------------------------------------------
+
     def run(self, batch: Batch, tables: WarpHashTables,
             bus: EventBus) -> ConstructResult:
         W = self.warp_size
@@ -68,6 +115,7 @@ class ConstructPhase:
         waves_run = 0
         dead = np.zeros(n_warps, dtype=bool)
         overflowed: list[int] = []
+        want_lanes = bus.wants(SlotWrite)
         for t in range(max_waves):
             lo = ins_off[:-1] + t * W
             hi = np.minimum(lo + W, ins_off[1:])
@@ -84,7 +132,10 @@ class ConstructPhase:
                 wave_warps = int(np.count_nonzero(take))
             bus.emit(WaveExecuted(lanes=idx.size, warps=wave_warps))
             waves_run += 1
-            iters, wave_overflowed = self._insert_wave(batch, tables, idx, bus)
+            # lane id within the warp's wave, for sanitizer provenance
+            lanes = (idx - lo[batch.ins_warp[idx]]) if want_lanes else None
+            iters, wave_overflowed = self._insert_wave(batch, tables, idx,
+                                                       bus, lanes)
             chain += iters
             if wave_overflowed:
                 overflowed.extend(wave_overflowed)
@@ -93,7 +144,8 @@ class ConstructPhase:
                                overflowed=tuple(overflowed))
 
     def _insert_wave(self, batch: Batch, tables: WarpHashTables,
-                     idx: np.ndarray, bus: EventBus) -> tuple[int, list[int]]:
+                     idx: np.ndarray, bus: EventBus,
+                     lanes: np.ndarray | None = None) -> tuple[int, list[int]]:
         """Probe until every lane of the wave has inserted.
 
         Returns ``(iterations, overflowed_warps)``; the second element
@@ -111,6 +163,12 @@ class ConstructPhase:
         iterations = 0
         overflowed: list[int] = []
         emit_slots = bus.wants(SlotAccess)
+        emit_writes = bus.wants(SlotWrite)
+        emit_sync = bus.wants(BarrierSync)
+
+        def lane_of(sel: np.ndarray) -> np.ndarray | None:
+            return lanes[sel] if lanes is not None else None
+
         while pending.any():
             p = np.nonzero(pending)[0]
             over = probe[p] >= tables.capacities[warps[p]]
@@ -132,11 +190,12 @@ class ConstructPhase:
                     break
                 p = np.nonzero(pending)[0]
             iterations += 1
-            active_warps = int(np.unique(warps[p]).size)
+            uniq_warps, uniq_counts = np.unique(warps[p], return_counts=True)
+            active_warps = int(uniq_warps.size)
 
             slots = tables.slot_of(warps[p], homes[p], probe[p])
             if emit_slots:
-                bus.emit(SlotAccess(slots=slots))
+                bus.emit(SlotAccess(slots=slots, kind="probe"))
             occupied, slot_fp = tables.inspect(slots)
             key_compares = int(np.count_nonzero(occupied))
 
@@ -144,7 +203,9 @@ class ConstructPhase:
             votes_matched = 0
             match = occupied & (slot_fp == fps[p])
             if match.any():
-                tables.vote(slots[match], exts[p[match]], his[p[match]])
+                sel = p[match]
+                self._vote(tables, slots[match], exts[sel], his[sel],
+                           warps[sel], lane_of(sel), bus, emit_writes)
                 votes_matched = int(match.sum())
                 done |= match
 
@@ -154,10 +215,15 @@ class ConstructPhase:
             empty = ~occupied
             if empty.any():
                 e = np.nonzero(empty)[0]
-                winners_local = tables.claim(slots[e], fps[p[e]])
+                sel = p[e]
+                winners_local = self._claim(tables, slots[e], fps[sel],
+                                            warps[sel], lane_of(sel), bus,
+                                            emit_writes)
                 cas_attempts = e.size  # every empty observer issues a CAS
                 win = e[winners_local]
-                tables.vote(slots[win], exts[p[win]], his[p[win]])
+                sel = p[win]
+                self._vote(tables, slots[win], exts[sel], his[sel],
+                           warps[sel], lane_of(sel), bus, emit_writes)
                 votes_claimed = win.size
                 done_claim = np.zeros(p.size, dtype=bool)
                 done_claim[win] = True
@@ -170,13 +236,17 @@ class ConstructPhase:
                     same = now_fp == fps[p[losers]]
                     m = losers[same]
                     if m.size:
-                        tables.vote(slots[m], exts[p[m]], his[p[m]])
+                        sel = p[m]
+                        self._vote(tables, slots[m], exts[sel], his[sel],
+                                   warps[sel], lane_of(sel), bus, emit_writes)
                         votes_merged = m.size
                         d = np.zeros(p.size, dtype=bool)
                         d[m] = True
                         done |= d
                 # HIP/SYCL losers retry next iteration at the same probe.
 
+            if emit_sync and proto.iteration_syncs:
+                self._barrier(uniq_warps, uniq_counts, bus)
             bus.emit(ProbeIteration(
                 phase="construct", lanes=p.size, warps=active_warps,
                 key_compares=key_compares, cas_attempts=cas_attempts,

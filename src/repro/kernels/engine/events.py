@@ -73,6 +73,10 @@ class LaunchStarted:
     mean_table_bytes: float       #: mean per-warp hash-table footprint
     mean_read_bytes: float        #: mean per-warp read-buffer footprint
     cold_footprint_bytes: float   #: compulsory-traffic floor of the launch
+    total_slots: int = 0          #: table slots across all warps (sanitizer)
+    #: Per-warp contig ids, for finding provenance. Populated only when a
+    #: sanitizer is attached (building the tuple costs per-launch work).
+    contig_ids: tuple = ()
 
 
 @dataclass(frozen=True)
@@ -112,9 +116,68 @@ class WalkStep:
 
 @dataclass(frozen=True)
 class SlotAccess:
-    """Raw table-slot indices touched by one probe iteration."""
+    """Raw table-slot indices touched by one probe iteration.
+
+    ``kind`` names the access category (``"probe"``, ``"claim"``,
+    ``"vote"``, ``"vote_read"``); emission sites must pass it explicitly
+    (lint rule REP004), so trace consumers can attribute traffic.
+    """
 
     slots: np.ndarray             #: global slot indices (int64)
+    kind: str = "probe"           #: access category
+
+
+@dataclass(frozen=True)
+class SlotWrite:
+    """Sanitizer-facing record of one batched table-slot write.
+
+    Emitted by the phases (gated on ``bus.wants(SlotWrite)``) at every
+    point where slot state is committed — ``atomicCAS`` tag claims and
+    ``atomicAdd`` vote accumulations. ``atomic=False`` declares the
+    commit was *not* performed with a read-modify-write primitive, which
+    is exactly what the racecheck sanitizer flags when the batch carries
+    same-slot conflicts (lost updates).
+    """
+
+    phase: str                    #: "construct" | "walk"
+    kind: str                     #: "claim" | "vote"
+    slots: np.ndarray             #: global slot indices written
+    warps: np.ndarray             #: issuing warp per write
+    lanes: np.ndarray | None = None  #: issuing lane per write (if known)
+    atomic: bool = True           #: committed via an atomic primitive
+
+
+@dataclass(frozen=True)
+class SlotRead:
+    """Sanitizer-facing record of one batched table-slot value read.
+
+    Emitted where the walk resolves votes (``kind="vote_read"``); the
+    initcheck sanitizer flags reads of slots whose value region was never
+    written — the device-memory analogue of reading uninitialized memory.
+    """
+
+    phase: str                    #: "construct" | "walk"
+    kind: str                     #: "vote_read"
+    slots: np.ndarray             #: global slot indices read
+    warps: np.ndarray             #: issuing warp per read
+
+
+@dataclass(frozen=True)
+class BarrierSync:
+    """Sanitizer-facing record of one warp/sub-group synchronization.
+
+    ``mask_lanes`` is the lane count each warp's barrier mask names (what
+    the code passed to ``__syncwarp(mask)`` / sized the sub-group barrier
+    for); ``active_lanes`` is the lane count actually converged at the
+    barrier. The synccheck sanitizer flags any divergence — a stale
+    ``__activemask()`` or a barrier inside divergent control flow, the
+    classic warp-synchronous deadlock.
+    """
+
+    phase: str                    #: "construct" | "walk"
+    warps: np.ndarray             #: warps executing the barrier
+    mask_lanes: np.ndarray        #: lanes named by each warp's sync mask
+    active_lanes: np.ndarray      #: lanes actually active at the barrier
 
 
 @dataclass(frozen=True)

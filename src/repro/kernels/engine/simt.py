@@ -90,9 +90,21 @@ class LocalAssemblyKernel:
             for validating/recalibrating the analytic model. Profile
             counters always come from the analytic model, so trace mode
             changes no result — it adds exact measurements beside it.
+        sanitize: ``None`` (default, off) or a check selection for the
+            :class:`~repro.sanitize.Sanitizer` — ``"all"``,
+            ``"racecheck"``, ``"synccheck"``, ``"initcheck"``, a
+            comma-separated string, or an iterable. When set, the phases
+            emit slot-write / slot-read / barrier records (gated on
+            ``bus.wants``; off costs nothing) and the run's structured
+            findings land in :attr:`last_sanitizer_report`.
     """
 
     protocol: ProtocolCosts  # set by subclasses
+
+    #: Phase factories; the buggy sanitizer-demo backend swaps these for
+    #: subclasses that seed protocol violations (:mod:`repro.sanitize.demo`).
+    construct_cls = ConstructPhase
+    walk_cls = WalkPhase
 
     def __init__(
         self,
@@ -112,6 +124,7 @@ class LocalAssemblyKernel:
         fault_injector=None,
         grow_factor: float | None = None,
         max_grow_attempts: int | None = None,
+        sanitize=None,
     ) -> None:
         if not hasattr(self, "protocol"):
             raise KernelError("use a concrete kernel subclass, not the base")
@@ -167,6 +180,15 @@ class LocalAssemblyKernel:
         #: itself for aggregate views (hit rates, suggested ``l2_churn``).
         self.last_replay: list = []
         self.last_replay_subscriber: TraceReplaySubscriber | None = None
+        if sanitize:
+            # imported lazily: repro.sanitize imports this module
+            from repro.sanitize.report import parse_checks
+            self.sanitize_checks = parse_checks(sanitize)
+        else:
+            self.sanitize_checks = ()
+        #: The :class:`~repro.sanitize.SanitizerReport` of the most
+        #: recent run (populated when ``sanitize=`` is set).
+        self.last_sanitizer_report = None
         #: The prep cache of the most recent :meth:`run_schedule` call
         #: (exposes flatten hit/miss statistics).
         self.last_prep_cache: PrepareCache | None = None
@@ -184,7 +206,7 @@ class LocalAssemblyKernel:
     def _build_bus(
         self, profile: KernelProfile, parallel_scale: float,
     ) -> tuple[EventBus, TrafficSubscriber, TraceSubscriber | None,
-               TraceReplaySubscriber | None]:
+               TraceReplaySubscriber | None, object | None]:
         """Assemble the instrumentation stack for one run.
 
         The profile subscriber is registered before the traffic
@@ -203,11 +225,15 @@ class LocalAssemblyKernel:
         tracer = bus.subscribe(TraceSubscriber()) if self.record_trace else None
         replayer = (bus.subscribe(TraceReplaySubscriber(self.device))
                     if self.memory_model == "trace" else None)
+        sanitizer = None
+        if self.sanitize_checks:
+            from repro.sanitize.checkers import Sanitizer
+            sanitizer = bus.subscribe(Sanitizer(self.sanitize_checks))
         if self.fault_injector is not None:
             bus.subscribe(self.fault_injector)
         for sub in self.extra_subscribers:
             bus.subscribe(sub)
-        return bus, traffic, tracer, replayer
+        return bus, traffic, tracer, replayer, sanitizer
 
     # ------------------------------------------------------------------
 
@@ -251,12 +277,13 @@ class LocalAssemblyKernel:
         left: list[tuple[str, WalkState]] = [("", WalkState.MISSING)] * len(contigs)
         self.last_trace = []
         self.last_replay = []
-        bus, traffic, tracer, replayer = self._build_bus(profile, parallel_scale)
+        bus, traffic, tracer, replayer, sanitizer = self._build_bus(
+            profile, parallel_scale)
         defer = self.overflow_policy is not OverflowPolicy.RAISE
-        construct = ConstructPhase(self.protocol, self.warp_size,
-                                   defer_overflow=defer)
-        walker = WalkPhase(self.policy, self.max_walk_len, self.seed,
-                           defer_overflow=defer)
+        construct = self.construct_cls(self.protocol, self.warp_size,
+                                       defer_overflow=defer)
+        walker = self.walk_cls(self.policy, self.max_walk_len, self.seed,
+                               defer_overflow=defer)
         ops = hash_intops(k)
         injector = self.fault_injector
         degraded: set[int] = set()
@@ -276,6 +303,9 @@ class LocalAssemblyKernel:
                     mean_table_bytes=float(np.mean(sub.capacities)) * SLOT_BYTES,
                     mean_read_bytes=float(np.mean(sub.read_bytes_per_warp)),
                     cold_footprint_bytes=tables.total_bytes + 2 * sub.codes.size,
+                    total_slots=tables.total_slots,
+                    contig_ids=(tuple(int(ci) for ci in sub.contig_ids)
+                                if sanitizer is not None else ()),
                 ))
                 cres = construct.run(sub, tables, bus)
                 wres = walker.run(sub, tables, bus)
@@ -328,6 +358,8 @@ class LocalAssemblyKernel:
         if replayer is not None:
             self.last_replay = replayer.launches
             self.last_replay_subscriber = replayer
+        if sanitizer is not None:
+            self.last_sanitizer_report = sanitizer.report
         result = KernelRunResult(device=self.device, k=k, profile=profile,
                                  right=right, left=left,
                                  degraded=sorted(degraded),
@@ -356,6 +388,7 @@ class LocalAssemblyKernel:
         cache = PrepareCache()
         self.last_prep_cache = cache
         schedule_replay: list = []
+        schedule_reports: list = []
         degraded: set[int] = set()
         retried: set[int] = set()
 
@@ -363,6 +396,8 @@ class LocalAssemblyKernel:
             res = self.run(contigs, k, parallel_scale=parallel_scale,
                            prep_cache=cache)
             schedule_replay.extend(self.last_replay)
+            if self.last_sanitizer_report is not None:
+                schedule_reports.append(self.last_sanitizer_report)
             degraded.update(res.degraded)
             retried.update(res.retried)
             return res
@@ -372,6 +407,13 @@ class LocalAssemblyKernel:
         )
         if self.memory_model == "trace":
             self.last_replay = schedule_replay
+        if self.sanitize_checks and schedule_reports:
+            from repro.sanitize.report import SanitizerReport
+            combined = SanitizerReport(
+                max_findings=schedule_reports[0].max_findings)
+            for rep in schedule_reports:
+                combined.extend(rep)
+            self.last_sanitizer_report = combined
         return KernelRunResult(device=self.device, k=last_k, profile=merged,
                                right=right, left=left,
                                degraded=sorted(degraded),

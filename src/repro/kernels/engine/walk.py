@@ -9,7 +9,14 @@ Measured quantities leave the phase as events
 (:class:`~repro.kernels.engine.events.WalkStep`,
 :class:`~repro.kernels.engine.events.ProbeIteration`,
 :class:`~repro.kernels.engine.events.SlotAccess`); the phase never
-mutates a profile or traffic ledger.
+mutates a profile or traffic ledger. When a sanitizer subscribes, the
+phase additionally emits :class:`~repro.kernels.engine.events.SlotRead`
+records where it resolves votes, so the initcheck sanitizer can flag
+reads of never-written slot value regions (gated on ``bus.wants``;
+unsanitized runs pay nothing). The probe-miss bookkeeping is an
+overridable method — the deliberately-buggy demo backend
+(:mod:`repro.sanitize.demo`) overrides it to read votes from empty
+slots, the bug initcheck must catch.
 """
 
 from __future__ import annotations
@@ -29,7 +36,13 @@ from repro.core.merwalk import DEFAULT_MAX_WALK_LEN
 from repro.errors import HashTableFullError
 from repro.genomics.kmer import fingerprint_matrix
 from repro.hashing.murmur import murmur2_batch
-from repro.kernels.engine.events import EventBus, ProbeIteration, SlotAccess, WalkStep
+from repro.kernels.engine.events import (
+    EventBus,
+    ProbeIteration,
+    SlotAccess,
+    SlotRead,
+    WalkStep,
+)
 from repro.kernels.engine.prepare import Batch
 from repro.kernels.vectortable import WarpHashTables
 
@@ -66,6 +79,16 @@ class WalkPhase:
         self.seed = seed
         self.defer_overflow = defer_overflow
 
+    def _on_probe_miss(self, found_slot: np.ndarray, missing: np.ndarray,
+                       u: np.ndarray, miss: np.ndarray,
+                       slots: np.ndarray) -> None:
+        """An empty slot ends the lookup: the key is absent.
+
+        Overridable so the buggy demo backend can instead treat the empty
+        slot as found and read its (never-written) votes.
+        """
+        missing[u[miss]] = True
+
     def run(self, batch: Batch, tables: WarpHashTables,
             bus: EventBus) -> WalkOutput:
         n_warps = batch.n_warps
@@ -83,6 +106,7 @@ class WalkPhase:
         steps_run = 0
         overflowed: list[int] = []
         emit_slots = bus.wants(SlotAccess)
+        emit_reads = bus.wants(SlotRead)
         for _step in range(self.max_walk_len + 1):
             if not alive.any():
                 break
@@ -127,7 +151,7 @@ class WalkPhase:
                 chain += 1
                 slots = tables.slot_of(a[u], homes[u], probe[u])
                 if emit_slots:
-                    bus.emit(SlotAccess(slots=slots))
+                    bus.emit(SlotAccess(slots=slots, kind="probe"))
                 occupied, slot_fp = tables.inspect(slots)
                 bus.emit(ProbeIteration(
                     phase="walk", lanes=u.size, warps=u.size,
@@ -136,7 +160,7 @@ class WalkPhase:
                 hit = occupied & (slot_fp == fps[u])
                 found_slot[u[hit]] = slots[hit]
                 miss = ~occupied
-                missing[u[miss]] = True
+                self._on_probe_miss(found_slot, missing, u, miss, slots)
                 probe[u[occupied & ~hit]] += 1
                 unresolved[u[hit | miss]] = False
 
@@ -146,6 +170,9 @@ class WalkPhase:
             f = found_slot >= 0
             vote_reads = int(f.sum())
             if f.any():
+                if emit_reads:
+                    bus.emit(SlotRead(phase="walk", kind="vote_read",
+                                      slots=found_slot[f], warps=a[f]))
                 hi_rows, lo_rows = tables.votes_at(found_slot[f])
                 s, b = resolve_extension_batch(hi_rows, lo_rows, self.policy)
                 res_states[f] = s

@@ -1,0 +1,56 @@
+"""Correctness tooling for the emulated warp protocols: ``repro.sanitize``.
+
+Two prongs, modeled on the vendor tool split:
+
+* **dynamic** — :class:`~repro.sanitize.checkers.Sanitizer`, an EventBus
+  subscriber shadowing hash-table slot state while a kernel runs
+  (``compute-sanitizer``-style racecheck / synccheck / initcheck);
+  enabled per run with ``LocalAssemblyKernel(..., sanitize="all")`` or
+  ``repro-locassm run --sanitize all``. The deliberately-buggy
+  ``buggy-demo`` backend (:mod:`~repro.sanitize.demo`) seeds one bug per
+  checker — the mutation-style self-test that proves each checker can
+  actually catch its bug class.
+* **static** — :mod:`~repro.sanitize.lint`, an AST lint engine with
+  repo-invariant rules (REP001–REP005) run as ``repro-locassm lint``.
+"""
+
+from repro.sanitize import demo as _demo  # noqa: F401  (registers buggy-demo)
+from repro.sanitize.checkers import MAX_FINDINGS_PER_BATCH, Sanitizer
+from repro.sanitize.demo import BUGS, BuggyDemoKernel
+from repro.sanitize.lint import (
+    RULES,
+    LintFinding,
+    LintRule,
+    lint_paths,
+    lint_source,
+    render_json,
+    render_text,
+    select_rules,
+)
+from repro.sanitize.report import (
+    CHECKS,
+    SanitizerFinding,
+    SanitizerReport,
+    parse_checks,
+)
+
+__all__ = [
+    # dynamic prong
+    "BUGS",
+    "BuggyDemoKernel",
+    "CHECKS",
+    "MAX_FINDINGS_PER_BATCH",
+    "Sanitizer",
+    "SanitizerFinding",
+    "SanitizerReport",
+    "parse_checks",
+    # static prong
+    "RULES",
+    "LintFinding",
+    "LintRule",
+    "lint_paths",
+    "lint_source",
+    "render_json",
+    "render_text",
+    "select_rules",
+]

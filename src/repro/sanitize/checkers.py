@@ -1,0 +1,165 @@
+"""The dynamic sanitizer: an EventBus subscriber shadowing slot state.
+
+Modeled on NVIDIA's ``compute-sanitizer``: the engine's phases emit
+:class:`~repro.kernels.engine.events.SlotWrite`,
+:class:`~repro.kernels.engine.events.SlotRead`, and
+:class:`~repro.kernels.engine.events.BarrierSync` records at every
+protocol-relevant point (gated on ``bus.wants``, so runs without a
+sanitizer pay nothing), and the :class:`Sanitizer` maintains *shadow*
+per-slot state for the launch's hash tables to validate three protocol
+invariants:
+
+* **racecheck** — a slot-state commit not performed with an atomic
+  read-modify-write primitive must not carry same-slot conflicts within
+  one vectorized step; duplicates in a non-atomic batch are lost updates
+  (exactly what ``atomicCAS`` / ``atomicAdd`` exist to prevent in the
+  paper's Appendix-A protocols).
+* **synccheck** — every warp barrier's mask must name exactly the lanes
+  active at the barrier; divergence is the classic stale
+  ``__activemask()`` bug (lanes sync that are not there, or lanes are
+  there that the mask will not release).
+* **initcheck** — a read of a slot's value region (the walk's vote
+  resolution) must be preceded by a write to it; reading a never-voted
+  slot is uninitialized device memory reaching the memory model.
+
+Findings carry contig / warp / lane / slot provenance
+(:class:`~repro.sanitize.report.SanitizerFinding`) and collect into a
+:class:`~repro.sanitize.report.SanitizerReport`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.engine.events import (
+    BarrierSync,
+    LaunchDone,
+    LaunchStarted,
+    SlotRead,
+    SlotWrite,
+)
+from repro.sanitize.report import (
+    CHECKS,
+    SanitizerFinding,
+    SanitizerReport,
+    parse_checks,
+)
+
+#: Findings reported per event batch, per checker (one batch can carry
+#: thousands of identical violations; examples suffice for diagnosis).
+MAX_FINDINGS_PER_BATCH = 8
+
+
+class Sanitizer:
+    """EventBus subscriber running the selected checkers over one run.
+
+    Args:
+        checks: ``"all"``, a check name, a comma-separated string, or an
+            iterable of names from :data:`~repro.sanitize.report.CHECKS`.
+        max_findings: cap on findings retained in the report.
+    """
+
+    handled_events = (LaunchStarted, SlotWrite, SlotRead, BarrierSync,
+                      LaunchDone)
+
+    def __init__(self, checks="all", max_findings: int = 1000) -> None:
+        self.checks = parse_checks(checks) or CHECKS
+        self.report = SanitizerReport(max_findings=max_findings)
+        self._launch = -1
+        self._contig_ids: tuple = ()
+        self._written: np.ndarray | None = None   # value region committed
+
+    # ------------------------------------------------------------------
+
+    def _contig(self, warp: int) -> int:
+        if 0 <= warp < len(self._contig_ids):
+            return int(self._contig_ids[warp])
+        return -1
+
+    def _add(self, checker: str, phase: str, message: str, *,
+             warp: int = -1, lane: int = -1, slot: int = -1) -> None:
+        self.report.add(SanitizerFinding(
+            checker=checker, phase=phase, message=message,
+            launch=self._launch, contig_id=self._contig(warp),
+            warp=warp, lane=lane, slot=slot,
+        ))
+
+    # ------------------------------------------------------------------
+
+    def handle(self, event, bus) -> None:
+        if isinstance(event, LaunchStarted):
+            self._launch += 1
+            self._contig_ids = event.contig_ids
+            self._written = np.zeros(max(event.total_slots, 0), dtype=bool)
+        elif isinstance(event, SlotWrite):
+            if "racecheck" in self.checks and not event.atomic:
+                self._racecheck(event)
+            if self._written is not None and event.kind == "vote":
+                self._written[event.slots] = True
+        elif isinstance(event, SlotRead):
+            if "initcheck" in self.checks:
+                self._initcheck(event)
+        elif isinstance(event, BarrierSync):
+            if "synccheck" in self.checks:
+                self._synccheck(event)
+
+    # ------------------------------------------------------------------
+    # checkers
+
+    def _racecheck(self, event: SlotWrite) -> None:
+        """Same-slot conflicts within one non-atomic vectorized commit."""
+        slots = np.asarray(event.slots)
+        if slots.size < 2:
+            return
+        order = np.argsort(slots, kind="stable")
+        s = slots[order]
+        dup = np.nonzero(s[1:] == s[:-1])[0]
+        for j in dup[:MAX_FINDINGS_PER_BATCH]:
+            first, second = int(order[j]), int(order[j + 1])
+            w1, w2 = int(event.warps[first]), int(event.warps[second])
+            l1 = int(event.lanes[first]) if event.lanes is not None else -1
+            l2 = int(event.lanes[second]) if event.lanes is not None else -1
+            self._add(
+                "racecheck", event.phase,
+                f"conflicting non-atomic {event.kind} writes to one slot: "
+                f"warp {w1} lane {l1} vs warp {w2} lane {l2} in the same "
+                f"vectorized step (lost update)",
+                warp=w2, lane=l2, slot=int(s[j]),
+            )
+        if dup.size > MAX_FINDINGS_PER_BATCH:
+            self.report.suppressed += int(dup.size) - MAX_FINDINGS_PER_BATCH
+
+    def _synccheck(self, event: BarrierSync) -> None:
+        """Barrier masks must name exactly the active lanes."""
+        mask = np.asarray(event.mask_lanes)
+        active = np.asarray(event.active_lanes)
+        bad = np.nonzero(mask != active)[0]
+        for j in bad[:MAX_FINDINGS_PER_BATCH]:
+            w = int(event.warps[j])
+            self._add(
+                "synccheck", event.phase,
+                f"barrier mask names {int(mask[j])} lane(s) but "
+                f"{int(active[j])} are active at the barrier "
+                f"(stale/divergent sync mask)",
+                warp=w,
+            )
+        if bad.size > MAX_FINDINGS_PER_BATCH:
+            self.report.suppressed += int(bad.size) - MAX_FINDINGS_PER_BATCH
+
+    def _initcheck(self, event: SlotRead) -> None:
+        """Value-region reads must follow a value-region write."""
+        if self._written is None:
+            return
+        slots = np.asarray(event.slots)
+        if slots.size == 0:
+            return
+        bad = np.nonzero(~self._written[slots])[0]
+        for j in bad[:MAX_FINDINGS_PER_BATCH]:
+            self._add(
+                "initcheck", event.phase,
+                f"{event.kind} of a slot whose value region was never "
+                f"written (uninitialized device memory)",
+                warp=int(event.warps[j]), slot=int(slots[j]),
+            )
+        if bad.size > MAX_FINDINGS_PER_BATCH:
+            self.report.suppressed += int(bad.size) - MAX_FINDINGS_PER_BATCH

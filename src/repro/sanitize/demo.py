@@ -1,0 +1,148 @@
+"""A deliberately-buggy backend: the sanitizer's mutation-style self-test.
+
+A sanitizer you have never seen catch a bug is a sanitizer you cannot
+trust. ``BuggyDemoKernel`` runs the real staged engine but swaps in
+phase subclasses that each seed one classic warp-protocol bug — the
+mutations every checker must catch:
+
+* ``"race"`` — the atomicCAS claim is replaced by a plain batched store
+  (every colliding lane believes it won and installs its tag), and the
+  atomicAdd vote accumulation by a NumPy fancy-index ``+=`` (duplicate
+  slots in one step genuinely lose updates). **racecheck** must fire.
+* ``"sync"`` — the per-iteration ``__syncwarp(mask)`` is issued with a
+  stale full-warp mask even after lanes have retired — the classic
+  ``__activemask()``-captured-too-early bug. **synccheck** must fire.
+* ``"init"`` — the walk treats an empty probe slot as the key's slot and
+  resolves votes from its never-written value region. **initcheck**
+  must fire.
+
+The bugs are *real* (the race genuinely drops votes; the init read
+genuinely feeds zeros into vote resolution), so functional output may
+deviate from the production ports — that deviation is the point.
+Registered as the ``buggy-demo`` backend so the CLI can demonstrate
+``--sanitize`` catching each one.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+import numpy as np
+
+from repro.kernels.engine.backend import ProtocolCosts, register_backend
+from repro.kernels.engine.construct import ConstructPhase
+from repro.kernels.engine.events import BarrierSync, EventBus, SlotWrite
+from repro.kernels.engine.simt import LocalAssemblyKernel
+from repro.kernels.engine.walk import WalkPhase
+from repro.kernels.vectortable import WarpHashTables
+from repro.simt.device import A100, DeviceSpec
+
+#: The demo bugs, keyed by the checker that must catch each.
+BUGS = ("race", "sync", "init")
+
+
+class BuggyConstructPhase(ConstructPhase):
+    """Construction with a non-atomic insert protocol and stale sync masks."""
+
+    def __init__(self, protocol, warp_size: int, defer_overflow: bool = False,
+                 bugs: frozenset = frozenset(BUGS)) -> None:
+        super().__init__(protocol, warp_size, defer_overflow)
+        self.bugs = bugs
+
+    def _claim(self, tables: WarpHashTables, slots: np.ndarray,
+               fps: np.ndarray, warps: np.ndarray, lanes, bus: EventBus,
+               emit_writes: bool) -> np.ndarray:
+        if "race" not in self.bugs:
+            return super()._claim(tables, slots, fps, warps, lanes, bus,
+                                  emit_writes)
+        if emit_writes:
+            bus.emit(SlotWrite(phase="construct", kind="claim", slots=slots,
+                               warps=warps, lanes=lanes, atomic=False))
+        # BUG: plain store instead of atomicCAS — no winner election.
+        # Every colliding lane overwrites the tag and believes it won.
+        tables.occupied[slots] = True
+        tables.fp[slots] = fps
+        return np.ones(slots.size, dtype=bool)
+
+    def _vote(self, tables: WarpHashTables, slots: np.ndarray,
+              exts: np.ndarray, his: np.ndarray, warps: np.ndarray, lanes,
+              bus: EventBus, emit_writes: bool) -> None:
+        if "race" not in self.bugs:
+            super()._vote(tables, slots, exts, his, warps, lanes, bus,
+                          emit_writes)
+            return
+        if emit_writes:
+            bus.emit(SlotWrite(phase="construct", kind="vote", slots=slots,
+                               warps=warps, lanes=lanes, atomic=False))
+        # BUG: fancy-index += instead of atomicAdd — duplicate slots in
+        # one vectorized step commit only the last lane's increment.
+        rows = slots.astype(np.int64)
+        cols = exts.astype(np.int64)
+        hi = np.asarray(his, dtype=bool)
+        tables.hi_q[rows[hi], cols[hi]] += 1
+        tables.low_q[rows[~hi], cols[~hi]] += 1
+        tables.count[rows] += 1
+
+    def _barrier(self, warps: np.ndarray, active_counts: np.ndarray,
+                 bus: EventBus) -> None:
+        if "sync" not in self.bugs:
+            super()._barrier(warps, active_counts, bus)
+            return
+        # BUG: the mask was captured before lanes retired — it still
+        # names the full warp while only the pending lanes are active.
+        stale = np.full(warps.size, self.warp_size, dtype=np.int64)
+        bus.emit(BarrierSync(phase="construct", warps=warps,
+                             mask_lanes=stale, active_lanes=active_counts))
+
+
+class BuggyWalkPhase(WalkPhase):
+    """A walk that resolves votes from never-written empty slots."""
+
+    def __init__(self, *args, bugs: frozenset = frozenset(BUGS), **kwargs):
+        super().__init__(*args, **kwargs)
+        self.bugs = bugs
+
+    def _on_probe_miss(self, found_slot: np.ndarray, missing: np.ndarray,
+                       u: np.ndarray, miss: np.ndarray,
+                       slots: np.ndarray) -> None:
+        if "init" not in self.bugs:
+            super()._on_probe_miss(found_slot, missing, u, miss, slots)
+            return
+        # BUG: the empty slot is treated as the key's slot; its votes
+        # (all zeros — never written) feed the extension resolution.
+        found_slot[u[miss]] = slots[miss]
+
+
+class BuggyDemoKernel(LocalAssemblyKernel):
+    """CUDA-shaped kernel with selectable seeded protocol bugs.
+
+    Args:
+        device: simulated GPU (defaults to the A100 when created through
+            the backend registry).
+        bugs: which of :data:`BUGS` to seed; defaults to all three.
+    """
+
+    protocol = ProtocolCosts(
+        name="BUGGY-DEMO",
+        iteration_intops=8,
+        iteration_syncs=2,
+        merges_in_iteration=True,
+    )
+
+    def __init__(self, device: DeviceSpec, *, bugs=BUGS, **kwargs) -> None:
+        super().__init__(device, **kwargs)
+        unknown = [b for b in bugs if b not in BUGS]
+        if unknown:
+            raise ValueError(f"unknown demo bug(s) {unknown!r}; "
+                             f"choose from {BUGS}")
+        self.bugs = frozenset(bugs)
+        self.construct_cls = partial(BuggyConstructPhase, bugs=self.bugs)
+        self.walk_cls = partial(BuggyWalkPhase, bugs=self.bugs)
+
+
+register_backend(
+    "buggy-demo",
+    lambda device=None, **kw: BuggyDemoKernel(
+        device if device is not None else A100, **kw),
+    overwrite=True,  # replaces the lazy stub repro.kernels registers
+)

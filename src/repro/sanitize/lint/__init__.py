@@ -1,0 +1,32 @@
+"""Static prong of repro.sanitize: the repo-invariant lint engine.
+
+Importing the package loads the rule catalog (rules register themselves
+into :data:`~repro.sanitize.lint.engine.RULES` at import time).
+"""
+
+from repro.sanitize.lint.engine import (
+    RULES,
+    LintFinding,
+    LintRule,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+    register_rule,
+    render_json,
+    render_text,
+    select_rules,
+)
+from repro.sanitize.lint import rules as _rules  # noqa: F401  (registers REP00x)
+
+__all__ = [
+    "RULES",
+    "LintFinding",
+    "LintRule",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "register_rule",
+    "render_json",
+    "render_text",
+    "select_rules",
+]

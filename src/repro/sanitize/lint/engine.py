@@ -1,0 +1,120 @@
+"""The repo-invariant lint engine: AST rules, findings, and runners.
+
+A :class:`LintRule` parses nothing itself — it visits an :mod:`ast` tree
+(one per file) and yields :class:`LintFinding` records. The engine
+(:func:`lint_source`, :func:`lint_paths`) handles file discovery,
+parsing, and rendering (``text`` / ``json``). Rules register in
+:data:`RULES` keyed by their stable rule id (``REP0xx``), which is what
+``repro lint --select`` and the finding output use.
+
+These are *repo invariants*, not style: each rule encodes a property the
+reproduction's correctness or reproducibility depends on (seeded
+randomness, complete backend protocols, honest event declarations,
+categorized slot traffic, integer-only INTOP paths). The catalog lives
+in API.md.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One rule violation at a source location."""
+
+    rule: str       #: stable rule id ("REP001", ...)
+    path: str       #: file the finding is in
+    line: int       #: 1-based line
+    col: int        #: 0-based column
+    message: str    #: what is wrong and what to do instead
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+class LintRule:
+    """Base class: subclasses set the id/description and implement check."""
+
+    rule_id: str = ""
+    description: str = ""
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[LintFinding]:
+        raise NotImplementedError
+
+    def finding(self, node: ast.AST, path: str, message: str) -> LintFinding:
+        return LintFinding(rule=self.rule_id, path=path,
+                           line=getattr(node, "lineno", 0),
+                           col=getattr(node, "col_offset", 0),
+                           message=message)
+
+
+#: rule id -> rule instance; populated by :func:`register_rule`.
+RULES: dict[str, LintRule] = {}
+
+
+def register_rule(cls: type[LintRule]) -> type[LintRule]:
+    """Class decorator adding a rule to the catalog (id must be unique)."""
+    if not cls.rule_id:
+        raise ValueError(f"{cls.__name__} has no rule_id")
+    if cls.rule_id in RULES:
+        raise ValueError(f"duplicate lint rule id {cls.rule_id}")
+    RULES[cls.rule_id] = cls()
+    return cls
+
+
+def select_rules(select: Iterable[str] | None = None) -> list[LintRule]:
+    """The rule set to run: all registered rules, or just ``select`` ids."""
+    if select is None:
+        return list(RULES.values())
+    missing = [s for s in select if s not in RULES]
+    if missing:
+        raise ValueError(f"unknown lint rule id(s) {missing!r}; "
+                         f"known: {sorted(RULES)}")
+    return [RULES[s] for s in select]
+
+
+def lint_source(source: str, path: str = "<string>",
+                rules: Iterable[LintRule] | None = None) -> list[LintFinding]:
+    """Lint one source string; returns findings sorted by location."""
+    tree = ast.parse(source, filename=path)
+    findings: list[LintFinding] = []
+    for rule in (rules if rules is not None else select_rules()):
+        findings.extend(rule.check(tree, path))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Expand files/directories into ``.py`` files, sorted for stability."""
+    for p in paths:
+        p = Path(p)
+        if p.is_dir():
+            yield from sorted(p.rglob("*.py"))
+        else:
+            yield p
+
+
+def lint_paths(paths: Iterable[str | Path],
+               rules: Iterable[LintRule] | None = None) -> list[LintFinding]:
+    """Lint files and directories (recursively); returns all findings."""
+    rules = list(rules if rules is not None else select_rules())
+    findings: list[LintFinding] = []
+    for file in iter_python_files(paths):
+        findings.extend(
+            lint_source(file.read_text(encoding="utf-8"), str(file), rules))
+    return findings
+
+
+def render_text(findings: list[LintFinding]) -> str:
+    lines = [f.format() for f in findings]
+    lines.append(f"{len(findings)} finding(s)")
+    return "\n".join(lines)
+
+
+def render_json(findings: list[LintFinding]) -> str:
+    return json.dumps([asdict(f) for f in findings], indent=2)

@@ -1,0 +1,251 @@
+"""The repo-invariant rule catalog (REP001–REP005).
+
+Each rule guards a property this reproduction's correctness or
+reproducibility depends on; the ids are stable and documented in API.md.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator
+
+from repro.sanitize.lint.engine import LintFinding, LintRule, register_rule
+
+#: Module aliases accepted as "this is NumPy".
+_NUMPY_NAMES = ("np", "numpy")
+
+
+def _is_np_random_attr(node: ast.AST) -> bool:
+    """True for ``np.random`` / ``numpy.random`` attribute chains."""
+    return (isinstance(node, ast.Attribute) and node.attr == "random"
+            and isinstance(node.value, ast.Name)
+            and node.value.id in _NUMPY_NAMES)
+
+
+@register_rule
+class UnseededRandomRule(LintRule):
+    """REP001: randomness must be seeded (reproducibility is the product).
+
+    Flags ``default_rng()`` calls without a seed argument and any call
+    into the legacy global-state ``np.random.*`` API (``np.random.rand``,
+    ``np.random.seed``, ...) — both make runs irreproducible or couple
+    them through hidden global state. ``np.random.default_rng(seed)``
+    and passing an explicit ``np.random.Generator`` are the sanctioned
+    patterns.
+    """
+
+    rule_id = "REP001"
+    description = ("unseeded default_rng() or legacy global np.random.* "
+                   "call")
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[LintFinding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            # default_rng(...) — bare or via np.random — needs a seed arg
+            is_default_rng = (
+                (isinstance(func, ast.Name) and func.id == "default_rng")
+                or (isinstance(func, ast.Attribute)
+                    and func.attr == "default_rng")
+            )
+            if is_default_rng:
+                if not node.args and not node.keywords:
+                    yield self.finding(
+                        node, path,
+                        "default_rng() without a seed: pass an explicit "
+                        "seed so runs are reproducible")
+                continue
+            # legacy global-state API: np.random.<anything lowercase>
+            if (isinstance(func, ast.Attribute)
+                    and _is_np_random_attr(func.value)
+                    and not func.attr[:1].isupper()):
+                yield self.finding(
+                    node, path,
+                    f"legacy global np.random.{func.attr}(): use a seeded "
+                    f"np.random.default_rng(seed) Generator instead")
+
+
+@register_rule
+class IncompleteBackendRule(LintRule):
+    """REP002: a backend must implement the full ExecutionBackend protocol.
+
+    A root class (no bases to inherit from) named ``*Backend`` or
+    ``*Kernel`` that defines one of ``run`` / ``run_schedule`` but not
+    the other would register fine and fail only when the suite calls the
+    missing half.
+    """
+
+    rule_id = "REP002"
+    description = ("backend class implements only part of the "
+                   "ExecutionBackend protocol (run / run_schedule)")
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[LintFinding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not node.name.endswith(("Backend", "Kernel")):
+                continue
+            bases = [b.id if isinstance(b, ast.Name)
+                     else getattr(b, "attr", "") for b in node.bases]
+            if any(b not in ("object", "Protocol") for b in bases):
+                continue  # inherits — give the subclass benefit of the doubt
+            methods = {n.name for n in node.body
+                       if isinstance(n, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef))}
+            have = methods & {"run", "run_schedule"}
+            if len(have) == 1:
+                missing = ({"run", "run_schedule"} - have).pop()
+                yield self.finding(
+                    node, path,
+                    f"class {node.name} defines {have.pop()!r} but not "
+                    f"{missing!r}; implement the full ExecutionBackend "
+                    f"protocol")
+
+
+@register_rule
+class UndeclaredHandledEventRule(LintRule):
+    """REP003: events a subscriber handles must be declared.
+
+    ``EventBus.wants`` skips building hot-loop events no subscriber
+    *declares*; an ``isinstance(event, X)`` branch in ``handle`` for an
+    event class missing from the ``handled_events`` tuple silently never
+    fires on gated events — data loss, not an error.
+    """
+
+    rule_id = "REP003"
+    description = ("handle() dispatches on an event type missing from "
+                   "the class's handled_events declaration")
+
+    @staticmethod
+    def _declared(node: ast.ClassDef) -> set[str] | None:
+        """Names in a literal ``handled_events = (...)`` class attribute."""
+        for stmt in node.body:
+            targets = (stmt.targets if isinstance(stmt, ast.Assign)
+                       else [stmt.target]
+                       if isinstance(stmt, ast.AnnAssign) and stmt.value
+                       else [])
+            for t in targets:
+                if isinstance(t, ast.Name) and t.id == "handled_events":
+                    value = stmt.value
+                    if isinstance(value, (ast.Tuple, ast.List)):
+                        return {e.id if isinstance(e, ast.Name)
+                                else getattr(e, "attr", "")
+                                for e in value.elts}
+                    return None  # not a literal tuple (property, None, ...)
+        return None
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[LintFinding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            declared = self._declared(node)
+            if declared is None:
+                continue
+            handle = next((n for n in node.body
+                           if isinstance(n, ast.FunctionDef)
+                           and n.name == "handle"), None)
+            if handle is None:
+                continue
+            for call in ast.walk(handle):
+                if not (isinstance(call, ast.Call)
+                        and isinstance(call.func, ast.Name)
+                        and call.func.id == "isinstance"
+                        and len(call.args) == 2):
+                    continue
+                classinfo = call.args[1]
+                names = (classinfo.elts
+                         if isinstance(classinfo, ast.Tuple)
+                         else [classinfo])
+                for ref in names:
+                    name = (ref.id if isinstance(ref, ast.Name)
+                            else getattr(ref, "attr", ""))
+                    # only class-looking names: locals holding event
+                    # types (lazy-import pattern) are lowercase
+                    if name and name[:1].isupper() and name not in declared:
+                        yield self.finding(
+                            call, path,
+                            f"{node.name}.handle dispatches on {name} but "
+                            f"handled_events does not declare it; gated "
+                            f"events would silently never arrive")
+
+
+@register_rule
+class SlotAccessCategoryRule(LintRule):
+    """REP004: every SlotAccess emission must name its access category.
+
+    Uncategorized slot traffic cannot be attributed by trace consumers
+    (replay, sanitizer, future tooling); ``kind=`` is required at every
+    construction site even though the dataclass defaults it.
+    """
+
+    rule_id = "REP004"
+    description = "SlotAccess(...) constructed without an explicit kind="
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[LintFinding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = (func.id if isinstance(func, ast.Name)
+                    else getattr(func, "attr", ""))
+            if name != "SlotAccess":
+                continue
+            if not any(kw.arg == "kind" for kw in node.keywords):
+                yield self.finding(
+                    node, path,
+                    "SlotAccess emitted without kind=: name the access "
+                    "category (probe / claim / vote / vote_read)")
+
+
+@register_rule
+class FloatInIntopPathRule(LintRule):
+    """REP005: INTOP-counted paths must stay in integer arithmetic.
+
+    The paper's Table V counts *integer* operations; a float literal or
+    true division sneaking into ``hashing/opcount.py`` (or any
+    op-counting ``*_intops`` / ``intops_*`` function) silently breaks
+    the INTOP identity the whole performance model anchors on (``//`` is
+    the sanctioned division). Rate *conversions* like ``gintops_per_second``
+    are not op counters and are out of scope.
+    """
+
+    rule_id = "REP005"
+    description = ("float constant or true division inside an "
+                   "INTOP-counted path")
+
+    def _scan(self, fn: ast.FunctionDef, path: str,
+              seen: set) -> Iterator[LintFinding]:
+        for node in ast.walk(fn):
+            key = (getattr(node, "lineno", 0), getattr(node, "col_offset", 0))
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+                if key not in seen:
+                    seen.add(key)
+                    yield self.finding(
+                        node, path,
+                        f"true division in INTOP-counted {fn.name}(): "
+                        f"use // to stay in integer arithmetic")
+            elif (isinstance(node, ast.Constant)
+                    and isinstance(node.value, float)):
+                if key not in seen:
+                    seen.add(key)
+                    yield self.finding(
+                        node, path,
+                        f"float constant {node.value!r} in INTOP-counted "
+                        f"{fn.name}(): Table V counts integer ops only")
+
+    @staticmethod
+    def _is_counter(name: str) -> bool:
+        """Op-*counting* names: hash_intops, intops_per_loop_cycle — not
+        unit conversions like gintops / gintops_per_second."""
+        return name.endswith("_intops") or name.startswith("intops")
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[LintFinding]:
+        whole_module = Path(path).name == "opcount.py"
+        seen: set = set()
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.FunctionDef):
+                continue
+            if whole_module or self._is_counter(node.name):
+                yield from self._scan(node, path, seen)

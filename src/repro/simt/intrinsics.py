@@ -7,11 +7,35 @@ functions here provide those primitives over *flat lane arrays*: each
 element of the input arrays is one active lane, identified by its warp id
 — the layout all the SIMT kernels use, so one NumPy call emulates the
 intrinsic across every warp of the launch simultaneously.
+
+Per-warp reductions (:func:`ballot_count_sync`, :func:`all_sync`,
+:func:`any_sync`) validate their ``warp_ids`` against ``n_warps`` and
+raise a :class:`ValueError` naming the offending lane, instead of the
+opaque NumPy ``IndexError`` an out-of-range id used to produce.
 """
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
+
+
+def _checked_warp_ids(warp_ids: np.ndarray, n_warps: int,
+                      intrinsic: str) -> np.ndarray:
+    """Validate per-lane warp ids against the warp count of the launch."""
+    if n_warps < 0:
+        raise ValueError(f"{intrinsic}: n_warps must be >= 0, got {n_warps}")
+    ids = np.asarray(warp_ids)
+    if ids.size:
+        bad = (ids < 0) | (ids >= n_warps)
+        if bad.any():
+            lane = int(np.argmax(bad))
+            raise ValueError(
+                f"{intrinsic}: lane {lane} names warp {int(ids[lane])}, "
+                f"outside the launch's [0, {n_warps}) warp range"
+            )
+    return ids
 
 
 def match_any_sync(warp_ids: np.ndarray, values: np.ndarray) -> np.ndarray:
@@ -41,20 +65,56 @@ def match_any_sync(warp_ids: np.ndarray, values: np.ndarray) -> np.ndarray:
     return leaders
 
 
+def ballot_count_sync(warp_ids: np.ndarray, predicate: np.ndarray,
+                      n_warps: int) -> np.ndarray:
+    """Per-warp count of lanes with a true predicate.
+
+    This is ``__popc(__ballot_sync(...))`` — the count of set ballot
+    bits, not the lane-bit mask itself. (The flat-lane layout has no
+    fixed lane positions, so a bitmask would be meaningless here; every
+    kernel use of the ballot is a popcount anyway.)
+    """
+    ids = _checked_warp_ids(warp_ids, n_warps, "ballot_count_sync")
+    counts = np.zeros(n_warps, dtype=np.int64)
+    np.add.at(counts, ids[np.asarray(predicate, dtype=bool)], 1)
+    return counts
+
+
 def ballot_sync(warp_ids: np.ndarray, predicate: np.ndarray,
                 n_warps: int) -> np.ndarray:
-    """``__ballot_sync``: per-warp count of lanes with a true predicate."""
-    counts = np.zeros(n_warps, dtype=np.int64)
-    np.add.at(counts, np.asarray(warp_ids)[np.asarray(predicate, dtype=bool)], 1)
-    return counts
+    """Deprecated alias of :func:`ballot_count_sync`.
+
+    The old name suggested ``__ballot_sync``'s lane-bit mask, but the
+    function has always returned per-warp *counts*.
+    """
+    warnings.warn(
+        "ballot_sync returns per-warp counts, not a lane-bit mask; "
+        "use ballot_count_sync (ballot_sync will be removed)",
+        DeprecationWarning, stacklevel=2,
+    )
+    return ballot_count_sync(warp_ids, predicate, n_warps)
 
 
 def all_sync(warp_ids: np.ndarray, predicate: np.ndarray,
              n_warps: int) -> np.ndarray:
     """``__all``: per-warp AND of the predicate over the listed lanes."""
+    ids = _checked_warp_ids(warp_ids, n_warps, "all_sync")
     ok = np.ones(n_warps, dtype=bool)
-    np.logical_and.at(ok, np.asarray(warp_ids), np.asarray(predicate, dtype=bool))
+    np.logical_and.at(ok, ids, np.asarray(predicate, dtype=bool))
     return ok
+
+
+def any_sync(warp_ids: np.ndarray, predicate: np.ndarray,
+             n_warps: int) -> np.ndarray:
+    """``__any_sync``: per-warp OR of the predicate over the listed lanes.
+
+    Warps with no listed lanes report False (the vacuous OR), mirroring
+    :func:`all_sync`'s vacuous True.
+    """
+    ids = _checked_warp_ids(warp_ids, n_warps, "any_sync")
+    hit = np.zeros(n_warps, dtype=bool)
+    np.logical_or.at(hit, ids, np.asarray(predicate, dtype=bool))
+    return hit
 
 
 def shfl_sync(warp_values: np.ndarray, lane_values: np.ndarray,

@@ -1,0 +1,93 @@
+"""CLI wiring: ``repro lint`` and ``repro run --sanitize`` exit codes."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def dat(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "tiny.dat"
+    assert main(["generate", "21", str(path), "--scale", "0.002"]) == 0
+    return str(path)
+
+
+# ----------------------------------------------------------------------
+# repro lint
+
+
+def test_lint_shipped_src_is_clean(capsys):
+    assert main(["lint", "src"]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_lint_violating_fixture_exits_1(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import numpy as np\nrng = np.random.default_rng()\n")
+    assert main(["lint", str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "REP001" in out
+    assert f"{bad}:2:" in out
+
+
+def test_lint_json_format(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("SlotAccess(phase='p', slots=s, warps=w)\n")
+    assert main(["lint", str(bad), "--format", "json"]) == 1
+    records = json.loads(capsys.readouterr().out)
+    assert records[0]["rule"] == "REP004"
+
+
+def test_lint_select_filters_rules(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import numpy as np\nrng = np.random.default_rng()\n")
+    assert main(["lint", str(bad), "--select", "REP004"]) == 0
+    assert main(["lint", str(bad), "--select", "REP999"]) == 2
+
+
+# ----------------------------------------------------------------------
+# repro run --sanitize
+
+
+def test_run_sanitize_clean_backend_exits_0(dat, tmp_path, capsys):
+    out = tmp_path / "out.fa"
+    code = main(["run", dat, "21", str(out), "--backend", "cuda",
+                 "--sanitize", "all"])
+    assert code == 0
+    assert "sanitizer: 0 findings" in capsys.readouterr().out
+
+
+def test_run_sanitize_buggy_backend_exits_1(dat, tmp_path, capsys):
+    out = tmp_path / "out.fa"
+    code = main(["run", dat, "21", str(out), "--backend", "buggy-demo",
+                 "--sanitize", "all"])
+    assert code == 1
+    stdout = capsys.readouterr().out
+    for checker in ("racecheck", "synccheck", "initcheck"):
+        assert checker in stdout
+
+
+def test_run_sanitize_single_check(dat, tmp_path, capsys):
+    out = tmp_path / "out.fa"
+    code = main(["run", dat, "21", str(out), "--backend", "buggy-demo",
+                 "--sanitize", "initcheck"])
+    assert code == 1
+    stdout = capsys.readouterr().out
+    assert "initcheck" in stdout
+    assert "racecheck" not in stdout
+
+
+def test_run_sanitize_rejects_scalar(dat, tmp_path):
+    out = tmp_path / "out.fa"
+    code = main(["run", dat, "21", str(out), "--backend", "scalar",
+                 "--sanitize", "all"])
+    assert code == 2
+
+
+def test_run_sanitize_rejects_unknown_check(dat, tmp_path):
+    out = tmp_path / "out.fa"
+    code = main(["run", dat, "21", str(out), "--backend", "cuda",
+                 "--sanitize", "bogus"])
+    assert code == 2

@@ -1,0 +1,223 @@
+"""Static lint prong: every rule fires on its fixture, stays quiet
+on the sanctioned pattern, and the shipped tree is clean."""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.sanitize.lint import (
+    RULES,
+    lint_paths,
+    lint_source,
+    render_json,
+    render_text,
+    select_rules,
+)
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def findings_for(rule_id, source, path="<test>"):
+    return lint_source(textwrap.dedent(source), path,
+                       rules=select_rules([rule_id]))
+
+
+# ----------------------------------------------------------------------
+# REP001 — unseeded randomness
+
+
+def test_rep001_flags_bare_default_rng():
+    fs = findings_for("REP001", """
+        import numpy as np
+        rng = np.random.default_rng()
+        """)
+    assert [f.rule for f in fs] == ["REP001"]
+    assert "seed" in fs[0].message
+
+
+def test_rep001_flags_legacy_global_api():
+    fs = findings_for("REP001", """
+        import numpy as np
+        np.random.seed(0)
+        x = np.random.rand(4)
+        """)
+    assert len(fs) == 2
+    assert all(f.rule == "REP001" for f in fs)
+
+
+def test_rep001_allows_seeded_rng():
+    fs = findings_for("REP001", """
+        import numpy as np
+        from numpy.random import default_rng
+        a = np.random.default_rng(2024)
+        b = default_rng(seed=7)
+        c = np.random.Generator(np.random.PCG64(1))
+        """)
+    assert fs == []
+
+
+# ----------------------------------------------------------------------
+# REP002 — incomplete backend protocol
+
+
+def test_rep002_flags_half_a_backend():
+    fs = findings_for("REP002", """
+        class HalfBackend:
+            def run(self, contigs, k):
+                return None
+        """)
+    assert [f.rule for f in fs] == ["REP002"]
+    assert "run_schedule" in fs[0].message
+
+
+def test_rep002_allows_full_protocol_and_subclasses():
+    fs = findings_for("REP002", """
+        class FullBackend:
+            def run(self, contigs, k): ...
+            def run_schedule(self, contigs, ks): ...
+
+        class DerivedKernel(FullBackend):
+            def run(self, contigs, k): ...
+
+        class NotABackendThing:
+            def run(self): ...
+        """)
+    assert fs == []
+
+
+# ----------------------------------------------------------------------
+# REP003 — undeclared handled events
+
+
+def test_rep003_flags_undeclared_event_dispatch():
+    fs = findings_for("REP003", """
+        class Watcher:
+            handled_events = (LaunchDone,)
+
+            def handle(self, event, bus):
+                if isinstance(event, LaunchDone):
+                    pass
+                elif isinstance(event, (SlotWrite, BarrierSync)):
+                    pass
+        """)
+    assert sorted(f.rule for f in fs) == ["REP003", "REP003"]
+    messages = " ".join(f.message for f in fs)
+    assert "SlotWrite" in messages and "BarrierSync" in messages
+
+
+def test_rep003_allows_declared_and_nonliteral():
+    fs = findings_for("REP003", """
+        class Declared:
+            handled_events = (LaunchDone, SlotWrite)
+
+            def handle(self, event, bus):
+                if isinstance(event, SlotWrite):
+                    pass
+
+        class LazyProperty:
+            @property
+            def handled_events(self):
+                return (LaunchDone,)
+
+            def handle(self, event, bus):
+                if isinstance(event, WaveExecuted):
+                    pass
+        """)
+    assert fs == []
+
+
+# ----------------------------------------------------------------------
+# REP004 — SlotAccess without a category
+
+
+def test_rep004_flags_uncategorized_slot_access():
+    fs = findings_for("REP004", """
+        bus.emit(SlotAccess(phase="construct", slots=s, warps=w))
+        """)
+    assert [f.rule for f in fs] == ["REP004"]
+
+
+def test_rep004_allows_categorized_slot_access():
+    fs = findings_for("REP004", """
+        bus.emit(SlotAccess(phase="construct", slots=s, warps=w,
+                            kind="probe"))
+        """)
+    assert fs == []
+
+
+# ----------------------------------------------------------------------
+# REP005 — float arithmetic in INTOP-counted paths
+
+
+def test_rep005_flags_floats_in_opcount_module():
+    fs = findings_for("REP005", """
+        def anything(k):
+            return k / 2 + 0.5
+        """, path="src/repro/hashing/opcount.py")
+    assert sorted(f.rule for f in fs) == ["REP005", "REP005"]
+
+
+def test_rep005_flags_intops_functions_anywhere():
+    fs = findings_for("REP005", """
+        def iteration_intops(k):
+            return (k * 3) / 2
+        """)
+    assert [f.rule for f in fs] == ["REP005"]
+    assert "//" in fs[0].message
+
+
+def test_rep005_allows_integer_arithmetic_and_rate_conversions():
+    fs = findings_for("REP005", """
+        def hash_intops(k):
+            return (k // 4) * 13 + 7
+
+        def gintops_per_second(intops, seconds):
+            return intops / 1e9 / seconds
+        """)
+    assert fs == []
+
+
+# ----------------------------------------------------------------------
+# engine mechanics
+
+
+def test_rule_catalog_is_the_documented_five():
+    assert sorted(RULES) == ["REP001", "REP002", "REP003", "REP004",
+                             "REP005"]
+    for rule_id, rule in RULES.items():
+        assert rule.rule_id == rule_id
+        assert rule.description
+
+
+def test_select_rules_rejects_unknown_ids():
+    with pytest.raises(ValueError, match="REP999"):
+        select_rules(["REP999"])
+
+
+def test_findings_sorted_and_formatted():
+    fs = findings_for("REP001", """
+        import numpy as np
+        b = np.random.rand(2)
+        a = np.random.default_rng()
+        """, path="fixture.py")
+    assert [f.line for f in fs] == sorted(f.line for f in fs)
+    line = fs[0].format()
+    assert line.startswith("fixture.py:")
+    assert "REP001" in line
+
+
+def test_render_text_and_json():
+    fs = findings_for("REP004", "SlotAccess(phase='p', slots=s, warps=w)")
+    text = render_text(fs)
+    assert "1 finding(s)" in text
+    import json
+
+    records = json.loads(render_json(fs))
+    assert records[0]["rule"] == "REP004"
+    assert render_json([]) == "[]"
+
+
+def test_shipped_source_tree_is_clean():
+    findings = lint_paths([SRC])
+    assert findings == [], render_text(findings)

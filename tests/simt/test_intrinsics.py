@@ -7,6 +7,8 @@ from hypothesis import strategies as st
 
 from repro.simt.intrinsics import (
     all_sync,
+    any_sync,
+    ballot_count_sync,
     ballot_sync,
     elect_one_per_slot,
     match_any_sync,
@@ -54,8 +56,15 @@ class TestMatchAny:
 
 class TestBallotAll:
     def test_ballot_counts(self):
-        counts = ballot_sync(np.array([0, 0, 1]), np.array([True, False, True]), 2)
+        counts = ballot_count_sync(np.array([0, 0, 1]),
+                                   np.array([True, False, True]), 2)
         np.testing.assert_array_equal(counts, [1, 1])
+
+    def test_ballot_sync_alias_warns_and_matches(self):
+        with pytest.warns(DeprecationWarning, match="ballot_count_sync"):
+            counts = ballot_sync(np.array([0, 1, 1]),
+                                 np.array([True, True, True]), 2)
+        np.testing.assert_array_equal(counts, [1, 2])
 
     def test_all_sync(self):
         ok = all_sync(np.array([0, 0, 1]), np.array([True, True, False]), 2)
@@ -65,6 +74,20 @@ class TestBallotAll:
         """Warps with no listed lanes report True (hardware: inactive warp)."""
         ok = all_sync(np.array([0]), np.array([True]), 3)
         np.testing.assert_array_equal(ok, [True, True, True])
+
+    def test_any_sync(self):
+        hit = any_sync(np.array([0, 0, 1]), np.array([False, True, False]), 3)
+        np.testing.assert_array_equal(hit, [True, False, False])
+
+    @pytest.mark.parametrize("fn", [ballot_count_sync, all_sync, any_sync])
+    def test_out_of_range_warp_id_names_the_lane(self, fn):
+        with pytest.raises(ValueError, match=r"lane 1 names warp 7"):
+            fn(np.array([0, 7]), np.array([True, True]), 2)
+
+    @pytest.mark.parametrize("fn", [ballot_count_sync, all_sync, any_sync])
+    def test_negative_warp_id_rejected(self, fn):
+        with pytest.raises(ValueError, match=r"lane 0 names warp -1"):
+            fn(np.array([-1]), np.array([True]), 2)
 
 
 class TestShuffle:

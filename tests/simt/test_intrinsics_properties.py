@@ -1,0 +1,142 @@
+"""Property tests: every vectorized intrinsic vs a scalar per-warp loop.
+
+Each warp intrinsic is emulated with one NumPy call over flat lane
+arrays. These tests re-derive the same answer with the obvious scalar
+loop — iterate the warps, iterate the lanes — and require bit-identical
+results under hypothesis-generated lane layouts, plus the pinned corner
+cases the vectorized paths are most likely to get wrong: empty input, a
+single lane, all-equal values, and multi-warp interleavings.
+"""
+
+import numpy as np
+from hypothesis import example, given, settings
+from hypothesis import strategies as st
+
+from repro.simt.intrinsics import (
+    all_sync,
+    any_sync,
+    ballot_count_sync,
+    elect_one_per_slot,
+    match_any_sync,
+    shfl_sync,
+)
+
+N_WARPS = 4
+
+#: (warp_id, value, predicate) per lane — warps interleave freely.
+lanes_st = st.lists(
+    st.tuples(st.integers(0, N_WARPS - 1), st.integers(0, 5), st.booleans()),
+    min_size=0, max_size=48,
+)
+
+#: Pinned corner cases: empty, single lane, all-equal values, multi-warp.
+EXAMPLES = [
+    [],
+    [(0, 3, True)],
+    [(1, 2, False)],
+    [(0, 4, True), (0, 4, True), (0, 4, False), (0, 4, True)],
+    [(w, 1, True) for w in range(N_WARPS) for _ in range(3)],
+    [(0, 0, True), (3, 0, True), (0, 0, False), (3, 5, True), (1, 0, True)],
+]
+
+
+def _split(lanes):
+    warps = np.array([t[0] for t in lanes], dtype=np.int64)
+    vals = np.array([t[1] for t in lanes], dtype=np.int64)
+    preds = np.array([t[2] for t in lanes], dtype=bool)
+    return warps, vals, preds
+
+
+def _examples(fn):
+    for ex in EXAMPLES:
+        fn = example(ex)(fn)
+    return fn
+
+
+class TestMatchAnyProperty:
+    @settings(max_examples=60)
+    @_examples
+    @given(lanes_st)
+    def test_matches_scalar_reference(self, lanes):
+        warps, vals, _ = _split(lanes)
+        got = match_any_sync(warps, vals)
+        want = np.empty(len(lanes), dtype=np.int64)
+        for i, (w, v, _p) in enumerate(lanes):
+            want[i] = next(j for j, (wj, vj, _pj) in enumerate(lanes)
+                           if wj == w and vj == v)
+        np.testing.assert_array_equal(got, want)
+
+
+class TestBallotCountProperty:
+    @settings(max_examples=60)
+    @_examples
+    @given(lanes_st)
+    def test_matches_scalar_reference(self, lanes):
+        warps, _, preds = _split(lanes)
+        got = ballot_count_sync(warps, preds, N_WARPS)
+        want = np.zeros(N_WARPS, dtype=np.int64)
+        for w, _v, p in lanes:
+            want[w] += bool(p)
+        np.testing.assert_array_equal(got, want)
+
+
+class TestAllAnyProperty:
+    @settings(max_examples=60)
+    @_examples
+    @given(lanes_st)
+    def test_all_sync_matches_scalar_reference(self, lanes):
+        warps, _, preds = _split(lanes)
+        got = all_sync(warps, preds, N_WARPS)
+        want = np.array([all(p for w, _v, p in lanes if w == warp)
+                         for warp in range(N_WARPS)])
+        np.testing.assert_array_equal(got, want)
+
+    @settings(max_examples=60)
+    @_examples
+    @given(lanes_st)
+    def test_any_sync_matches_scalar_reference(self, lanes):
+        warps, _, preds = _split(lanes)
+        got = any_sync(warps, preds, N_WARPS)
+        want = np.array([any(p for w, _v, p in lanes if w == warp)
+                         for warp in range(N_WARPS)])
+        np.testing.assert_array_equal(got, want)
+
+    @settings(max_examples=60)
+    @_examples
+    @given(lanes_st)
+    def test_all_and_any_are_de_morgan_duals(self, lanes):
+        warps, _, preds = _split(lanes)
+        # warps with no lanes are vacuous on both sides: True/False
+        np.testing.assert_array_equal(
+            ~all_sync(warps, ~preds, N_WARPS),
+            any_sync(warps, preds, N_WARPS),
+        )
+
+
+class TestShuffleProperty:
+    @settings(max_examples=60)
+    @_examples
+    @given(lanes_st)
+    def test_matches_scalar_reference(self, lanes):
+        warps, _, _ = _split(lanes)
+        warp_values = np.arange(100, 100 + N_WARPS)
+        got = shfl_sync(warp_values, None, warps)
+        want = np.array([100 + w for w, _v, _p in lanes], dtype=np.int64)
+        np.testing.assert_array_equal(got, want)
+
+
+class TestElectProperty:
+    @settings(max_examples=60)
+    @_examples
+    @given(lanes_st)
+    def test_matches_scalar_reference(self, lanes):
+        # reuse the (warp, value) pair as a globally unique slot id
+        slots = np.array([w * 1000 + v for w, v, _p in lanes], dtype=np.int64)
+        got = elect_one_per_slot(slots)
+        seen = set()
+        want = np.zeros(len(lanes), dtype=bool)
+        for i, s in enumerate(slots):
+            if int(s) not in seen:
+                seen.add(int(s))
+                want[i] = True
+        np.testing.assert_array_equal(got, want)
