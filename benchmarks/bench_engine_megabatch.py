@@ -1,0 +1,118 @@
+"""Tentpole bench: megabatch engine vs the scalar parity oracle.
+
+Times the pre-refactor per-warp engine (preserved verbatim as
+:func:`repro.kernels.engine.oracle_kernel_cls`) against the lockstep
+NumPy hot path on the same Table II-shaped ``run_schedule`` workload,
+and asserts the two are *bit-identical* — same extensions, same walk
+states, same settled k, same merged profile dict, same per-type event
+counts (with every gated event type forced on by the counter).
+
+Defaults to 256 contigs (the acceptance size); override with the
+``REPRO_ENGINE_BENCH_CONTIGS`` environment variable. The >=5x speedup
+assertion only arms at >=256 contigs so the CI smoke run on tiny inputs
+checks identity without timing noise.
+"""
+
+import os
+import time
+
+import numpy as np
+from conftest import banner
+
+from repro.analysis.report import render_table
+from repro.core.extension import PRODUCTION_POLICY
+from repro.genomics.simulate import ErrorProfile, ScenarioSpec, simulate_batch
+from repro.kernels import CudaLocalAssemblyKernel, HipLocalAssemblyKernel
+from repro.kernels.engine import oracle_kernel_cls
+from repro.resilience.checkpoint import profile_to_dict
+from repro.simt.device import A100, MI250X
+
+N_CONTIGS = int(os.environ.get("REPRO_ENGINE_BENCH_CONTIGS", "256"))
+K_SCHEDULE = (21, 33, 55, 77)
+SPEEDUP_FLOOR = 5.0
+
+
+class _EventCounter:
+    """Counts every event by type name; declares no handled_events, so
+    the bus forces gated slot/barrier events on for both engines."""
+
+    def __init__(self):
+        self.counts = {}
+
+    def handle(self, event, bus):
+        name = type(event).__name__
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+
+def _contigs(n=N_CONTIGS):
+    # Error-bearing reads keep every k of the schedule live (perfect reads
+    # settle after the first k), which is what stresses the probe chains.
+    spec = ScenarioSpec(contig_length=220, flank_length=90, read_length=150,
+                        depth=10, seed_window=60)
+    errors = ErrorProfile(error_rate=0.005, lo_quality_fraction=0.1)
+    rng = np.random.default_rng(2024)
+    return [sc.contig for sc in simulate_batch(n, spec, rng, errors)]
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - t0
+
+
+def _run_schedule(kernel_cls, device, contigs, counted):
+    kern = kernel_cls(device, policy=PRODUCTION_POLICY)
+    if counted:
+        counter = kern.add_subscriber(_EventCounter())
+        return kern.run_schedule(contigs, K_SCHEDULE), counter.counts
+    return kern.run_schedule(contigs, K_SCHEDULE), None
+
+
+def test_megabatch_speedup_and_identity(benchmark):
+    contigs = _contigs()
+    rows = []
+    speedups = []
+    for kernel_cls, device in ((CudaLocalAssemblyKernel, A100),
+                               (HipLocalAssemblyKernel, MI250X)):
+        oracle_cls = oracle_kernel_cls(kernel_cls)
+
+        # identity pass: instrumented, every gated event forced on
+        (res_o, ev_o), _ = _timed(
+            lambda: _run_schedule(oracle_cls, device, contigs, counted=True))
+        (res_m, ev_m), _ = _timed(
+            lambda: _run_schedule(kernel_cls, device, contigs, counted=True))
+        assert res_m.right == res_o.right
+        assert res_m.left == res_o.left
+        assert res_m.k == res_o.k
+        assert (res_m.degraded, res_m.retried) == (res_o.degraded,
+                                                   res_o.retried)
+        assert profile_to_dict(res_m.profile) == profile_to_dict(res_o.profile)
+        assert ev_m == ev_o
+
+        # timing pass: fresh uninstrumented kernels, best of 3
+        t_oracle = min(_timed(lambda: _run_schedule(
+            oracle_cls, device, contigs, counted=False))[1] for _ in range(3))
+        t_mega = min(_timed(lambda: _run_schedule(
+            kernel_cls, device, contigs, counted=False))[1] for _ in range(3))
+
+        speedup = t_oracle / t_mega
+        speedups.append(speedup)
+        rows.append([device.name, len(contigs), res_m.k,
+                     res_m.profile.extension_bases,
+                     round(t_oracle, 3), round(t_mega, 3),
+                     round(speedup, 1)])
+
+    benchmark.pedantic(
+        lambda: _run_schedule(CudaLocalAssemblyKernel, A100, contigs,
+                              counted=False),
+        rounds=1, iterations=1)
+
+    print(banner(f"megabatch engine — {N_CONTIGS} contigs, k={K_SCHEDULE}"))
+    print(render_table(
+        ["device", "contigs", "k", "ext bases",
+         "oracle (s)", "megabatch (s)", "speedup"], rows))
+
+    if N_CONTIGS >= 256:
+        assert min(speedups) >= SPEEDUP_FLOOR, (
+            f"megabatch run_schedule must be >={SPEEDUP_FLOOR}x the scalar "
+            f"oracle at acceptance scale; got {min(speedups):.1f}x")

@@ -9,6 +9,8 @@ Sub-commands::
                 fig5..fig9, all)
     export      write every table/figure as TSV + summary.json
     lint        run the repo-invariant static lint rules (REP001..)
+    bench       run the pinned-scale engine benchmarks and gate against
+                the committed BENCH_engine.json baseline
 """
 
 from __future__ import annotations
@@ -185,6 +187,45 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if findings else 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.analysis.bench import collect_bench, compare_bench
+
+    baseline = None
+    if args.baseline and os.path.exists(args.baseline):
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+    current = collect_bench(smoke_only=args.smoke, repeats=args.repeats)
+    written = current
+    if baseline is not None and baseline.get("schema") == current.get("schema"):
+        # A --smoke run must not drop the baseline's other scales.
+        written = dict(baseline)
+        written["scales"] = {**baseline.get("scales", {}),
+                             **current["scales"]}
+    with open(args.output, "w") as fh:
+        json.dump(written, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    for name, scale in current["scales"].items():
+        print(f"{name}: {scale['wall_s']:.4f} s wall, "
+              f"{scale['throughput_contigs_per_s']:.2f} contigs/s, "
+              f"peak RSS {scale['peak_rss_kb']} kB")
+    print(f"wrote {args.output}")
+    if baseline is None:
+        print("no baseline to compare against; commit the output to gate "
+              "future runs")
+        return 0
+    problems = compare_bench(baseline, current,
+                             max_regression=args.max_regression)
+    if problems:
+        for problem in problems:
+            print(f"FAIL {problem}", file=sys.stderr)
+        return 1
+    print(f"baseline {args.baseline}: identity match, throughput within "
+          f"{args.max_regression:.0%}")
+    return 0
+
+
 def _cmd_export(args: argparse.Namespace) -> int:
     from repro.analysis.export import export_all
 
@@ -266,6 +307,23 @@ def build_parser() -> argparse.ArgumentParser:
                           help="processes for the (device, k) grid; output "
                                "files are identical to --workers 1")
     p_export.set_defaults(func=_cmd_export)
+
+    p_bench = sub.add_parser(
+        "bench", help="run the pinned-scale engine benchmarks")
+    p_bench.add_argument("--smoke", action="store_true",
+                         help="run only the CI-fast smoke scale")
+    p_bench.add_argument("--output", default="BENCH_engine.json",
+                         help="where to write the measured document "
+                              "(default: BENCH_engine.json)")
+    p_bench.add_argument("--baseline", default="BENCH_engine.json",
+                         help="committed baseline to gate against "
+                              "(skipped when the file does not exist)")
+    p_bench.add_argument("--max-regression", type=float, default=0.25,
+                         help="fail when throughput drops more than this "
+                              "fraction below the baseline (default 0.25)")
+    p_bench.add_argument("--repeats", type=int, default=3,
+                         help="timing repeats per scale; best is reported")
+    p_bench.set_defaults(func=_cmd_bench)
 
     p_lint = sub.add_parser(
         "lint", help="run the repo-invariant static lint rules")

@@ -126,6 +126,24 @@ def resolve_extension(
 #: Integer codes used by the vectorized resolver (order matters for tests).
 STATE_CODES = {WalkState.EXTEND: 0, WalkState.END: 1, WalkState.FORK: 2}
 
+#: Integer codes covering *every* walk state, for lockstep state arrays
+#: (the megabatched walk keeps per-warp terminal states as int8). The
+#: first three agree with :data:`STATE_CODES` so resolver output can be
+#: stored directly.
+WALK_STATE_CODES = {
+    WalkState.EXTEND: 0,
+    WalkState.END: 1,
+    WalkState.FORK: 2,
+    WalkState.LOOP: 3,
+    WalkState.MAX_LEN: 4,
+    WalkState.MISSING: 5,
+}
+
+#: Inverse of :data:`WALK_STATE_CODES`, indexable by code.
+CODE_TO_WALK_STATE = tuple(
+    s for s, _ in sorted(WALK_STATE_CODES.items(), key=lambda kv: kv[1])
+)
+
 
 def resolve_extension_batch(
     hi_q: np.ndarray, low_q: np.ndarray, policy: WalkPolicy = DEFAULT_POLICY

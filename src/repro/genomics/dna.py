@@ -95,6 +95,62 @@ def reverse_complement(seq: str | np.ndarray) -> str | np.ndarray:
     return complement(seq)[::-1]
 
 
+def decode_matrix(codes: np.ndarray, lengths: np.ndarray) -> list[str]:
+    """Decode a padded ``(n, L)`` code matrix into per-row strings.
+
+    Row ``i`` decodes to its first ``lengths[i]`` codes; padding beyond
+    the row length is ignored (and may hold any value 0..3). The LUT
+    translation runs once over the whole matrix — only the final string
+    slicing is per row, which is the "strings at the edges" boundary.
+    """
+    codes = np.asarray(codes, dtype=np.uint8)
+    if codes.ndim != 2:
+        raise SequenceError(f"expected a (n, L) code matrix, got {codes.shape}")
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if lengths.shape != (codes.shape[0],):
+        raise SequenceError(
+            f"lengths shape {lengths.shape} does not match {codes.shape[0]} rows")
+    n, width = codes.shape
+    if lengths.size and (int(lengths.min(initial=0)) < 0
+                         or int(lengths.max(initial=0)) > width):
+        raise SequenceError(f"row lengths must lie in [0, {width}]")
+    if codes.size and int(codes.max(initial=0)) > 3:
+        raise SequenceError("code matrix contains values > 3")
+    flat = _DECODE_LUT[codes].tobytes()
+    return [flat[i * width:i * width + int(lengths[i])].decode("ascii")
+            for i in range(n)]
+
+
+def reverse_complement_matrix(codes: np.ndarray,
+                              lengths: np.ndarray) -> np.ndarray:
+    """Reverse-complement every row of a padded ``(n, L)`` code matrix.
+
+    Row ``i`` holds a sequence in its first ``lengths[i]`` columns; the
+    result keeps the same layout (sequence left-aligned, padding zeroed).
+    One vectorized gather + LUT services the whole batch — this is the
+    batched form of :func:`reverse_complement` the kernel driver uses to
+    flip a launch's accepted left-end walks in one array operation.
+    """
+    codes = np.asarray(codes, dtype=np.uint8)
+    if codes.ndim != 2:
+        raise SequenceError(f"expected a (n, L) code matrix, got {codes.shape}")
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if lengths.shape != (codes.shape[0],):
+        raise SequenceError(
+            f"lengths shape {lengths.shape} does not match {codes.shape[0]} rows")
+    n, width = codes.shape
+    if width == 0:
+        return np.zeros((n, 0), dtype=np.uint8)
+    if lengths.size and (int(lengths.min(initial=0)) < 0
+                         or int(lengths.max(initial=0)) > width):
+        raise SequenceError(f"row lengths must lie in [0, {width}]")
+    cols = np.arange(width, dtype=np.int64)
+    src = lengths[:, None] - 1 - cols
+    valid = cols < lengths[:, None]
+    gathered = codes[np.arange(n)[:, None], np.where(valid, src, 0)]
+    return np.where(valid, _COMPLEMENT_LUT[gathered], 0).astype(np.uint8)
+
+
 def random_sequence(length: int, rng: np.random.Generator) -> np.ndarray:
     """Uniform random encoded DNA sequence of ``length`` bases."""
     if length < 0:

@@ -32,6 +32,11 @@ FINGERPRINT_BASE = np.uint64(0x9E3779B97F4A7C15)
 #: Offset added to each 2-bit code so the all-``A`` k-mer does not map to 0.
 _CODE_OFFSET = np.uint64(0x100000001B3)
 
+#: Multiplicative inverse of :data:`FINGERPRINT_BASE` mod 2^64 (the base
+#: is odd, hence invertible) — what makes the O(n) rolling evaluation in
+#: :func:`rolling_fingerprints` possible.
+_BASE_INV = np.uint64(pow(0x9E3779B97F4A7C15, -1, 1 << 64))
+
 
 def _check_k(n: int, k: int) -> None:
     if k <= 0:
@@ -131,6 +136,86 @@ def fingerprint_matrix(windows: np.ndarray) -> np.ndarray:
         for j in range(win.shape[1]):
             acc = acc * FINGERPRINT_BASE + win[:, j]
     return acc
+
+
+def shift_fingerprints(fps: np.ndarray, dropped: np.ndarray,
+                       appended: np.ndarray, k: int) -> np.ndarray:
+    """Advance k-window fingerprints by one base in O(n) total work.
+
+    For a window fingerprint ``fp = sum_j (c_j + OFFSET) * BASE^(k-1-j)``
+    sliding one base right (dropping ``dropped``, appending ``appended``):
+
+        ``fp' = (fp - (dropped + OFFSET) * BASE^(k-1)) * BASE
+                + (appended + OFFSET)     (mod 2^64)``
+
+    — exact under wrapping uint64 arithmetic, so the result is
+    bit-identical to re-evaluating :func:`fingerprint_matrix` on the
+    shifted windows. The walk phase uses this to follow each warp's
+    current k-mer without re-hashing k bases every step.
+    """
+    with np.errstate(over="ignore"):
+        top = ((np.asarray(dropped).astype(np.uint64) + _CODE_OFFSET)
+               * np.uint64(pow(0x9E3779B97F4A7C15, k - 1, 1 << 64)))
+        return ((np.asarray(fps, dtype=np.uint64) - top) * FINGERPRINT_BASE
+                + (np.asarray(appended).astype(np.uint64) + _CODE_OFFSET))
+
+
+def fingerprint_prefix(codes: np.ndarray) -> np.ndarray:
+    """The k-independent prefix-sum stream behind :func:`rolling_fingerprints`.
+
+    ``prefix[i] = sum_{t<i} (codes[t] + OFFSET) * BASE^-t  (mod 2^64)`` —
+    computable once per code stream and reusable for every k of a
+    k-schedule (the batch preparer caches it on the flattened bin).
+    """
+    codes = np.asarray(codes)
+    n = codes.size
+    with np.errstate(over="ignore"):
+        inv_pow = np.empty(n, dtype=np.uint64)
+        if n:
+            inv_pow[0] = 1
+            inv_pow[1:] = _BASE_INV
+            np.multiply.accumulate(inv_pow, out=inv_pow)
+        terms = (codes.astype(np.uint64) + _CODE_OFFSET) * inv_pow
+        prefix = np.empty(n + 1, dtype=np.uint64)
+        prefix[0] = 0
+        np.cumsum(terms, out=prefix[1:])
+    return prefix
+
+
+def rolling_fingerprints(codes: np.ndarray, k: int,
+                         prefix: np.ndarray | None = None) -> np.ndarray:
+    """Fingerprints of every k-window of ``codes`` in O(n) total work.
+
+    Bit-identical to ``fingerprint_matrix(kmer_matrix(codes, k))`` but
+    evaluated through wrapping prefix sums instead of ``k`` passes over a
+    materialized window matrix: with ``Binv = BASE^-1 (mod 2^64)`` and
+    ``S`` the cumulative sum of ``(codes[t] + OFFSET) * Binv^t``,
+
+        ``fp(i) = (S[i+k] - S[i]) * BASE^(i+k-1)   (mod 2^64)``
+
+    — every operation wraps mod 2^64, so the values match the windowed
+    polynomial exactly. This is what the batch preparer runs over each
+    flat read stream; callers that already hold window matrices (the walk
+    phase's current k-mers) keep using :func:`fingerprint_matrix`.
+
+    ``prefix`` accepts a precomputed :func:`fingerprint_prefix` of the
+    same codes (k-independent, so reusable across a k-schedule).
+    """
+    codes = np.asarray(codes)
+    n = codes.size
+    _check_k(n, k)
+    if prefix is None:
+        prefix = fingerprint_prefix(codes)
+    elif prefix.size != n + 1:
+        raise KmerError(f"prefix size {prefix.size} does not match "
+                        f"{n}-base code stream")
+    with np.errstate(over="ignore"):
+        m = n - k + 1
+        scale = np.empty(m, dtype=np.uint64)
+        scale[0] = np.uint64(pow(0x9E3779B97F4A7C15, k - 1, 1 << 64))
+        scale[1:] = FINGERPRINT_BASE
+        np.multiply.accumulate(scale, out=scale)
+        return (prefix[k:] - prefix[:m]) * scale
 
 
 def fingerprint_of(kmer: str) -> int:

@@ -13,6 +13,12 @@ three forms:
 * :func:`murmur2_batch` — vectorized over a matrix of equal-length keys,
   used by the SIMT kernels to hash every pending k-mer of a batch in a
   handful of NumPy passes.
+* :func:`murmur2_stream` — vectorized over equal-length *windows of one
+  flat byte stream*, addressed by start offset. Digest-identical to
+  gathering each window and calling :func:`murmur2_batch`, but the word
+  loads gather 4 bytes at a time straight from the stream, so the
+  ``(n, length)`` window matrix is never materialized — the form the
+  batch preparer uses on its concatenated read streams.
 
 All arithmetic is modulo 2**32 (uint32 wraparound), matching C.
 """
@@ -75,6 +81,71 @@ def murmur_aligned2(data: bytes | np.ndarray, seed: int = 0) -> int:
     paper's source is explicit.
     """
     return murmur2(data, seed)
+
+
+def murmur2_words(stream: np.ndarray) -> np.ndarray:
+    """Little-endian 4-byte word assembly over a whole byte stream.
+
+    ``murmur2_words(s)[i]`` is the word MurmurHash2 would read at offset
+    ``i`` — the length-independent half of :func:`murmur2_stream`, so a
+    k-schedule can assemble the words once per stream and reuse them for
+    every window length.
+    """
+    stream = np.ascontiguousarray(stream, dtype=np.uint8)
+    if stream.size < 4:
+        return np.empty(0, dtype=np.uint32)
+    return (
+        stream[: stream.size - 3].astype(np.uint32)
+        | (stream[1: stream.size - 2].astype(np.uint32) << np.uint32(8))
+        | (stream[2: stream.size - 1].astype(np.uint32) << np.uint32(16))
+        | (stream[3:].astype(np.uint32) << np.uint32(24))
+    )
+
+
+def murmur2_stream(stream: np.ndarray, starts: np.ndarray, length: int,
+                   seed: int = 0, words: np.ndarray | None = None) -> np.ndarray:
+    """MurmurHash2 of ``stream[s : s + length]`` for every ``s`` in ``starts``.
+
+    Equivalent to ``murmur2_batch(stream[starts[:, None] + arange(length)],
+    seed)`` — same word assembly, same mix order, same tail handling —
+    without building the window matrix: little-endian words are
+    pre-assembled once over the whole stream (four O(n) passes), then
+    each of the ``length // 4`` word rounds is a single gather. ``words``
+    accepts a precomputed :func:`murmur2_words` of the same stream.
+    """
+    stream = np.ascontiguousarray(stream, dtype=np.uint8)
+    starts = np.asarray(starts, dtype=np.int64)
+    if length <= 0:
+        raise ValueError(f"window length must be positive, got {length}")
+    if starts.size and (int(starts.min()) < 0
+                        or int(starts.max()) + length > stream.size):
+        raise ValueError("window [start, start + length) out of stream bounds")
+    m = np.uint32(MURMUR_M)
+    h = np.full(starts.size, (seed ^ length) & _U32, dtype=np.uint32)
+    with np.errstate(over="ignore"):
+        nwords = length // 4
+        if nwords and starts.size:
+            if words is None:
+                words = murmur2_words(stream)
+            for j in range(nwords):
+                k = words[starts + 4 * j] * m
+                k ^= k >> np.uint32(MURMUR_R)
+                k *= m
+                h *= m
+                h ^= k
+        tail = length - nwords * 4
+        i = nwords * 4
+        if tail == 3:
+            h ^= stream[starts + (i + 2)].astype(np.uint32) << np.uint32(16)
+        if tail >= 2:
+            h ^= stream[starts + (i + 1)].astype(np.uint32) << np.uint32(8)
+        if tail >= 1:
+            h ^= stream[starts + i].astype(np.uint32)
+            h *= m
+        h ^= h >> np.uint32(13)
+        h *= m
+        h ^= h >> np.uint32(15)
+    return h
 
 
 def murmur2_batch(keys: np.ndarray, seed: int = 0) -> np.ndarray:

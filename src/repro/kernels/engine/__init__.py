@@ -23,6 +23,12 @@ from repro.kernels.engine.backend import (
     register_backend,
 )
 from repro.kernels.engine.construct import ConstructPhase, ConstructResult
+from repro.kernels.engine.oracle import (
+    ScalarOracleConstructPhase,
+    ScalarOracleWalkPhase,
+    iterate_k_schedule_scalar,
+    oracle_kernel_cls,
+)
 from repro.kernels.engine.events import (
     ITERATION_BASE_INSTRS,
     WALK_STEP_INTOPS,
@@ -52,6 +58,7 @@ from repro.kernels.engine.prepare import (
     BatchPreparer,
     FlattenedBin,
     PrepareCache,
+    run_length_sorted,
     segmented_arange,
     subset_batch,
 )
@@ -60,12 +67,13 @@ from repro.kernels.engine.schedule import (
     LaunchConfig,
     LaunchPlan,
     LaunchPolicy,
+    SideArrays,
     SingleBinLaunchPolicy,
     iterate_k_schedule,
     validate_k_schedule,
 )
 from repro.kernels.engine.simt import LocalAssemblyKernel
-from repro.kernels.engine.walk import WalkOutput, WalkPhase
+from repro.kernels.engine.walk import VisitedFingerprintSet, WalkOutput, WalkPhase
 
 __all__ = [
     # backend protocol + registry
@@ -80,8 +88,14 @@ __all__ = [
     # phases
     "ConstructPhase",
     "ConstructResult",
+    "VisitedFingerprintSet",
     "WalkOutput",
     "WalkPhase",
+    # scalar parity oracles
+    "ScalarOracleConstructPhase",
+    "ScalarOracleWalkPhase",
+    "iterate_k_schedule_scalar",
+    "oracle_kernel_cls",
     # events + subscribers
     "ITERATION_BASE_INSTRS",
     "WALK_STEP_INTOPS",
@@ -110,6 +124,7 @@ __all__ = [
     "BatchPreparer",
     "FlattenedBin",
     "PrepareCache",
+    "run_length_sorted",
     "segmented_arange",
     "subset_batch",
     # scheduling
@@ -117,6 +132,7 @@ __all__ = [
     "LaunchConfig",
     "LaunchPlan",
     "LaunchPolicy",
+    "SideArrays",
     "SingleBinLaunchPolicy",
     "iterate_k_schedule",
     "validate_k_schedule",

@@ -22,7 +22,7 @@ from repro.errors import HashTableFullError, KernelError
 from repro.genomics.contig import Contig, End
 from repro.genomics.dna import reverse_complement
 from repro.genomics.reads import Read, ReadSet
-from repro.kernels.engine.schedule import iterate_k_schedule
+from repro.kernels.engine.schedule import SideArrays, iterate_k_schedule
 from repro.simt.counters import KernelProfile
 from repro.simt.device import DeviceSpec
 
@@ -64,6 +64,14 @@ class KernelRunResult:
     degraded: list[int] = field(default_factory=list)
     #: Contig indices recovered by grow-retry re-launches. Sorted, unique.
     retried: list[int] = field(default_factory=list)
+    #: Lockstep array view of ``right``/``left`` (same data), populated by
+    #: the engine driver so :func:`iterate_k_schedule` merges with masks
+    #: instead of re-deriving per contig. ``None`` from backends that only
+    #: build the lists (the scalar reference, checkpoint restores).
+    right_arrays: SideArrays | None = field(default=None, compare=False,
+                                            repr=False)
+    left_arrays: SideArrays | None = field(default=None, compare=False,
+                                           repr=False)
 
     def extension_of(self, i: int, end: End) -> tuple[str, WalkState]:
         return self.right[i] if end is End.RIGHT else self.left[i]

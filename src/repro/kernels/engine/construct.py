@@ -39,7 +39,11 @@ from repro.kernels.engine.events import (
     SlotWrite,
     WaveExecuted,
 )
-from repro.kernels.engine.prepare import Batch, segmented_arange
+from repro.kernels.engine.prepare import (
+    Batch,
+    run_length_sorted,
+    segmented_arange,
+)
 from repro.kernels.vectortable import WarpHashTables
 
 
@@ -71,6 +75,9 @@ class ConstructPhase:
         self.protocol = protocol
         self.warp_size = warp_size
         self.defer_overflow = defer_overflow
+        # Wave-local vote accumulator (see :meth:`_vote`): ``None`` means
+        # votes apply immediately (the scalar oracle path).
+        self._vote_acc: tuple | None = None
 
     # ------------------------------------------------------------------
     # slot-state commit hooks (overridden by the buggy demo backend)
@@ -89,11 +96,25 @@ class ConstructPhase:
               exts: np.ndarray, his: np.ndarray, warps: np.ndarray,
               lanes: np.ndarray | None, bus: EventBus,
               emit_writes: bool) -> None:
-        """atomicAdd vote accumulation on the slot value region."""
+        """atomicAdd vote accumulation on the slot value region.
+
+        Construction never reads the vote counters back (only the walk
+        does, after the phase completes), and integer atomicAdd commutes —
+        so when a wave-local accumulator is armed the adds are queued and
+        applied in one compacted :meth:`~repro.kernels.vectortable.\
+WarpHashTables.vote` call per wave instead of up to three per probe
+        iteration. Slot-write events still fire per iteration, in order.
+        """
         if emit_writes:
             bus.emit(SlotWrite(phase="construct", kind="vote", slots=slots,
                                warps=warps, lanes=lanes, atomic=True))
-        tables.vote(slots, exts, his)
+        if self._vote_acc is None:
+            tables.vote(slots, exts, his)
+        else:
+            acc_slots, acc_exts, acc_his = self._vote_acc
+            acc_slots.append(slots)
+            acc_exts.append(exts)
+            acc_his.append(his)
 
     def _barrier(self, warps: np.ndarray, active_counts: np.ndarray,
                  bus: EventBus) -> None:
@@ -116,6 +137,14 @@ class ConstructPhase:
         dead = np.zeros(n_warps, dtype=bool)
         overflowed: list[int] = []
         want_lanes = bus.wants(SlotWrite)
+        # Construction never reads the vote counters back (only the walk
+        # phase does, after this method returns), so the megabatch wave
+        # loop queues every vote and applies them in one compacted
+        # scatter-add at the end of the launch.
+        acc_slots: list = []
+        acc_exts: list = []
+        acc_his: list = []
+        self._vote_acc = (acc_slots, acc_exts, acc_his)
         for t in range(max_waves):
             lo = ins_off[:-1] + t * W
             hi = np.minimum(lo + W, ins_off[1:])
@@ -127,7 +156,7 @@ class ConstructPhase:
                 idx = idx[~dead[batch.ins_warp[idx]]]
                 if idx.size == 0:
                     continue
-                wave_warps = int(np.unique(batch.ins_warp[idx]).size)
+                wave_warps = int(run_length_sorted(batch.ins_warp[idx])[0].size)
             else:
                 wave_warps = int(np.count_nonzero(take))
             bus.emit(WaveExecuted(lanes=idx.size, warps=wave_warps))
@@ -140,6 +169,11 @@ class ConstructPhase:
             if wave_overflowed:
                 overflowed.extend(wave_overflowed)
                 dead[wave_overflowed] = True
+        self._vote_acc = None
+        if acc_slots:
+            tables.vote(np.concatenate(acc_slots),
+                        np.concatenate(acc_exts),
+                        np.concatenate(acc_his))
         return ConstructResult(waves=waves_run, iterations=chain,
                                overflowed=tuple(overflowed))
 
@@ -147,6 +181,16 @@ class ConstructPhase:
                      idx: np.ndarray, bus: EventBus,
                      lanes: np.ndarray | None = None) -> tuple[int, list[int]]:
         """Probe until every lane of the wave has inserted.
+
+        The pending lane set is kept *persistently compacted*: ``p`` (and
+        its aligned probe counters) shrinks as lanes retire, instead of
+        being re-derived from a full-wave boolean mask with ``nonzero``
+        (and re-``unique``-d) every probe iteration. Late iterations —
+        where only a few colliding lanes remain — therefore cost work
+        proportional to the stragglers, not the wave. Event emission
+        (order, contents) is bit-identical to the pre-compaction loop,
+        which survives as :class:`~repro.kernels.engine.oracle.\
+ScalarOracleConstructPhase`.
 
         Returns ``(iterations, overflowed_warps)``; the second element
         is always empty unless :attr:`defer_overflow` is set.
@@ -158,94 +202,113 @@ class ConstructPhase:
         exts = batch.ins_ext[idx]
         his = batch.ins_hi[idx]
         n = idx.size
-        probe = np.zeros(n, dtype=np.int64)
-        pending = np.ones(n, dtype=bool)
+        p = np.arange(n, dtype=np.int64)
+        probe_p = np.zeros(n, dtype=np.int64)
+        # Pending-set state gathered once per wave and compacted alongside
+        # ``p`` each iteration, so the loop never re-gathers warp ids,
+        # homes, fingerprints, or table geometry from the full wave.
+        wp = warps
+        hp = homes.astype(np.int64)
+        fpp = fps
+        caps_p = tables.capacities[warps]
+        offs_p = tables.offsets[warps]
         iterations = 0
         overflowed: list[int] = []
         emit_slots = bus.wants(SlotAccess)
         emit_writes = bus.wants(SlotWrite)
         emit_sync = bus.wants(BarrierSync)
+        want_sync = emit_sync and proto.iteration_syncs
+        # Probe offsets grow by at most one per iteration, so no lane can
+        # wrap before iteration min(caps): skip the overflow scan until
+        # a wrap is actually reachable.
+        min_cap = int(caps_p.min()) if caps_p.size else 0
 
         def lane_of(sel: np.ndarray) -> np.ndarray | None:
             return lanes[sel] if lanes is not None else None
 
-        while pending.any():
-            p = np.nonzero(pending)[0]
-            over = probe[p] >= tables.capacities[warps[p]]
-            if over.any():
+        while p.size:
+            if iterations >= min_cap and (probe_p >= caps_p).any():
+                over = probe_p >= caps_p
                 if not self.defer_overflow:
-                    j = int(p[np.nonzero(over)[0][0]])
-                    w = int(warps[j])
+                    j = int(np.nonzero(over)[0][0])
+                    w = int(wp[j])
                     raise HashTableFullError(
                         "hash table overflow during construction",
                         contig_id=int(batch.contig_ids[w]),
                         k=int(batch.seeds.shape[1]),
                         capacity=int(tables.capacities[w]),
-                        probes=int(probe[j]),
+                        probes=int(probe_p[j]),
                     )
-                bad = np.unique(warps[p[over]])
-                overflowed.extend(int(w) for w in bad)
-                pending &= ~np.isin(warps, bad)
-                if not pending.any():
+                bad = run_length_sorted(wp[over])[0]
+                overflowed.extend(np.asarray(bad).tolist())
+                keep = ~np.isin(wp, bad)
+                p, probe_p = p[keep], probe_p[keep]
+                wp, hp, fpp = wp[keep], hp[keep], fpp[keep]
+                caps_p, offs_p = caps_p[keep], offs_p[keep]
+                if not p.size:
                     break
-                p = np.nonzero(pending)[0]
+                min_cap = int(caps_p.min())
             iterations += 1
-            uniq_warps, uniq_counts = np.unique(warps[p], return_counts=True)
-            active_warps = int(uniq_warps.size)
+            if want_sync:
+                uniq_warps, uniq_counts = run_length_sorted(wp)
+                active_warps = int(uniq_warps.size)
+            else:
+                # ``wp`` stays warp-sorted; the event only needs the count.
+                active_warps = (1 + int(np.count_nonzero(wp[1:] != wp[:-1]))
+                                if wp.size else 0)
 
-            slots = tables.slot_of(warps[p], homes[p], probe[p])
+            # Probe offsets were bounds-checked against ``caps_p`` above,
+            # so the linear-probe address arithmetic of ``slot_of`` can run
+            # directly on the compacted geometry arrays.
+            slots = offs_p + (hp + probe_p) % caps_p
             if emit_slots:
                 bus.emit(SlotAccess(slots=slots, kind="probe"))
             occupied, slot_fp = tables.inspect(slots)
             key_compares = int(np.count_nonzero(occupied))
 
-            done = np.zeros(p.size, dtype=bool)
             votes_matched = 0
-            match = occupied & (slot_fp == fps[p])
-            if match.any():
-                sel = p[match]
-                self._vote(tables, slots[match], exts[sel], his[sel],
-                           warps[sel], lane_of(sel), bus, emit_writes)
-                votes_matched = int(match.sum())
-                done |= match
+            match = occupied & (slot_fp == fpp)
+            done = match
+            midx = np.nonzero(match)[0]
+            if midx.size:
+                sel = p[midx]
+                self._vote(tables, slots[midx], exts[sel], his[sel],
+                           wp[midx], lane_of(sel), bus, emit_writes)
+                votes_matched = midx.size
 
             cas_attempts = 0
             votes_claimed = 0
             votes_merged = 0
-            empty = ~occupied
-            if empty.any():
-                e = np.nonzero(empty)[0]
+            if key_compares < p.size:  # some slot observed empty
+                e = np.nonzero(~occupied)[0]
                 sel = p[e]
-                winners_local = self._claim(tables, slots[e], fps[sel],
-                                            warps[sel], lane_of(sel), bus,
+                winners_local = self._claim(tables, slots[e], fpp[e],
+                                            wp[e], lane_of(sel), bus,
                                             emit_writes)
                 cas_attempts = e.size  # every empty observer issues a CAS
                 win = e[winners_local]
                 sel = p[win]
                 self._vote(tables, slots[win], exts[sel], his[sel],
-                           warps[sel], lane_of(sel), bus, emit_writes)
+                           wp[win], lane_of(sel), bus, emit_writes)
                 votes_claimed = win.size
-                done_claim = np.zeros(p.size, dtype=bool)
-                done_claim[win] = True
-                done |= done_claim
+                done = done.copy()
+                done[win] = True
                 losers = e[~winners_local]
                 if proto.merges_in_iteration and losers.size:
                     # __match_any_sync: losers whose key equals the fresh
                     # winner's key merge their vote in this same iteration.
                     now_fp = tables.fp[slots[losers]]
-                    same = now_fp == fps[p[losers]]
+                    same = now_fp == fpp[losers]
                     m = losers[same]
                     if m.size:
                         sel = p[m]
                         self._vote(tables, slots[m], exts[sel], his[sel],
-                                   warps[sel], lane_of(sel), bus, emit_writes)
+                                   wp[m], lane_of(sel), bus, emit_writes)
                         votes_merged = m.size
-                        d = np.zeros(p.size, dtype=bool)
-                        d[m] = True
-                        done |= d
+                        done[m] = True
                 # HIP/SYCL losers retry next iteration at the same probe.
 
-            if emit_sync and proto.iteration_syncs:
+            if want_sync:
                 self._barrier(uniq_warps, uniq_counts, bus)
             bus.emit(ProbeIteration(
                 phase="construct", lanes=p.size, warps=active_warps,
@@ -253,7 +316,16 @@ class ConstructPhase:
                 votes_matched=votes_matched, votes_claimed=votes_claimed,
                 votes_merged=votes_merged,
             ))
-            mismatch = occupied & ~match
-            probe[p[mismatch]] += 1
-            pending[p[done]] = False
+            retired = votes_matched + votes_claimed + votes_merged
+            # Occupied-but-mismatched lanes advance their probe; a single
+            # elementwise add of the boolean beats masked assignment.
+            occupied ^= match
+            probe_p += occupied
+            if retired:
+                # One ``nonzero`` shared by all seven gathers (boolean
+                # masks would re-derive the index list per array).
+                live = np.nonzero(~done)[0]
+                p, probe_p = p[live], probe_p[live]
+                wp, hp, fpp = wp[live], hp[live], fpp[live]
+                caps_p, offs_p = caps_p[live], offs_p[live]
         return iterations, overflowed

@@ -28,17 +28,14 @@ from repro.core.binning import Bin
 from repro.core.construct import (
     DEFAULT_LOAD_FACTOR,
     estimate_table_slots,
-    estimate_table_slots_upper_bound,
 )
 from repro.errors import KernelError
 from repro.genomics.contig import Contig, End
 from repro.genomics.dna import reverse_complement
-from repro.genomics.kmer import fingerprint_matrix
+from repro.genomics.dna import complement
+from repro.genomics.kmer import fingerprint_prefix, rolling_fingerprints
 from repro.genomics.reads import DEFAULT_QUAL_THRESHOLD
-from repro.hashing.murmur import murmur2_batch
-
-#: Chunk size for the vectorized pre-hashing of insertion streams.
-_HASH_CHUNK = 1 << 18
+from repro.hashing.murmur import murmur2_stream, murmur2_words
 
 
 def segmented_arange(counts: np.ndarray) -> np.ndarray:
@@ -49,6 +46,27 @@ def segmented_arange(counts: np.ndarray) -> np.ndarray:
         return np.empty(0, dtype=np.int64)
     starts = np.repeat(np.cumsum(counts) - counts, counts)
     return np.arange(total, dtype=np.int64) - starts
+
+
+def run_length_sorted(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """``(uniques, counts)`` of an already-sorted array.
+
+    Equivalent to ``np.unique(values, return_counts=True)`` for sorted
+    input but without the internal re-sort — a boundary diff over the
+    run, which is what the lockstep phases call every probe iteration on
+    their (warp-sorted) pending sets.
+    """
+    values = np.asarray(values)
+    if values.size == 0:
+        return values[:0], np.empty(0, dtype=np.int64)
+    change = np.empty(values.size, dtype=bool)
+    change[0] = True
+    np.not_equal(values[1:], values[:-1], out=change[1:])
+    starts = np.nonzero(change)[0]
+    counts = np.empty(starts.size, dtype=np.int64)
+    counts[:-1] = starts[1:] - starts[:-1]
+    counts[-1] = values.size - starts[-1]
+    return values[starts], counts
 
 
 @dataclass
@@ -111,7 +129,15 @@ def subset_batch(batch: Batch, warp_ids, capacities=None) -> Batch:
 
 @dataclass
 class FlattenedBin:
-    """The k-independent part of one (bin, end) preparation."""
+    """The k-independent part of one (bin, end) preparation.
+
+    ``ctg_codes`` holds every contig's bases *oriented for the launch
+    direction* (reverse-complemented for the left end), concatenated;
+    the per-k seed k-mer of warp ``w`` is then always the last ``k``
+    codes of its segment, so :meth:`BatchPreparer.finish` extracts all
+    seeds with one vectorized gather instead of a per-contig
+    string/`end_kmer` loop.
+    """
 
     contig_ids: list[int]
     codes: np.ndarray           # all reads' codes, concatenated
@@ -121,6 +147,11 @@ class FlattenedBin:
     offsets: np.ndarray         # per-read start offsets into codes (n+1)
     read_bytes_per_warp: np.ndarray
     upper_capacities: np.ndarray  # k-independent table-size upper bound
+    ctg_codes: np.ndarray       # oriented contig codes, concatenated
+    ctg_offsets: np.ndarray     # per-contig start offsets (n_warps+1)
+    ctg_lens: np.ndarray        # contig length per warp
+    fp_prefix: np.ndarray       # fingerprint_prefix(codes), k-independent
+    hash_words: np.ndarray      # murmur2_words(codes), k-independent
 
     @property
     def n_warps(self) -> int:
@@ -190,33 +221,60 @@ class BatchPreparer:
         contig_ids = bin_.contig_indices
         code_parts: list[np.ndarray] = []
         qual_parts: list[np.ndarray] = []
-        read_warps: list[int] = []
         read_lens: list[int] = []
+        reads_per_warp = np.empty(len(contig_ids), dtype=np.int64)
         read_bytes = np.zeros(len(contig_ids), dtype=np.int64)
         upper = np.empty(len(contig_ids), dtype=np.int64)
+        ctg_parts: list[np.ndarray] = []
+        ctg_lens = np.empty(len(contig_ids), dtype=np.int64)
         for w, ci in enumerate(contig_ids):
             contig = contigs[ci]
             end_reads = contig.reads_for_end(end)
-            for r in end_reads:
-                codes = r.codes if end is End.RIGHT else reverse_complement(r.codes)
-                quals = r.quals if end is End.RIGHT else r.quals[::-1]
-                code_parts.append(codes)
-                qual_parts.append(np.ascontiguousarray(quals))
-                read_warps.append(w)
-                read_lens.append(len(codes))
-            upper[w] = estimate_table_slots_upper_bound(end_reads,
-                                                        self.load_factor)
-            read_bytes[w] = 2 * end_reads.total_bases
+            base = len(read_lens)
+            for r in end_reads.reads:
+                code_parts.append(r.codes)
+                qual_parts.append(r.quals)
+                read_lens.append(r.codes.size)
+            reads_per_warp[w] = len(read_lens) - base
+            total_bases = sum(read_lens[base:])
+            # The k-independent capacity bound is total_bases/load_factor
+            # (a read's k-mer count never exceeds its base count), i.e.
+            # ``estimate_table_slots_upper_bound`` evaluated on the base
+            # total we already tallied — same formula, one pass.
+            upper[w] = estimate_table_slots(total_bases, self.load_factor)
+            read_bytes[w] = 2 * total_bases
+            oriented = (contig.codes if end is End.RIGHT
+                        else reverse_complement(contig.codes))
+            ctg_parts.append(np.ascontiguousarray(oriented))
+            ctg_lens[w] = len(oriented)
         codes = np.concatenate(code_parts) if code_parts else np.empty(0, np.uint8)
         quals = np.concatenate(qual_parts) if qual_parts else np.empty(0, np.uint8)
         lens = np.asarray(read_lens, dtype=np.int64)
+        read_warps = np.repeat(np.arange(len(contig_ids), dtype=np.int64),
+                               reads_per_warp)
         offsets = np.zeros(lens.size + 1, dtype=np.int64)
         np.cumsum(lens, out=offsets[1:])
+        if end is not End.RIGHT and codes.size:
+            # Left-end orientation, batched: reverse-complement every
+            # read segment in place of the per-read loop — one mirrored
+            # gather over the stream (element i of read r maps to the
+            # segment-mirrored position start_r + end_r - 1 - i).
+            mirror = (np.repeat(offsets[:-1] + offsets[1:] - 1, lens)
+                      - np.arange(codes.size, dtype=np.int64))
+            codes = complement(codes)[mirror]
+            quals = quals[mirror]
+        ctg_codes = (np.concatenate(ctg_parts) if ctg_parts
+                     else np.empty(0, np.uint8))
+        ctg_offsets = np.zeros(ctg_lens.size + 1, dtype=np.int64)
+        np.cumsum(ctg_lens, out=ctg_offsets[1:])
         return FlattenedBin(
             contig_ids=list(contig_ids), codes=codes, quals=quals,
-            read_warps=np.asarray(read_warps, dtype=np.int64),
+            read_warps=read_warps,
             read_lens=lens, offsets=offsets, read_bytes_per_warp=read_bytes,
-            upper_capacities=upper,
+            upper_capacities=upper, ctg_codes=ctg_codes,
+            ctg_offsets=ctg_offsets, ctg_lens=ctg_lens,
+            fp_prefix=fingerprint_prefix(codes),
+            hash_words=murmur2_words(codes),
         )
 
     # -- stage 2: per-k ------------------------------------------------
@@ -240,33 +298,37 @@ class BatchPreparer:
                 [estimate_table_slots(int(n), self.load_factor)
                  for n in ins_per_warp], dtype=np.int64)
 
+        # Seed k-mers are the last k codes of each oriented contig
+        # segment (for the right end that is ``end_kmer(k, RIGHT)``, for
+        # the left end the reverse complement of ``end_kmer(k, LEFT)``) —
+        # one vectorized gather over all warps.
         seeds = np.zeros((n_warps, k), dtype=np.uint8)
-        seed_valid = np.zeros(n_warps, dtype=bool)
-        for w, ci in enumerate(flat.contig_ids):
-            contig = contigs[ci]
-            if len(contig) >= k:
-                seed_valid[w] = True
-                seeds[w] = (
-                    contig.end_kmer(k, End.RIGHT)
-                    if end is End.RIGHT
-                    else reverse_complement(contig.end_kmer(k, End.LEFT))
-                )
+        seed_valid = flat.ctg_lens >= k
+        valid = np.nonzero(seed_valid)[0]
+        if valid.size:
+            seg_ends = flat.ctg_offsets[valid + 1]
+            seeds[valid] = flat.ctg_codes[
+                (seg_ends - k)[:, None] + np.arange(k, dtype=np.int64)]
 
+        # Hash and fingerprint straight off the flat stream: k-mer
+        # windows never cross a read boundary (each read contributes
+        # ``len - k`` insertions), so stream-addressed digests equal the
+        # old per-window gather bit for bit — without materializing the
+        # (n, k) window matrix at all.
         codes, quals = flat.codes, flat.quals
-        n = starts.size
-        ins_home = np.empty(n, dtype=np.uint32)
-        ins_fp = np.empty(n, dtype=np.uint64)
-        ins_ext = np.empty(n, dtype=np.uint8)
-        ins_hi = np.empty(n, dtype=bool)
-        col = np.arange(k, dtype=np.int64)
-        for lo in range(0, n, _HASH_CHUNK):
-            hi = min(lo + _HASH_CHUNK, n)
-            win = codes[starts[lo:hi, None] + col]
-            ins_home[lo:hi] = murmur2_batch(win, self.seed)
-            ins_fp[lo:hi] = fingerprint_matrix(win)
-            ext_pos = starts[lo:hi] + k
-            ins_ext[lo:hi] = codes[ext_pos]
-            ins_hi[lo:hi] = quals[ext_pos] >= self.qual_threshold
+        if starts.size:
+            ins_home = murmur2_stream(codes, starts, k, self.seed,
+                                      words=flat.hash_words)
+            ins_fp = rolling_fingerprints(codes, k,
+                                          prefix=flat.fp_prefix)[starts]
+            ext_pos = starts + k
+            ins_ext = codes[ext_pos]
+            ins_hi = quals[ext_pos] >= self.qual_threshold
+        else:
+            ins_home = np.empty(0, dtype=np.uint32)
+            ins_fp = np.empty(0, dtype=np.uint64)
+            ins_ext = np.empty(0, dtype=np.uint8)
+            ins_hi = np.empty(0, dtype=bool)
         return Batch(
             contig_ids=list(flat.contig_ids), codes=codes, quals=quals,
             ins_warp=ins_warp, ins_home=ins_home, ins_fp=ins_fp,

@@ -13,7 +13,12 @@ right-/left-extension kernels).
 (Figures 2 and 4) used by every backend: per contig end, the first
 *accepted* walk (anything but a fork) at the smallest k wins, and forked
 ends retry at the next k, keeping the longest extension if no k resolves
-the fork.
+the fork. The settle/merge decisions run as NumPy mask assignments over
+:class:`SideArrays` (the lockstep per-contig result representation the
+engine driver scatters into); backends that only produce the per-contig
+``(bases, WalkState)`` lists fall back to a derivation at the boundary.
+The pre-refactor per-contig merge loop survives as
+:func:`repro.kernels.engine.oracle.iterate_k_schedule_scalar`.
 """
 
 from __future__ import annotations
@@ -21,12 +26,59 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Protocol, runtime_checkable
 
+import numpy as np
+
 from repro.core.binning import Bin, bin_contigs
 from repro.core.construct import DEFAULT_LOAD_FACTOR
-from repro.core.extension import WalkState
+from repro.core.extension import CODE_TO_WALK_STATE, WALK_STATE_CODES, WalkState
 from repro.errors import KernelError
 from repro.genomics.contig import Contig, End
 from repro.simt.counters import KernelProfile
+
+#: int8 codes the merge masks compare against.
+MISSING_CODE = np.int8(WALK_STATE_CODES[WalkState.MISSING])
+FORK_CODE = np.int8(WALK_STATE_CODES[WalkState.FORK])
+
+
+@dataclass
+class SideArrays:
+    """One extension side (right or left) of a run, as lockstep arrays.
+
+    The engine driver scatters every launch's accepted walks straight
+    into these (text via one batched decode, lengths and terminal state
+    codes as array assignments), and :func:`iterate_k_schedule` merges
+    them with boolean masks — no per-contig Python in between. The
+    ``(bases, WalkState)`` tuple list every caller consumes is derived
+    once at the end through :meth:`to_side`.
+    """
+
+    text: np.ndarray         #: object array of per-contig extension strings
+    lens: np.ndarray         #: int64 extension lengths (== len of text)
+    state_codes: np.ndarray  #: int8 :data:`WALK_STATE_CODES` per contig
+
+    @classmethod
+    def empty(cls, n: int) -> "SideArrays":
+        """All contigs unextended: ``("", MISSING)`` in array form."""
+        return cls(text=np.full(n, "", dtype=object),
+                   lens=np.zeros(n, dtype=np.int64),
+                   state_codes=np.full(n, MISSING_CODE, dtype=np.int8))
+
+    @classmethod
+    def from_side(cls, side: list[tuple[str, WalkState]]) -> "SideArrays":
+        """Boundary derivation for backends that only build the list."""
+        n = len(side)
+        text = np.empty(n, dtype=object)
+        text[:] = [b for b, _ in side]
+        lens = np.fromiter((len(b) for b, _ in side),
+                           dtype=np.int64, count=n)
+        codes = np.fromiter((WALK_STATE_CODES[s] for _, s in side),
+                            dtype=np.int8, count=n)
+        return cls(text=text, lens=lens, state_codes=codes)
+
+    def to_side(self) -> list[tuple[str, WalkState]]:
+        """The classic per-contig ``(bases, WalkState)`` list view."""
+        states = [CODE_TO_WALK_STATE[c] for c in self.state_codes.tolist()]
+        return list(zip(self.text.tolist(), states))
 
 
 @dataclass(frozen=True)
@@ -105,13 +157,13 @@ def iterate_k_schedule(
     """
     validate_k_schedule(k_schedule)
     merged: KernelProfile | None = None
-    right: list[tuple[str, WalkState]] = [("", WalkState.MISSING)] * n_contigs
-    left: list[tuple[str, WalkState]] = [("", WalkState.MISSING)] * n_contigs
-    settled_r = [False] * n_contigs
-    settled_l = [False] * n_contigs
+    best_r = SideArrays.empty(n_contigs)
+    best_l = SideArrays.empty(n_contigs)
+    settled_r = np.zeros(n_contigs, dtype=bool)
+    settled_l = np.zeros(n_contigs, dtype=bool)
     last_k = k_schedule[0]
     for k in k_schedule:
-        if all(settled_r) and all(settled_l):
+        if settled_r.all() and settled_l.all():
             break
         last_k = k
         res = run_one(k)
@@ -119,18 +171,19 @@ def iterate_k_schedule(
             merged = res.profile
         else:
             merged.merge(res.profile)
-        for i in range(n_contigs):
-            for side, settled, best in (
-                (res.right, settled_r, right),
-                (res.left, settled_l, left),
-            ):
-                if settled[i]:
-                    continue
-                bases, state = side[i]
-                if len(bases) >= len(best[i][0]) or state is not WalkState.FORK:
-                    best[i] = (bases, state)
-                if state is not WalkState.FORK:
-                    settled[i] = True
+        for arrays, side, settled, best in (
+            (getattr(res, "right_arrays", None), res.right, settled_r, best_r),
+            (getattr(res, "left_arrays", None), res.left, settled_l, best_l),
+        ):
+            cur = arrays if arrays is not None else SideArrays.from_side(side)
+            accepted = cur.state_codes != FORK_CODE
+            # unsettled ends take the new walk if it is accepted (any
+            # non-fork state) or at least as long as the held fork
+            upd = ~settled & (accepted | (cur.lens >= best.lens))
+            best.text[upd] = cur.text[upd]
+            best.lens[upd] = cur.lens[upd]
+            best.state_codes[upd] = cur.state_codes[upd]
+            settled |= accepted
     assert merged is not None
     merged.contigs = n_contigs
-    return last_k, merged, right, left
+    return last_k, merged, best_r.to_side(), best_l.to_side()

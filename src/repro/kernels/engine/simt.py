@@ -24,10 +24,10 @@ import numpy as np
 
 from repro.core.merwalk import DEFAULT_MAX_WALK_LEN
 from repro.core.construct import DEFAULT_LOAD_FACTOR
-from repro.core.extension import DEFAULT_POLICY, WalkPolicy, WalkState
+from repro.core.extension import DEFAULT_POLICY, WalkPolicy
 from repro.errors import KernelError
 from repro.genomics.contig import Contig, End
-from repro.genomics.dna import reverse_complement
+from repro.genomics.dna import decode_matrix, reverse_complement_matrix
 from repro.genomics.reads import DEFAULT_QUAL_THRESHOLD
 from repro.hashing.opcount import hash_intops
 from repro.kernels.engine.backend import KernelRunResult, ProtocolCosts
@@ -45,9 +45,11 @@ from repro.kernels.engine.events import (
 )
 from repro.kernels.engine.prepare import BatchPreparer, PrepareCache, subset_batch
 from repro.kernels.engine.schedule import (
+    MISSING_CODE,
     BinnedLaunchPolicy,
     LaunchConfig,
     LaunchPolicy,
+    SideArrays,
     iterate_k_schedule,
 )
 from repro.kernels.engine.walk import WalkPhase
@@ -105,6 +107,7 @@ class LocalAssemblyKernel:
     #: subclasses that seed protocol violations (:mod:`repro.sanitize.demo`).
     construct_cls = ConstructPhase
     walk_cls = WalkPhase
+    preparer_cls = BatchPreparer
 
     def __init__(
         self,
@@ -165,7 +168,7 @@ class LocalAssemblyKernel:
             raise KernelError(
                 f"max_grow_attempts must be >= 1, got {self.max_grow_attempts}")
         self.launch_policy = launch_policy or BinnedLaunchPolicy()
-        self.preparer = BatchPreparer(
+        self.preparer = self.preparer_cls(
             seed=seed, qual_threshold=qual_threshold,
             load_factor=load_factor, table_sizing=table_sizing,
         )
@@ -273,8 +276,8 @@ class LocalAssemblyKernel:
         profile = KernelProfile(warp_size=self.warp_size)
         profile.walk_issue_width = 1 if self.lane_parallel_walks else self.warp_size
         profile.contigs = len(contigs)
-        right: list[tuple[str, WalkState]] = [("", WalkState.MISSING)] * len(contigs)
-        left: list[tuple[str, WalkState]] = [("", WalkState.MISSING)] * len(contigs)
+        right_arr = SideArrays.empty(len(contigs))
+        left_arr = SideArrays.empty(len(contigs))
         self.last_trace = []
         self.last_replay = []
         bus, traffic, tracer, replayer, sanitizer = self._build_bus(
@@ -315,16 +318,22 @@ class LocalAssemblyKernel:
                 ))
                 self._last_access_latency = traffic.last_access_latency
                 failed = sorted(set(cres.overflowed) | set(wres.overflowed))
-                failed_set = set(failed)
-                for w, ci in enumerate(sub.contig_ids):
-                    if w in failed_set:
-                        continue
-                    if plan.end is End.RIGHT:
-                        right[ci] = (wres.bases[w], wres.states[w])
-                    else:
-                        rc = reverse_complement(wres.bases[w])
-                        assert isinstance(rc, str)
-                        left[ci] = (rc, wres.states[w])
+                # scatter the launch's accepted walks in one batched
+                # decode + array assignment (left ends reverse-complement
+                # as a matrix gather, not per string)
+                arr = right_arr if plan.end is End.RIGHT else left_arr
+                ok = np.ones(sub.n_warps, dtype=bool)
+                if failed:
+                    ok[failed] = False
+                cis = np.asarray(sub.contig_ids, dtype=np.int64)[ok]
+                if cis.size:
+                    lens = wres.base_lens[ok]
+                    mat = wres.base_codes[ok]
+                    if plan.end is not End.RIGHT:
+                        mat = reverse_complement_matrix(mat, lens)
+                    arr.text[cis] = decode_matrix(mat, lens)
+                    arr.lens[cis] = lens
+                    arr.state_codes[cis] = wres.state_codes[ok]
                 if not failed:
                     break
                 if (self.overflow_policy is OverflowPolicy.GROW_RETRY
@@ -348,10 +357,9 @@ class LocalAssemblyKernel:
                         contig_id=ci, k=k, end=end_name,
                         capacity=int(sub.capacities[w])))
                     degraded.add(ci)
-                    if plan.end is End.RIGHT:
-                        right[ci] = ("", WalkState.MISSING)
-                    else:
-                        left[ci] = ("", WalkState.MISSING)
+                    arr.text[ci] = ""
+                    arr.lens[ci] = 0
+                    arr.state_codes[ci] = MISSING_CODE
                 break
         if tracer is not None:
             self.last_trace = tracer.traces
@@ -361,9 +369,12 @@ class LocalAssemblyKernel:
         if sanitizer is not None:
             self.last_sanitizer_report = sanitizer.report
         result = KernelRunResult(device=self.device, k=k, profile=profile,
-                                 right=right, left=left,
+                                 right=right_arr.to_side(),
+                                 left=left_arr.to_side(),
                                  degraded=sorted(degraded),
-                                 retried=sorted(retried))
+                                 retried=sorted(retried),
+                                 right_arrays=right_arr,
+                                 left_arrays=left_arr)
         if injector is not None:
             injector.degrade_result(result)
         return result

@@ -2,8 +2,15 @@
 
 The other lanes are predicated off while one lane walks; the terminal
 state is broadcast with a shuffle. Everything is vectorized across
-warps: the Python-level loops are over walk steps and probe iterations,
-never over lanes or warps.
+warps as one lockstep array program (DESIGN.md decision #14): per-warp
+loop-detection state lives in a vectorized open-addressed fingerprint
+set (:class:`VisitedFingerprintSet`), committed bases land in a
+preallocated ``(n_warps, max_walk_len)`` int8 matrix decoded once at
+the end, and terminal/advance bookkeeping is mask assignments — the
+Python-level loops are over walk steps and probe iterations, never
+over lanes or warps (lint rule REP006 enforces this). The pre-refactor
+per-warp code path survives verbatim as the parity oracle
+(:class:`repro.kernels.engine.oracle.ScalarOracleWalkPhase`).
 
 Measured quantities leave the phase as events
 (:class:`~repro.kernels.engine.events.WalkStep`,
@@ -21,20 +28,23 @@ slots, the bug initcheck must catch.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.extension import (
+    CODE_TO_WALK_STATE,
     DEFAULT_POLICY,
     STATE_CODES,
+    WALK_STATE_CODES,
     WalkPolicy,
     WalkState,
     resolve_extension_batch,
 )
 from repro.core.merwalk import DEFAULT_MAX_WALK_LEN
 from repro.errors import HashTableFullError
-from repro.genomics.kmer import fingerprint_matrix
+from repro.genomics.dna import decode_matrix, encode
+from repro.genomics.kmer import fingerprint_matrix, shift_fingerprints
 from repro.hashing.murmur import murmur2_batch
 from repro.kernels.engine.events import (
     EventBus,
@@ -46,23 +56,129 @@ from repro.kernels.engine.events import (
 from repro.kernels.engine.prepare import Batch
 from repro.kernels.vectortable import WarpHashTables
 
-_CODE_TO_STATE = {v: k for k, v in STATE_CODES.items()}
+_EXTEND = STATE_CODES[WalkState.EXTEND]
+_END = WALK_STATE_CODES[WalkState.END]
+_LOOP = WALK_STATE_CODES[WalkState.LOOP]
+_MAX_LEN = WALK_STATE_CODES[WalkState.MAX_LEN]
+_MISSING = WALK_STATE_CODES[WalkState.MISSING]
+
+#: 64-bit odd multiplier (splitmix64 finalizer constant) spreading
+#: fingerprints over the visited-set buckets.
+_VISITED_MIX = np.uint64(0x9E3779B97F4A7C15)
+
+
+class VisitedFingerprintSet:
+    """Per-warp open-addressed fingerprint sets, probed in lockstep.
+
+    One flat ``(n_warps, capacity)`` table replaces the walk's old
+    ``list[set]`` loop-detection state; membership tests and inserts for
+    *all* still-walking warps run as one vectorized linear-probe round
+    per collision depth. Capacity is the next power of two past twice
+    ``max_entries``, so load never exceeds one half and probing always
+    terminates at an empty bucket.
+
+    Within one call every warp appears at most once (a walking warp
+    queries exactly one next-k-mer fingerprint per step), so the batched
+    insert has no same-bucket write conflicts to resolve.
+    """
+
+    def __init__(self, n_warps: int, max_entries: int) -> None:
+        cap = 1 << max(2, int(2 * max(1, max_entries) - 1).bit_length())
+        self._mask = np.uint64(cap - 1)
+        self._fp = np.zeros((n_warps, cap), dtype=np.uint64)
+        self._used = np.zeros((n_warps, cap), dtype=bool)
+
+    def _bucket(self, fps: np.ndarray) -> np.ndarray:
+        with np.errstate(over="ignore"):
+            mixed = fps.astype(np.uint64) * _VISITED_MIX
+        return ((mixed >> np.uint64(32)) ^ mixed) & self._mask
+
+    def add(self, warps: np.ndarray, fps: np.ndarray) -> None:
+        """Insert fingerprints (duplicates are ignored)."""
+        self.seen_or_add(warps, fps)
+
+    def seen_or_add(self, warps: np.ndarray, fps: np.ndarray) -> np.ndarray:
+        """Membership mask; fingerprints not yet present are inserted.
+
+        Mirrors the oracle's ``if fp in visited[w]: ... else visited[w].add``
+        pair as a single lockstep operation: rows already containing the
+        fingerprint return True and are left unchanged.
+        """
+        fps = np.asarray(fps, dtype=np.uint64)
+        seen = np.zeros(fps.size, dtype=bool)
+        live = np.arange(fps.size, dtype=np.int64)
+        pos = self._bucket(fps)
+        while live.size:
+            w = warps[live]
+            used = self._used[w, pos]
+            match = used & (self._fp[w, pos] == fps[live])
+            seen[live[match]] = True
+            empty = ~used
+            if empty.any():
+                e = live[empty]
+                self._used[warps[e], pos[empty]] = True
+                self._fp[warps[e], pos[empty]] = fps[e]
+            cont = used & ~match
+            pos = (pos[cont] + np.uint64(1)) & self._mask
+            live = live[cont]
+        return seen
 
 
 @dataclass
 class WalkOutput:
-    """Functional + serial-chain output of one launch's walk phase."""
+    """Functional + serial-chain output of one launch's walk phase.
 
-    bases: list[str]            #: extension per warp
-    states: list[WalkState]     #: terminal state per warp
+    The lockstep representation is primary: committed bases live in the
+    preallocated ``(n_warps, max_walk_len)`` ``base_codes`` matrix
+    (left-aligned, ``base_lens`` valid columns per row) and terminal
+    states in the int8 ``state_codes`` array
+    (:data:`~repro.core.extension.WALK_STATE_CODES`). The string/enum
+    views the pre-refactor engine returned are derived on demand.
+    """
+
+    base_codes: np.ndarray      #: (n_warps, max_walk_len) committed bases
+    base_lens: np.ndarray       #: valid base count per warp
+    state_codes: np.ndarray     #: terminal WALK_STATE_CODES per warp
     steps: int                  #: lockstep walk steps executed
     iterations: int             #: lockstep lookup-probe iterations
     #: Warps whose lookup wrapped a full table (deferred overflow only).
     overflowed: tuple[int, ...] = ()
+    _bases: list[str] | None = field(default=None, repr=False)
+
+    @property
+    def bases(self) -> list[str]:
+        """Extension string per warp (decoded once, then cached)."""
+        if self._bases is None:
+            self._bases = decode_matrix(self.base_codes, self.base_lens)
+        return self._bases
+
+    @property
+    def states(self) -> list[WalkState]:
+        """Terminal :class:`WalkState` per warp (derived view)."""
+        return [CODE_TO_WALK_STATE[int(c)] for c in self.state_codes]
+
+    @classmethod
+    def from_scalar(cls, bases: list[str], states: list[WalkState],
+                    steps: int, iterations: int,
+                    overflowed: tuple[int, ...],
+                    max_walk_len: int) -> "WalkOutput":
+        """Pack per-warp Python results (the oracle's) into lockstep form."""
+        n = len(bases)
+        codes = np.zeros((n, max_walk_len), dtype=np.uint8)
+        lens = np.zeros(n, dtype=np.int64)
+        for w, b in enumerate(bases):
+            lens[w] = len(b)
+            if b:
+                codes[w, :len(b)] = encode(b)
+        state_codes = np.asarray([WALK_STATE_CODES[s] for s in states],
+                                 dtype=np.int8)
+        return cls(base_codes=codes, base_lens=lens, state_codes=state_codes,
+                   steps=steps, iterations=iterations,
+                   overflowed=tuple(overflowed))
 
 
 class WalkPhase:
-    """Mer-walks every warp's seed, emitting events.
+    """Mer-walks every warp's seed in lockstep, emitting events.
 
     ``defer_overflow`` mirrors :class:`ConstructPhase`: a lookup that
     wraps a completely full table (possible when construction exactly
@@ -89,80 +205,105 @@ class WalkPhase:
         """
         missing[u[miss]] = True
 
+    def _lookup(self, a: np.ndarray, homes: np.ndarray, fps: np.ndarray,
+                batch: Batch, tables: WarpHashTables, bus: EventBus,
+                cur_k: int, emit_slots: bool,
+                overflowed: list[int]) -> tuple[np.ndarray, np.ndarray, int]:
+        """Probe all walking warps for their current key, in lockstep.
+
+        Returns ``(found_slot, missing, iterations)`` over ``a``-aligned
+        arrays. The pending set is kept *compacted*: ``u`` shrinks as
+        lanes resolve instead of being re-derived from a full-size mask
+        every round, so late probe rounds touch only the stragglers.
+        """
+        found_slot = np.full(a.size, -1, dtype=np.int64)
+        missing = np.zeros(a.size, dtype=bool)
+        u = np.arange(a.size, dtype=np.int64)
+        probe_u = np.zeros(a.size, dtype=np.int64)
+        iterations = 0
+        while u.size:
+            over = probe_u >= tables.capacities[a[u]]
+            if over.any():
+                # A wrapped probe means the table is completely full
+                # and the key absent; the open-addressing loop would
+                # never terminate.
+                if not self.defer_overflow:
+                    j = int(np.nonzero(over)[0][0])
+                    w = int(a[u[j]])
+                    raise HashTableFullError(
+                        "hash table wrapped during walk lookup",
+                        contig_id=int(batch.contig_ids[w]),
+                        k=cur_k,
+                        capacity=int(tables.capacities[w]),
+                        probes=int(probe_u[j]),
+                    )
+                bad = u[over]
+                overflowed.extend(np.asarray(a[bad]).tolist())
+                missing[bad] = True
+                keep = ~over
+                u = u[keep]
+                probe_u = probe_u[keep]
+                if not u.size:
+                    break
+            iterations += 1
+            slots = tables.slot_of(a[u], homes[u], probe_u)
+            if emit_slots:
+                bus.emit(SlotAccess(slots=slots, kind="probe"))
+            occupied, slot_fp = tables.inspect(slots)
+            bus.emit(ProbeIteration(
+                phase="walk", lanes=u.size, warps=u.size,
+                key_compares=int(np.count_nonzero(occupied)),
+            ))
+            hit = occupied & (slot_fp == fps[u])
+            found_slot[u[hit]] = slots[hit]
+            miss = ~occupied
+            self._on_probe_miss(found_slot, missing, u, miss, slots)
+            cont = occupied & ~hit
+            probe_u = probe_u[cont] + 1
+            u = u[cont]
+        return found_slot, missing, iterations
+
     def run(self, batch: Batch, tables: WarpHashTables,
             bus: EventBus) -> WalkOutput:
         n_warps = batch.n_warps
+        max_len = self.max_walk_len
         cur = batch.seeds.copy()
         alive = batch.seed_valid.copy()
-        bases: list[list[str]] = [[] for _ in range(n_warps)]
-        states = [WalkState.MISSING] * n_warps
-        visited: list[set] = [set() for _ in range(n_warps)]
+        base_codes = np.zeros((n_warps, max_len), dtype=np.uint8)
+        base_lens = np.zeros(n_warps, dtype=np.int64)
+        state_codes = np.full(n_warps, _MISSING, dtype=np.int8)
+        visited = VisitedFingerprintSet(n_warps, max_len + 1)
         first_step = np.ones(n_warps, dtype=bool)
         live = np.nonzero(alive)[0]
+        # Current-k-mer fingerprints roll along with ``cur`` (one
+        # shift_fingerprints update per advance) instead of re-evaluating
+        # the k-wide polynomial every step.
+        k = int(cur.shape[1])
+        cur_fp = np.zeros(n_warps, dtype=np.uint64)
         if live.size:
-            for w, fp in zip(live, fingerprint_matrix(cur[live])):
-                visited[w].add(int(fp))
+            cur_fp[live] = fingerprint_matrix(cur[live])
+            visited.add(live, cur_fp[live])
         chain = 0
         steps_run = 0
         overflowed: list[int] = []
         emit_slots = bus.wants(SlotAccess)
         emit_reads = bus.wants(SlotRead)
-        for _step in range(self.max_walk_len + 1):
+        for _step in range(max_len + 1):
             if not alive.any():
                 break
             steps_run += 1
             a = np.nonzero(alive)[0]
-            if _step == self.max_walk_len:
-                for w in a:
-                    states[w] = WalkState.MAX_LEN
+            if _step == max_len:
+                state_codes[a] = _MAX_LEN
                 break
             homes = murmur2_batch(cur[a], self.seed)
-            fps = fingerprint_matrix(cur[a])
+            fps = cur_fp[a]
 
             # probe for the key (or an empty slot = not present)
-            found_slot = np.full(a.size, -1, dtype=np.int64)
-            missing = np.zeros(a.size, dtype=bool)
-            probe = np.zeros(a.size, dtype=np.int64)
-            unresolved = np.ones(a.size, dtype=bool)
-            while unresolved.any():
-                u = np.nonzero(unresolved)[0]
-                over = probe[u] >= tables.capacities[a[u]]
-                if over.any():
-                    # A wrapped probe means the table is completely full
-                    # and the key absent; the open-addressing loop would
-                    # never terminate.
-                    if not self.defer_overflow:
-                        j = int(u[np.nonzero(over)[0][0]])
-                        w = int(a[j])
-                        raise HashTableFullError(
-                            "hash table wrapped during walk lookup",
-                            contig_id=int(batch.contig_ids[w]),
-                            k=int(cur.shape[1]),
-                            capacity=int(tables.capacities[w]),
-                            probes=int(probe[j]),
-                        )
-                    bad = u[over]
-                    overflowed.extend(int(w) for w in a[bad])
-                    missing[bad] = True
-                    unresolved[bad] = False
-                    if not unresolved.any():
-                        break
-                    u = np.nonzero(unresolved)[0]
-                chain += 1
-                slots = tables.slot_of(a[u], homes[u], probe[u])
-                if emit_slots:
-                    bus.emit(SlotAccess(slots=slots, kind="probe"))
-                occupied, slot_fp = tables.inspect(slots)
-                bus.emit(ProbeIteration(
-                    phase="walk", lanes=u.size, warps=u.size,
-                    key_compares=int(np.count_nonzero(occupied)),
-                ))
-                hit = occupied & (slot_fp == fps[u])
-                found_slot[u[hit]] = slots[hit]
-                miss = ~occupied
-                self._on_probe_miss(found_slot, missing, u, miss, slots)
-                probe[u[occupied & ~hit]] += 1
-                unresolved[u[hit | miss]] = False
+            found_slot, missing, iters = self._lookup(
+                a, homes, fps, batch, tables, bus, k,
+                emit_slots, overflowed)
+            chain += iters
 
             # resolve extensions for found keys
             res_states = np.full(a.size, -2, dtype=np.int8)
@@ -180,35 +321,37 @@ class WalkPhase:
 
             bases_committed = 0
             next_alive = alive.copy()
-            advancing = ~missing & (res_states == STATE_CODES[WalkState.EXTEND])
-            # terminal warps leave the walk; each warp terminates at most
-            # once per launch, so these loops are O(n_warps) overall
-            for w in a[missing]:
-                states[w] = WalkState.MISSING if first_step[w] else WalkState.END
-                next_alive[w] = False
-            for j in np.nonzero(~missing & ~advancing)[0]:
-                w = a[j]
-                states[w] = _CODE_TO_STATE[int(res_states[j])]
-                next_alive[w] = False
+            advancing = ~missing & (res_states == _EXTEND)
+            # terminal warps leave the walk as one mask assignment: a
+            # missing key is MISSING on the first step and END after it,
+            # any other non-advancing resolution keeps its resolver code
+            terminal = a[missing]
+            state_codes[terminal] = np.where(first_step[terminal],
+                                             _MISSING, _END).astype(np.int8)
+            resolved = ~missing & ~advancing
+            state_codes[a[resolved]] = res_states[resolved]
+            next_alive[a[missing | resolved]] = False
             if advancing.any():
                 adv = np.nonzero(advancing)[0]
                 aw = a[adv]
+                dropped = cur[aw, 0]
                 cur[aw, :-1] = cur[aw, 1:]
                 cur[aw, -1] = res_bases[adv]
-                fps_next = fingerprint_matrix(cur[aw])
-                for j, w, fp in zip(adv, aw, fps_next):
-                    fp_next = int(fp)
-                    if fp_next in visited[w]:
-                        states[w] = WalkState.LOOP
-                        next_alive[w] = False
-                        continue
-                    visited[w].add(fp_next)
-                    bases[w].append("ACGT"[int(res_bases[j])])
-                    bases_committed += 1
+                cur_fp[aw] = shift_fingerprints(cur_fp[aw], dropped,
+                                                res_bases[adv], k)
+                seen = visited.seen_or_add(aw, cur_fp[aw])
+                looped = aw[seen]
+                state_codes[looped] = _LOOP
+                next_alive[looped] = False
+                ok = aw[~seen]
+                base_codes[ok, base_lens[ok]] = res_bases[adv[~seen]].astype(
+                    np.uint8)
+                base_lens[ok] += 1
+                bases_committed = int(ok.size)
             bus.emit(WalkStep(walkers=a.size, vote_reads=vote_reads,
                               bases_committed=bases_committed))
             first_step[a] = False
             alive = next_alive
-        return WalkOutput(bases=["".join(b) for b in bases], states=states,
-                          steps=steps_run, iterations=chain,
-                          overflowed=tuple(overflowed))
+        return WalkOutput(base_codes=base_codes, base_lens=base_lens,
+                          state_codes=state_codes, steps=steps_run,
+                          iterations=chain, overflowed=tuple(overflowed))

@@ -100,12 +100,44 @@ class WarpHashTables:
         return winners
 
     def vote(self, slots: np.ndarray, exts: np.ndarray, hi_mask: np.ndarray) -> None:
-        """Atomic vote accumulation (atomicAdd on the value region)."""
-        hi_rows = slots[hi_mask]
-        lo_rows = slots[~hi_mask]
-        np.add.at(self.hi_q, (hi_rows, exts[hi_mask].astype(np.int64)), 1)
-        np.add.at(self.low_q, (lo_rows, exts[~hi_mask].astype(np.int64)), 1)
-        np.add.at(self.count, slots, 1)
+        """Atomic vote accumulation (atomicAdd on the value region).
+
+        The adds are compacted first — duplicate (slot, ext) targets are
+        counted with ``unique`` and applied as one duplicate-free fancy
+        add per array — which is several times faster than ``np.add.at``
+        scatter on the 2-D vote matrices and lands the same totals
+        (integer addition is order-free).
+        """
+        if slots.size == 0:
+            return
+        # One sort covers all three accumulators: key = slot:ext:hi packs
+        # the (slot, ext, quality-tier) target into one integer, so a
+        # single ``unique`` yields duplicate-free cells for hi_q and
+        # low_q directly, and the per-slot totals fall out of a
+        # run-length reduction over the (already sorted) slot component.
+        # Several times faster than ``np.add.at`` scatter, and cheaper
+        # than per-tier bincounts, whose dense passes over the whole
+        # 4*slots cell domain swamp launch-sized flushes.
+        sub = exts * np.uint8(2)
+        sub += hi_mask
+        if self.count.size * 8 <= np.iinfo(np.int32).max:
+            key = slots.astype(np.int32)  # narrow first: halves sort traffic
+            key <<= np.int32(3)
+        else:
+            key = slots << np.int64(3)
+        key += sub
+        uniq, add = np.unique(key, return_counts=True)
+        add = add.astype(np.int32)
+        hi = (uniq & 1).astype(bool)
+        cell = (uniq >> 1).astype(np.int64)
+        self.hi_q.reshape(-1)[cell[hi]] += add[hi]
+        self.low_q.reshape(-1)[cell[~hi]] += add[~hi]
+        slot = uniq >> 3
+        change = np.empty(slot.size, dtype=bool)
+        change[0] = True
+        np.not_equal(slot[1:], slot[:-1], out=change[1:])
+        starts = np.nonzero(change)[0]
+        self.count[slot[starts].astype(np.int64)] += np.add.reduceat(add, starts)
 
     def votes_at(self, slots: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Gather (hi_q, low_q) count rows for walk-step resolution."""

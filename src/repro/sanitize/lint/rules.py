@@ -1,4 +1,4 @@
-"""The repo-invariant rule catalog (REP001–REP005).
+"""The repo-invariant rule catalog (REP001–REP006).
 
 Each rule guards a property this reproduction's correctness or
 reproducibility depends on; the ids are stable and documented in API.md.
@@ -249,3 +249,65 @@ class FloatInIntopPathRule(LintRule):
                 continue
             if whole_module or self._is_counter(node.name):
                 yield from self._scan(node, path, seen)
+
+
+@register_rule
+class ScalarLoopInHotPhaseRule(LintRule):
+    """REP006: engine phase hot paths must stay lockstep NumPy.
+
+    The megabatch refactor's contract (DESIGN.md decision #14) is that
+    the construct/walk hot paths loop only over *algorithmic* dimensions
+    — walk steps, waves, probe iterations, all ``range(...)`` bounded —
+    never over per-warp or per-lane arrays. A ``for``/``zip`` loop (or a
+    comprehension / generator expression) iterating anything else inside
+    those methods reintroduces the O(warps) Python costs the refactor
+    removed, and regresses silently: results stay correct while the
+    engine drops back to scalar speed. Per-warp Python belongs in the
+    scalar parity oracle (:mod:`repro.kernels.engine.oracle`), which
+    this rule deliberately does not cover.
+    """
+
+    rule_id = "REP006"
+    description = ("per-element Python loop inside an engine phase hot "
+                   "path (construct/walk)")
+
+    #: Hot methods of the phase modules; everything reachable per warp.
+    _HOT_FUNCS = frozenset({"run", "_insert_wave", "_lookup"})
+
+    @staticmethod
+    def _applies(path: str) -> bool:
+        p = Path(path)
+        return p.name in ("construct.py", "walk.py") and "engine" in p.parts
+
+    @staticmethod
+    def _is_range_call(node: ast.AST) -> bool:
+        return (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "range")
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[LintFinding]:
+        if not self._applies(path):
+            return
+        for fn in ast.walk(tree):
+            if not isinstance(fn, ast.FunctionDef):
+                continue
+            if fn.name not in self._HOT_FUNCS:
+                continue
+            for node in ast.walk(fn):
+                if (isinstance(node, ast.For)
+                        and not self._is_range_call(node.iter)):
+                    yield self.finding(
+                        node, path,
+                        f"per-element for loop in hot {fn.name}(): "
+                        f"vectorize over the array, or move the scalar "
+                        f"path to repro.kernels.engine.oracle")
+                elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                       ast.DictComp, ast.GeneratorExp)):
+                    if all(self._is_range_call(g.iter)
+                           for g in node.generators):
+                        continue
+                    yield self.finding(
+                        node, path,
+                        f"per-element comprehension in hot {fn.name}(): "
+                        f"vectorize over the array, or move the scalar "
+                        f"path to repro.kernels.engine.oracle")

@@ -141,7 +141,9 @@ def elect_one_per_slot(slot_ids: np.ndarray) -> np.ndarray:
     n = slot_ids.size
     if n == 0:
         return np.empty(0, dtype=bool)
-    order = np.lexsort((np.arange(n), slot_ids))
+    # Stable sort on the slot ids alone == lexsort((lane order, slots)):
+    # ties keep lane order, so the first lane per slot still wins.
+    order = np.argsort(slot_ids, kind="stable")
     sorted_slots = slot_ids[order]
     first = np.ones(n, dtype=bool)
     first[1:] = sorted_slots[1:] != sorted_slots[:-1]

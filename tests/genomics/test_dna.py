@@ -122,3 +122,72 @@ class TestHamming:
     def test_length_mismatch(self):
         with pytest.raises(SequenceError):
             dna.hamming_distance(dna.encode("AC"), dna.encode("ACG"))
+
+
+class TestDecodeMatrix:
+    def test_rows_match_scalar_decode(self):
+        rows = ["ACGT", "GG", "", "TTTACG"]
+        width = max(len(r) for r in rows)
+        codes = np.zeros((len(rows), width), dtype=np.uint8)
+        lengths = np.array([len(r) for r in rows])
+        for i, r in enumerate(rows):
+            codes[i, : len(r)] = dna.encode(r)
+        assert dna.decode_matrix(codes, lengths) == rows
+
+    def test_padding_ignored(self):
+        codes = np.full((2, 5), 3, dtype=np.uint8)
+        codes[0, :2] = dna.encode("AC")
+        out = dna.decode_matrix(codes, np.array([2, 0]))
+        assert out == ["AC", ""]
+
+    def test_rejects_bad_lengths(self):
+        codes = np.zeros((2, 4), dtype=np.uint8)
+        with pytest.raises(SequenceError):
+            dna.decode_matrix(codes, np.array([5, 0]))
+        with pytest.raises(SequenceError):
+            dna.decode_matrix(codes, np.array([-1, 0]))
+        with pytest.raises(SequenceError):
+            dna.decode_matrix(codes, np.array([1, 2, 3]))
+
+    def test_rejects_non_matrix(self):
+        with pytest.raises(SequenceError):
+            dna.decode_matrix(np.zeros(4, dtype=np.uint8), np.array([4]))
+
+
+class TestReverseComplementMatrix:
+    @given(st.lists(dna_strings, min_size=1, max_size=8))
+    def test_rows_match_scalar(self, rows):
+        width = max([len(r) for r in rows] + [1])
+        codes = np.zeros((len(rows), width), dtype=np.uint8)
+        lengths = np.array([len(r) for r in rows])
+        for i, r in enumerate(rows):
+            codes[i, : len(r)] = dna.encode(r)
+        rc = dna.reverse_complement_matrix(codes, lengths)
+        assert rc.dtype == np.uint8 and rc.shape == codes.shape
+        for i, r in enumerate(rows):
+            expect = dna.reverse_complement(r)
+            assert dna.decode(rc[i, : len(r)]) == expect
+            assert not rc[i, len(r):].any()  # padding stays zeroed
+
+    def test_involution(self):
+        rng = np.random.default_rng(5)
+        codes = rng.integers(0, 4, size=(6, 30), dtype=np.uint8)
+        lengths = rng.integers(0, 31, size=6)
+        cleared = codes.copy()
+        for i in range(6):
+            cleared[i, int(lengths[i]):] = 0
+        twice = dna.reverse_complement_matrix(
+            dna.reverse_complement_matrix(codes, lengths), lengths)
+        np.testing.assert_array_equal(twice, cleared)
+
+    def test_zero_width(self):
+        out = dna.reverse_complement_matrix(
+            np.zeros((3, 0), dtype=np.uint8), np.zeros(3, dtype=np.int64))
+        assert out.shape == (3, 0)
+
+    def test_rejects_bad_lengths(self):
+        codes = np.zeros((2, 4), dtype=np.uint8)
+        with pytest.raises(SequenceError):
+            dna.reverse_complement_matrix(codes, np.array([5, 0]))
+        with pytest.raises(SequenceError):
+            dna.reverse_complement_matrix(codes, np.array([1]))

@@ -134,3 +134,60 @@ class TestFingerprints:
     def test_dtype_uint64(self):
         fps = kmer.kmer_fingerprints(encode("ACGTACGT"), 4)
         assert fps.dtype == np.uint64
+
+
+class TestRollingFingerprints:
+    """The O(n) prefix-sum evaluation must be bit-identical to the
+    windowed polynomial it replaced in the batch preparer."""
+
+    @settings(max_examples=25)
+    @given(st.integers(0, 2**32 - 1), st.sampled_from([1, 2, 7, 21, 33, 77]))
+    def test_matches_fingerprint_matrix(self, seed, k):
+        rng = np.random.default_rng(seed)
+        codes = rng.integers(0, 4, size=max(k, 120), dtype=np.uint8)
+        rolled = kmer.rolling_fingerprints(codes, k)
+        windowed = kmer.fingerprint_matrix(kmer.kmer_matrix(codes, k))
+        np.testing.assert_array_equal(rolled, windowed)
+        assert rolled.dtype == np.uint64
+
+    def test_prefix_reusable_across_k(self):
+        rng = np.random.default_rng(9)
+        codes = rng.integers(0, 4, size=200, dtype=np.uint8)
+        prefix = kmer.fingerprint_prefix(codes)
+        assert prefix.shape == (codes.size + 1,)
+        for k in (21, 33, 55):
+            np.testing.assert_array_equal(
+                kmer.rolling_fingerprints(codes, k, prefix=prefix),
+                kmer.rolling_fingerprints(codes, k))
+
+    def test_prefix_size_validated(self):
+        codes = np.zeros(10, dtype=np.uint8)
+        with pytest.raises(KmerError):
+            kmer.rolling_fingerprints(codes, 3, prefix=np.zeros(5, np.uint64))
+
+    def test_k_validation(self):
+        codes = np.zeros(5, dtype=np.uint8)
+        with pytest.raises(KmerError):
+            kmer.rolling_fingerprints(codes, 0)
+        with pytest.raises(KmerError):
+            kmer.rolling_fingerprints(codes, 6)
+
+
+class TestShiftFingerprints:
+    """One-base window advance must match re-evaluating the window."""
+
+    @settings(max_examples=25)
+    @given(st.integers(0, 2**32 - 1), st.sampled_from([2, 5, 21, 33]))
+    def test_matches_reevaluation(self, seed, k):
+        rng = np.random.default_rng(seed)
+        codes = rng.integers(0, 4, size=k + 40, dtype=np.uint8)
+        fps = kmer.kmer_fingerprints(codes, k)
+        shifted = kmer.shift_fingerprints(
+            fps[:-1], codes[: fps.size - 1], codes[k:], k)
+        np.testing.assert_array_equal(shifted, fps[1:])
+
+    def test_k_equals_one(self):
+        codes = np.array([0, 1, 2, 3], dtype=np.uint8)
+        fps = kmer.kmer_fingerprints(codes, 1)
+        shifted = kmer.shift_fingerprints(fps[:-1], codes[:-1], codes[1:], 1)
+        np.testing.assert_array_equal(shifted, fps[1:])

@@ -107,3 +107,51 @@ class TestBatch:
         buckets = np.bincount(digests % np.uint32(16), minlength=16)
         assert buckets.min() > 20000 / 16 * 0.8
         assert buckets.max() < 20000 / 16 * 1.2
+
+
+class TestStream:
+    """murmur2_stream must equal murmur2_batch over gathered windows —
+    the identity the batch preparer's per-k hashing relies on."""
+
+    @settings(max_examples=25)
+    @given(st.integers(0, 2**32 - 1), st.integers(1, 40), st.integers(0, 255))
+    def test_matches_batch_on_all_windows(self, seed, length, hseed):
+        rng = np.random.default_rng(seed)
+        stream = rng.integers(0, 256, size=length + 60, dtype=np.uint8)
+        starts = np.arange(stream.size - length + 1, dtype=np.int64)
+        windows = stream[starts[:, None] + np.arange(length)]
+        np.testing.assert_array_equal(
+            murmur.murmur2_stream(stream, starts, length, seed=hseed),
+            murmur.murmur2_batch(windows, seed=hseed))
+
+    def test_precomputed_words_identical(self):
+        rng = np.random.default_rng(2)
+        stream = rng.integers(0, 256, size=300, dtype=np.uint8)
+        starts = np.arange(0, 260, 7, dtype=np.int64)
+        words = murmur.murmur2_words(stream)
+        np.testing.assert_array_equal(
+            murmur.murmur2_stream(stream, starts, 33, words=words),
+            murmur.murmur2_stream(stream, starts, 33))
+
+    def test_words_are_little_endian(self):
+        stream = np.array([1, 2, 3, 4, 5], dtype=np.uint8)
+        words = murmur.murmur2_words(stream)
+        assert words.dtype == np.uint32
+        assert words.tolist() == [0x04030201, 0x05040302]
+        assert murmur.murmur2_words(stream[:3]).size == 0
+
+    def test_empty_starts(self):
+        out = murmur.murmur2_stream(np.zeros(10, dtype=np.uint8),
+                                    np.empty(0, dtype=np.int64), 4)
+        assert out.shape == (0,) and out.dtype == np.uint32
+
+    def test_out_of_bounds_window_rejected(self):
+        import pytest
+
+        stream = np.zeros(10, dtype=np.uint8)
+        with pytest.raises(ValueError):
+            murmur.murmur2_stream(stream, np.array([8]), 4)
+        with pytest.raises(ValueError):
+            murmur.murmur2_stream(stream, np.array([-1]), 4)
+        with pytest.raises(ValueError):
+            murmur.murmur2_stream(stream, np.array([0]), 0)

@@ -1,0 +1,159 @@
+"""Parity: the megabatch engine vs the pinned pre-refactor oracle.
+
+The lockstep refactor (DESIGN.md decision #14) must be *bit-identical*
+to the per-warp scalar path it replaced — same extensions, same walk
+states, same merged profiles, same per-type event counts, same overflow
+outcomes. The pre-refactor implementations survive verbatim in
+:mod:`repro.kernels.engine.oracle`; these tests drive both over the
+same scenarios, including hypothesis-drawn ones, and require equality
+on everything observable.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.extension import PRODUCTION_POLICY
+from repro.genomics.simulate import ErrorProfile, ScenarioSpec, simulate_batch
+from repro.kernels import CudaLocalAssemblyKernel, HipLocalAssemblyKernel
+from repro.kernels.engine import iterate_k_schedule_scalar, oracle_kernel_cls
+from repro.kernels.engine.schedule import iterate_k_schedule
+from repro.resilience.checkpoint import profile_to_dict
+from repro.simt.device import A100, MI250X
+
+
+class EventCounter:
+    """Counts every event by type; declares no ``handled_events``, so the
+    bus forces the gated slot/barrier events on for both engines."""
+
+    def __init__(self):
+        self.counts = {}
+
+    def handle(self, event, bus):
+        name = type(event).__name__
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+
+def _contigs(n, seed, error_rate=0.0, depth=6, read_length=80):
+    rng = np.random.default_rng(seed)
+    spec = ScenarioSpec(contig_length=150, flank_length=60,
+                        read_length=read_length, depth=depth, seed_window=40)
+    errors = ErrorProfile(error_rate=error_rate,
+                          lo_quality_fraction=0.1 if error_rate else 0.0)
+    return [sc.contig for sc in simulate_batch(n, spec, rng, errors)]
+
+
+def _run_counted(kernel_cls, device, contigs, ks, **opts):
+    kern = kernel_cls(device, policy=PRODUCTION_POLICY, **opts)
+    counter = kern.add_subscriber(EventCounter())
+    return kern.run_schedule(contigs, ks), counter.counts
+
+
+def assert_schedule_parity(mega, oracle):
+    res_m, ev_m = mega
+    res_o, ev_o = oracle
+    assert res_m.right == res_o.right
+    assert res_m.left == res_o.left
+    assert res_m.k == res_o.k
+    assert res_m.degraded == res_o.degraded
+    assert res_m.retried == res_o.retried
+    assert profile_to_dict(res_m.profile) == profile_to_dict(res_o.profile)
+    assert ev_m == ev_o
+
+
+class TestScheduleParity:
+    @settings(max_examples=8, deadline=None)
+    @given(n=st.integers(2, 5), seed=st.integers(0, 2**16),
+           err=st.sampled_from([0.0, 0.01, 0.03]))
+    def test_hypothesis_parity(self, n, seed, err):
+        contigs = _contigs(n, seed, error_rate=err)
+        ks = (21, 33)
+        oracle_cls = oracle_kernel_cls(CudaLocalAssemblyKernel)
+        assert_schedule_parity(
+            _run_counted(CudaLocalAssemblyKernel, A100, contigs, ks),
+            _run_counted(oracle_cls, A100, contigs, ks))
+
+    def test_hip_protocol_parity(self):
+        """The HIP protocol (no in-iteration merges, __all done-flag loop)
+        takes different branches in _insert_wave; cover it explicitly."""
+        contigs = _contigs(4, seed=11, error_rate=0.01)
+        ks = (21, 33, 45)
+        oracle_cls = oracle_kernel_cls(HipLocalAssemblyKernel)
+        assert_schedule_parity(
+            _run_counted(HipLocalAssemblyKernel, MI250X, contigs, ks),
+            _run_counted(oracle_cls, MI250X, contigs, ks))
+
+    def test_overflow_parity_drop_contig(self):
+        """Starved tables overflow; the DROP_CONTIG degraded sets must
+        match the oracle exactly (same warps die, same survivors)."""
+        from repro.resilience import (FaultInjector, FaultKind, FaultPlan,
+                                      FaultSpec)
+
+        contigs = _contigs(5, seed=7, error_rate=0.02, depth=10)
+        ks = (21, 33)
+
+        def opts():
+            inj = FaultInjector(FaultPlan(faults=(
+                FaultSpec(FaultKind.TABLE_PRESSURE, launch=0, warps=(0, 2),
+                          capacity=4),
+            )))
+            return dict(overflow_policy="drop-contig", fault_injector=inj)
+
+        oracle_cls = oracle_kernel_cls(CudaLocalAssemblyKernel)
+        mega = _run_counted(CudaLocalAssemblyKernel, A100, contigs, ks,
+                            **opts())
+        assert_schedule_parity(
+            mega, _run_counted(oracle_cls, A100, contigs, ks, **opts()))
+        assert mega[0].degraded  # the pressured tables actually overflowed
+
+    def test_trace_memory_model_and_sanitizer_parity(self):
+        """Full instrumentation: byte-accurate traced traffic plus every
+        sanitizer check, megabatch vs oracle."""
+        contigs = _contigs(3, seed=23, error_rate=0.01)
+        ks = (21, 33)
+        opts = dict(memory_model="trace", sanitize="all")
+        oracle_cls = oracle_kernel_cls(CudaLocalAssemblyKernel)
+        kern_m = CudaLocalAssemblyKernel(A100, policy=PRODUCTION_POLICY, **opts)
+        kern_o = oracle_cls(A100, policy=PRODUCTION_POLICY, **opts)
+        cnt_m = kern_m.add_subscriber(EventCounter())
+        cnt_o = kern_o.add_subscriber(EventCounter())
+        res_m = kern_m.run_schedule(contigs, ks)
+        res_o = kern_o.run_schedule(contigs, ks)
+        assert_schedule_parity((res_m, cnt_m.counts), (res_o, cnt_o.counts))
+        rep_m, rep_o = kern_m.last_sanitizer_report, kern_o.last_sanitizer_report
+        assert rep_m is not None and rep_o is not None
+        assert not rep_m.findings and not rep_o.findings
+
+
+class TestMergeParity:
+    """`iterate_k_schedule` (mask assignments) vs the pinned per-contig
+    scalar merge loop, driven by the same deterministic backend."""
+
+    def _both(self, contigs, ks, kernel_cls=CudaLocalAssemblyKernel,
+              device=A100):
+        def run_one_factory():
+            kern = kernel_cls(device, policy=PRODUCTION_POLICY)
+            return lambda k: kern.run(contigs, k)
+        n = len(contigs)
+        vec = iterate_k_schedule(run_one_factory(), n, ks)
+        sca = iterate_k_schedule_scalar(run_one_factory(), n, ks)
+        return vec, sca
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(0, 2**16), err=st.sampled_from([0.0, 0.02]))
+    def test_merge_decisions_match(self, seed, err):
+        contigs = _contigs(3, seed, error_rate=err)
+        (k_v, prof_v, r_v, l_v), (k_s, prof_s, r_s, l_s) = self._both(
+            contigs, (21, 33, 45))
+        assert k_v == k_s
+        assert r_v == r_s and l_v == l_s
+        assert profile_to_dict(prof_v) == profile_to_dict(prof_s)
+
+    def test_early_settle_breaks_identically(self):
+        """Perfect reads settle every end at the first k; both merge
+        loops must stop there (same last_k, same single-k profile)."""
+        contigs = _contigs(4, seed=3, error_rate=0.0)
+        (k_v, prof_v, _, _), (k_s, prof_s, _, _) = self._both(
+            contigs, (21, 33, 55))
+        assert k_v == k_s
+        assert profile_to_dict(prof_v) == profile_to_dict(prof_s)

@@ -179,12 +179,64 @@ def test_rep005_allows_integer_arithmetic_and_rate_conversions():
 
 
 # ----------------------------------------------------------------------
+# REP006 — per-element Python loops in engine phase hot paths
+
+ENGINE = "src/repro/kernels/engine"
+
+
+def test_rep006_flags_per_lane_for_loop_in_hot_path():
+    fs = findings_for("REP006", """
+        def _insert_wave(self, batch, tables, idx, bus, lanes=None):
+            for lane in idx:
+                tables.vote(lane)
+        """, path=f"{ENGINE}/construct.py")
+    assert [f.rule for f in fs] == ["REP006"]
+    assert "_insert_wave" in fs[0].message
+
+
+def test_rep006_flags_comprehensions_and_zip_loops():
+    fs = findings_for("REP006", """
+        def run(self, batch, tables, bus):
+            fps = [f for f in pending]
+            for w, h in zip(warps, homes):
+                probe(w, h)
+        """, path=f"{ENGINE}/walk.py")
+    assert sorted(f.rule for f in fs) == ["REP006", "REP006"]
+
+
+def test_rep006_allows_range_loops_and_cold_functions():
+    fs = findings_for("REP006", """
+        def run(self, batch, tables, bus):
+            for step in range(max_len):
+                advance(step)
+            caps = [estimate(j) for j in range(n_bins)]
+            return caps
+
+        def summarize(self):
+            return [str(w) for w in self.warps]
+        """, path=f"{ENGINE}/construct.py")
+    assert fs == []
+
+
+def test_rep006_scoped_to_engine_phase_modules():
+    source = """
+        def run(self):
+            for w in warps:
+                visit(w)
+        """
+    assert findings_for("REP006", source,
+                        path=f"{ENGINE}/oracle.py") == []
+    assert findings_for("REP006", source,
+                        path="src/repro/analysis/walk.py") == []
+
+
+# ----------------------------------------------------------------------
 # engine mechanics
 
 
-def test_rule_catalog_is_the_documented_five():
+def test_rule_catalog_is_the_documented_six():
     assert sorted(RULES) == ["REP001", "REP002", "REP003", "REP004",
-                             "REP005"]
+                             "REP005", "REP006"]
     for rule_id, rule in RULES.items():
         assert rule.rule_id == rule_id
         assert rule.description
