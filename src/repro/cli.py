@@ -187,42 +187,104 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if findings else 0
 
 
-def _cmd_bench(args: argparse.Namespace) -> int:
+def _bench_one_suite(suite: str, args: argparse.Namespace) -> int:
+    """Run one bench suite (engine or serve) and gate it; 0 = pass."""
     import os
 
-    from repro.analysis.bench import collect_bench, compare_bench
+    if suite == "engine":
+        from repro.analysis.bench import (
+            DEFAULT_BENCH_PATH,
+            collect_bench,
+            compare_bench,
+        )
+        default_path = DEFAULT_BENCH_PATH
+        collect, compare = collect_bench, compare_bench
+        floor = None
+    else:
+        from repro.analysis.bench_serve import (
+            DEFAULT_BENCH_SERVE_PATH,
+            collect_serve_bench,
+            compare_serve_bench,
+            floor_problems,
+        )
+        default_path = DEFAULT_BENCH_SERVE_PATH
+        collect, compare = collect_serve_bench, compare_serve_bench
+        floor = floor_problems
 
+    output = args.output or default_path
+    baseline_path = (args.baseline if args.baseline is not None
+                     else default_path)
     baseline = None
-    if args.baseline and os.path.exists(args.baseline):
-        with open(args.baseline) as fh:
+    if baseline_path and os.path.exists(baseline_path):
+        with open(baseline_path) as fh:
             baseline = json.load(fh)
-    current = collect_bench(smoke_only=args.smoke, repeats=args.repeats)
+    current = collect(smoke_only=args.smoke, repeats=args.repeats)
     written = current
     if baseline is not None and baseline.get("schema") == current.get("schema"):
         # A --smoke run must not drop the baseline's other scales.
         written = dict(baseline)
         written["scales"] = {**baseline.get("scales", {}),
                              **current["scales"]}
-    with open(args.output, "w") as fh:
+    with open(output, "w") as fh:
         json.dump(written, fh, indent=2, sort_keys=True)
         fh.write("\n")
     for name, scale in current["scales"].items():
-        print(f"{name}: {scale['wall_s']:.4f} s wall, "
-              f"{scale['throughput_contigs_per_s']:.2f} contigs/s, "
-              f"peak RSS {scale['peak_rss_kb']} kB")
-    print(f"wrote {args.output}")
+        if suite == "engine":
+            print(f"{name}: {scale['wall_s']:.4f} s wall, "
+                  f"{scale['throughput_contigs_per_s']:.2f} contigs/s, "
+                  f"peak RSS {scale['peak_rss_kb']} kB")
+        else:
+            print(f"{name}: coalesced {scale['coalesced']['requests_per_s']:.2f}"
+                  f" req/s (p99 {scale['coalesced']['p99_latency_ms']:.0f} ms)"
+                  f" vs solo {scale['solo']['requests_per_s']:.2f} req/s"
+                  f" -> {scale['speedup']:.2f}x"
+                  f" (floor {scale['min_speedup']:.1f}x)")
+    print(f"wrote {output}")
+    problems = list(floor(current)) if floor is not None else []
     if baseline is None:
         print("no baseline to compare against; commit the output to gate "
               "future runs")
-        return 0
-    problems = compare_bench(baseline, current,
-                             max_regression=args.max_regression)
+    else:
+        problems += compare(baseline, current,
+                            max_regression=args.max_regression)
     if problems:
         for problem in problems:
             print(f"FAIL {problem}", file=sys.stderr)
         return 1
-    print(f"baseline {args.baseline}: identity match, throughput within "
-          f"{args.max_regression:.0%}")
+    if baseline is not None:
+        print(f"baseline {baseline_path}: identity match, throughput "
+              f"within {args.max_regression:.0%}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    suites = ("engine", "serve") if args.suite == "all" else (args.suite,)
+    if len(suites) > 1 and (args.output or args.baseline):
+        print("error: --output/--baseline need a single --suite",
+              file=sys.stderr)
+        return 2
+    worst = 0
+    for suite in suites:
+        worst = max(worst, _bench_one_suite(suite, args))
+    return worst
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import serve_forever
+
+    try:
+        asyncio.run(serve_forever(
+            args.host, args.port,
+            window_s=args.window_ms / 1000.0,
+            max_wave_warps=args.max_wave_warps,
+            max_in_flight=args.max_in_flight,
+            workers=args.workers,
+            checkpoint_dir=args.checkpoint_dir,
+            cache_entries=args.cache_entries))
+    except KeyboardInterrupt:
+        print("repro serve: shut down")
     return 0
 
 
@@ -309,21 +371,48 @@ def build_parser() -> argparse.ArgumentParser:
     p_export.set_defaults(func=_cmd_export)
 
     p_bench = sub.add_parser(
-        "bench", help="run the pinned-scale engine benchmarks")
+        "bench", help="run the pinned-scale benchmarks (engine and serve)")
+    p_bench.add_argument("--suite", default="engine",
+                         choices=("engine", "serve", "all"),
+                         help="which bench suite to run (default: engine)")
     p_bench.add_argument("--smoke", action="store_true",
                          help="run only the CI-fast smoke scale")
-    p_bench.add_argument("--output", default="BENCH_engine.json",
+    p_bench.add_argument("--output", default=None,
                          help="where to write the measured document "
-                              "(default: BENCH_engine.json)")
-    p_bench.add_argument("--baseline", default="BENCH_engine.json",
+                              "(default: BENCH_engine.json / "
+                              "BENCH_serve.json per suite)")
+    p_bench.add_argument("--baseline", default=None,
                          help="committed baseline to gate against "
-                              "(skipped when the file does not exist)")
+                              "(default: the suite's BENCH file; skipped "
+                              "when it does not exist)")
     p_bench.add_argument("--max-regression", type=float, default=0.25,
                          help="fail when throughput drops more than this "
                               "fraction below the baseline (default 0.25)")
     p_bench.add_argument("--repeats", type=int, default=3,
                          help="timing repeats per scale; best is reported")
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the coalescing assembly service")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8642,
+                         help="listen port (0 picks an ephemeral one)")
+    p_serve.add_argument("--window-ms", type=float, default=10.0,
+                         help="coalescing window in milliseconds; 0 "
+                              "disables fusion (one launch per job)")
+    p_serve.add_argument("--max-wave-warps", type=int, default=4096,
+                         help="flush a wave early past this warp estimate")
+    p_serve.add_argument("--max-in-flight", type=int, default=256,
+                         help="admission budget; submits past it get 429")
+    p_serve.add_argument("--workers", type=int, default=1,
+                         help="> 1 runs waves on a process pool so "
+                              "independent waves overlap")
+    p_serve.add_argument("--checkpoint-dir", default=None,
+                         help="persist finished jobs here and resume "
+                              "identical resubmissions from checkpoints")
+    p_serve.add_argument("--cache-entries", type=int, default=256,
+                         help="bound of each worker's prepare cache")
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_lint = sub.add_parser(
         "lint", help="run the repo-invariant static lint rules")

@@ -28,60 +28,79 @@ from repro.genomics.reads import Read, ReadSet
 _MAGIC = "#locassm v1"
 
 
-def write_dat(contigs: list[Contig], path: str | Path) -> None:
-    """Serialize contigs + assigned reads to ``path`` in ``.dat`` format."""
+def dumps_dat(contigs: list[Contig]) -> str:
+    """Serialize contigs + assigned reads to a ``.dat`` format string.
+
+    The string form is the wire payload of the assembly service
+    (:mod:`repro.serve`); :func:`write_dat` is the file wrapper.
+    """
     buf = _io.StringIO()
     buf.write(f"{_MAGIC}\n{len(contigs)}\n")
     for c in contigs:
         buf.write(f">{c.name} {len(c.reads)}\n{c.sequence}\n")
         for r in c.reads:
             buf.write(f"{r.sequence}\t{r.quality_string}\n")
-    Path(path).write_text(buf.getvalue())
+    return buf.getvalue()
 
 
-def read_dat(path: str | Path) -> list[Contig]:
-    """Parse a ``.dat`` file back into contigs with reads."""
-    lines = Path(path).read_text().splitlines()
+def write_dat(contigs: list[Contig], path: str | Path) -> None:
+    """Serialize contigs + assigned reads to ``path`` in ``.dat`` format."""
+    Path(path).write_text(dumps_dat(contigs))
+
+
+def loads_dat(text: str, source: str = "<string>") -> list[Contig]:
+    """Parse ``.dat`` format text into contigs with reads.
+
+    ``source`` labels :class:`~repro.errors.DatasetError` messages (the
+    file path when called through :func:`read_dat`, a request id in the
+    service).
+    """
+    lines = text.splitlines()
     if not lines or lines[0] != _MAGIC:
-        raise DatasetError(f"{path}: missing {_MAGIC!r} header")
+        raise DatasetError(f"{source}: missing {_MAGIC!r} header")
     try:
         n_contigs = int(lines[1])
     except (IndexError, ValueError) as exc:
-        raise DatasetError(f"{path}: bad contig count line") from exc
+        raise DatasetError(f"{source}: bad contig count line") from exc
     pos = 2
     contigs: list[Contig] = []
     for _ in range(n_contigs):
         if pos >= len(lines) or not lines[pos].startswith(">"):
-            raise DatasetError(f"{path}: expected '>' header at line {pos + 1}")
+            raise DatasetError(f"{source}: expected '>' header at line {pos + 1}")
         header = lines[pos][1:].rsplit(" ", 1)
         if len(header) != 2:
-            raise DatasetError(f"{path}: malformed contig header at line {pos + 1}")
+            raise DatasetError(f"{source}: malformed contig header at line {pos + 1}")
         name, depth_s = header
         try:
             depth = int(depth_s)
         except ValueError as exc:
-            raise DatasetError(f"{path}: bad read count in header {lines[pos]!r}") from exc
+            raise DatasetError(f"{source}: bad read count in header {lines[pos]!r}") from exc
         if pos + 1 >= len(lines):
-            raise DatasetError(f"{path}: contig {name!r} missing sequence line")
+            raise DatasetError(f"{source}: contig {name!r} missing sequence line")
         contig = Contig.from_string(name, lines[pos + 1])
         pos += 2
         reads = ReadSet()
         for j in range(depth):
             if pos >= len(lines):
-                raise DatasetError(f"{path}: contig {name!r} truncated at read {j}")
+                raise DatasetError(f"{source}: contig {name!r} truncated at read {j}")
             parts = lines[pos].split("\t")
             if len(parts) != 2:
-                raise DatasetError(f"{path}: malformed read line {pos + 1}")
+                raise DatasetError(f"{source}: malformed read line {pos + 1}")
             seq, quals = parts
             if len(seq) != len(quals):
                 raise DatasetError(
-                    f"{path}: read/quality length mismatch at line {pos + 1}"
+                    f"{source}: read/quality length mismatch at line {pos + 1}"
                 )
             reads.append(Read.from_strings(f"{name}/r{j}", seq, quals))
             pos += 1
         contig.reads = reads
         contigs.append(contig)
     return contigs
+
+
+def read_dat(path: str | Path) -> list[Contig]:
+    """Parse a ``.dat`` file back into contigs with reads."""
+    return loads_dat(Path(path).read_text(), source=str(path))
 
 
 def write_fasta(records: list[tuple[str, str]], path: str | Path, width: int = 80) -> None:

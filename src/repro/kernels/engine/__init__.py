@@ -22,6 +22,10 @@ from repro.kernels.engine.backend import (
     create_backend,
     register_backend,
 )
+from repro.kernels.engine.coalesce import (
+    CoalescedJobResult,
+    run_schedule_coalesced,
+)
 from repro.kernels.engine.construct import ConstructPhase, ConstructResult
 from repro.kernels.engine.oracle import (
     ScalarOracleConstructPhase,
@@ -58,6 +62,8 @@ from repro.kernels.engine.prepare import (
     BatchPreparer,
     FlattenedBin,
     PrepareCache,
+    PrepareCacheScope,
+    concat_batches,
     run_length_sorted,
     segmented_arange,
     subset_batch,
@@ -124,9 +130,14 @@ __all__ = [
     "BatchPreparer",
     "FlattenedBin",
     "PrepareCache",
+    "PrepareCacheScope",
+    "concat_batches",
     "run_length_sorted",
     "segmented_arange",
     "subset_batch",
+    # multi-tenant coalescing
+    "CoalescedJobResult",
+    "run_schedule_coalesced",
     # scheduling
     "BinnedLaunchPolicy",
     "LaunchConfig",

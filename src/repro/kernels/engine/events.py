@@ -180,6 +180,56 @@ class BarrierSync:
     active_lanes: np.ndarray      #: lanes actually active at the barrier
 
 
+#: Shared empty warp array for attribution events with no entries.
+NO_WARPS = np.empty(0, dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class WaveWarps:
+    """Attribution evidence for one construction wave (coalescing).
+
+    Carries the issuing warp id of every hashed lane so a multi-tenant
+    megabatch launch can be decomposed back into per-job event streams
+    (:mod:`repro.kernels.engine.coalesce`). Gated on ``bus.wants`` —
+    only the coalescing recorder subscribes, so solo runs never build
+    these arrays.
+    """
+
+    lane_warps: np.ndarray        #: warp per hashed lane (non-decreasing)
+
+
+@dataclass(frozen=True)
+class ProbeWarps:
+    """Attribution evidence for one lockstep probe iteration (coalescing).
+
+    Mirrors :class:`ProbeIteration` with the *warp id behind every
+    counted unit*, so per-job shares of lanes / key compares / CAS
+    claims / votes are bincounts over these arrays. The vote/CAS fields
+    are empty for ``phase="walk"``. Gated on ``bus.wants``.
+    """
+
+    phase: str                    #: "construct" | "walk"
+    pending_warps: np.ndarray     #: warp per pending lane (non-decreasing)
+    compare_warps: np.ndarray     #: warp per key compare issued
+    cas_warps: np.ndarray         #: warp per atomicCAS claim attempt
+    matched_warps: np.ndarray     #: warp per vote into a pre-existing key
+    claimed_warps: np.ndarray     #: warp per fresh-CAS-winner vote
+    merged_warps: np.ndarray      #: warp per same-iteration loser merge
+
+
+@dataclass(frozen=True)
+class WalkStepWarps:
+    """Attribution evidence for one lockstep walk step (coalescing).
+
+    Mirrors :class:`WalkStep` with per-unit warp ids. Gated on
+    ``bus.wants``.
+    """
+
+    walker_warps: np.ndarray      #: warp per walker executing this step
+    vote_read_warps: np.ndarray   #: warp per vote-row read
+    commit_warps: np.ndarray      #: warp per base committed
+
+
 @dataclass(frozen=True)
 class LaunchDone:
     """A launch finished; carries its serial-chain statistics."""

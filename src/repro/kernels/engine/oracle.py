@@ -670,6 +670,9 @@ def oracle_kernel_cls(kernel_cls):
             last_k, merged, right, left = iterate_k_schedule_scalar(
                 _run_one, len(contigs), k_schedule,
             )
+            merged.prep_cache_hits = cache.hits
+            merged.prep_cache_misses = cache.misses
+            merged.prep_cache_evictions = cache.evictions
             if self.memory_model == "trace":
                 self.last_replay = schedule_replay
             if self.sanitize_checks and schedule_reports:

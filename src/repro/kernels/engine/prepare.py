@@ -20,6 +20,7 @@ bench_engine_prepare_reuse.py`` measures the saving.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -95,26 +96,41 @@ def subset_batch(batch: Batch, warp_ids, capacities=None) -> Batch:
     """A new :class:`Batch` holding only ``warp_ids`` of ``batch``.
 
     Used by the grow-retry overflow policy to re-run just the warps whose
-    tables overflowed. Warp ids are renumbered densely in ascending order
-    of the original ids, which keeps every per-insertion array sorted by
-    warp as the phases require. ``capacities`` (aligned with the sorted
-    ``warp_ids``) overrides the per-warp table sizes — that is the whole
-    point of the retry. The flat code/quality streams are shared, not
-    copied; they are read-only to the phases.
+    tables overflowed. Warp ids must be unique and in range — duplicates
+    or out-of-range ids raise :class:`KernelError` instead of silently
+    producing a batch with misaligned capacities. Ids may arrive in any
+    order: warps are renumbered densely in ascending order of the
+    original ids (which keeps every per-insertion array sorted by warp
+    as the phases require), and ``capacities`` — aligned with
+    ``warp_ids`` *as given* — is reordered along with them. The flat
+    code/quality streams are shared, not copied; they are read-only to
+    the phases.
     """
-    ids = np.unique(np.asarray(list(warp_ids), dtype=np.int64))
-    if ids.size == 0 or ids[0] < 0 or ids[-1] >= batch.n_warps:
-        raise KernelError(f"warp ids {ids!r} out of range for "
+    ids = np.asarray(list(warp_ids), dtype=np.int64)
+    if ids.size == 0:
+        raise KernelError("subset_batch needs at least one warp id")
+    if ids.min() < 0 or ids.max() >= batch.n_warps:
+        bad = ids[(ids < 0) | (ids >= batch.n_warps)]
+        raise KernelError(f"warp ids {bad.tolist()!r} out of range for "
                           f"{batch.n_warps}-warp batch")
+    order = np.argsort(ids, kind="stable")
+    sorted_ids = ids[order]
+    dup = sorted_ids[1:] == sorted_ids[:-1]
+    if dup.any():
+        raise KernelError(
+            f"duplicate warp ids {np.unique(sorted_ids[1:][dup]).tolist()!r} "
+            f"passed to subset_batch")
+    if capacities is None:
+        caps = batch.capacities[sorted_ids].copy()
+    else:
+        caps = np.asarray(capacities, dtype=np.int64)
+        if caps.shape != ids.shape:
+            raise KernelError("capacities must align with warp_ids")
+        caps = caps[order].copy()
+    ids = sorted_ids
     keep = np.isin(batch.ins_warp, ids)
     remap = np.zeros(batch.n_warps, dtype=np.int64)
     remap[ids] = np.arange(ids.size)
-    if capacities is None:
-        caps = batch.capacities[ids].copy()
-    else:
-        caps = np.asarray(capacities, dtype=np.int64).copy()
-        if caps.shape != ids.shape:
-            raise KernelError("capacities must align with warp_ids")
     return Batch(
         contig_ids=[batch.contig_ids[int(w)] for w in ids],
         codes=batch.codes, quals=batch.quals,
@@ -125,6 +141,53 @@ def subset_batch(batch: Batch, warp_ids, capacities=None) -> Batch:
         capacities=caps,
         read_bytes_per_warp=batch.read_bytes_per_warp[ids].copy(),
     )
+
+
+def concat_batches(batches: list[Batch]) -> tuple[Batch, np.ndarray]:
+    """Fuse prepared batches into one multi-tenant launch batch.
+
+    Returns ``(fused, warp_base)`` where ``warp_base`` has length
+    ``len(batches) + 1`` and ``warp_base[i]`` is the first fused warp id
+    of ``batches[i]`` (the last entry is the fused warp count). Member
+    warps keep their relative order, so every per-insertion array stays
+    warp-sorted as the phases require, and each member owns a contiguous
+    warp range — and therefore a contiguous slot range in the fused
+    :class:`~repro.kernels.vectortable.WarpHashTables` — which is what
+    makes per-job attribution a rebase (subtract the member's warp/slot
+    base) rather than a scatter.
+
+    The flat code/quality streams are *not* concatenated: construct and
+    walk never read them (only prepare does), so the fused batch carries
+    empty streams and per-job launch contexts (read bytes, cold
+    footprints) are computed from the member batches. ``contig_ids``
+    stay member-local for the same reason — the fused batch is never
+    scattered directly.
+    """
+    if not batches:
+        raise KernelError("concat_batches needs at least one batch")
+    k = batches[0].seeds.shape[1]
+    for b in batches:
+        if b.seeds.shape[1] != k:
+            raise KernelError("cannot fuse batches prepared for different k")
+    counts = np.asarray([b.n_warps for b in batches], dtype=np.int64)
+    warp_base = np.zeros(counts.size + 1, dtype=np.int64)
+    np.cumsum(counts, out=warp_base[1:])
+    fused = Batch(
+        contig_ids=[ci for b in batches for ci in b.contig_ids],
+        codes=np.empty(0, np.uint8), quals=np.empty(0, np.uint8),
+        ins_warp=np.concatenate(
+            [b.ins_warp + off for b, off in zip(batches, warp_base[:-1])]),
+        ins_home=np.concatenate([b.ins_home for b in batches]),
+        ins_fp=np.concatenate([b.ins_fp for b in batches]),
+        ins_ext=np.concatenate([b.ins_ext for b in batches]),
+        ins_hi=np.concatenate([b.ins_hi for b in batches]),
+        seeds=np.concatenate([b.seeds for b in batches], axis=0),
+        seed_valid=np.concatenate([b.seed_valid for b in batches]),
+        capacities=np.concatenate([b.capacities for b in batches]),
+        read_bytes_per_warp=np.concatenate(
+            [b.read_bytes_per_warp for b in batches]),
+    )
+    return fused, warp_base
 
 
 @dataclass
@@ -158,25 +221,103 @@ class FlattenedBin:
         return len(self.contig_ids)
 
 
+#: Default entry bound for :class:`PrepareCache`. Generous relative to a
+#: single k-schedule (which touches ``bins x ends`` entries, typically a
+#: handful) so in-run reuse never thrashes, while keeping a long-lived
+#: serving process from growing without limit.
+DEFAULT_PREPARE_CACHE_ENTRIES = 128
+
+
 class PrepareCache:
     """Memoizes :class:`FlattenedBin` results across a k-schedule.
 
     Keyed by (end, contig-index tuple) so a bin whose composition shifts
     between k values simply misses — correctness never depends on the
     binning being k-stable.
+
+    The cache is a bounded LRU: a ``get`` refreshes recency, a ``put``
+    past ``maxsize`` entries evicts the least-recently-used one, and
+    ``hits`` / ``misses`` / ``evictions`` counters are surfaced in
+    profiles as the ``prep_cache_*`` fields. Long-lived processes (the
+    coalescing service) share one store across requests through
+    :meth:`scoped` views, which namespace keys per tenant dataset and
+    keep tenant-local hit/miss counts.
     """
 
-    def __init__(self) -> None:
-        self._flat: dict = {}
+    def __init__(self, maxsize: int = DEFAULT_PREPARE_CACHE_ENTRIES) -> None:
+        if maxsize < 1:
+            raise KernelError("PrepareCache maxsize must be >= 1")
+        self._flat: OrderedDict = OrderedDict()
+        self._scopes: dict = {}
+        self.maxsize = maxsize
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     @staticmethod
     def key(bin_: Bin, end: End) -> tuple:
         return (end, tuple(bin_.contig_indices))
 
     def get(self, bin_: Bin, end: End) -> FlattenedBin | None:
-        flat = self._flat.get(self.key(bin_, end))
+        return self._get(self.key(bin_, end))
+
+    def put(self, bin_: Bin, end: End, flat: FlattenedBin) -> None:
+        self._put(self.key(bin_, end), flat)
+
+    def scoped(self, scope) -> "PrepareCacheScope":
+        """A tenant view whose keys are namespaced by ``scope``."""
+        view = self._scopes.get(scope)
+        if view is None:
+            view = PrepareCacheScope(self, scope)
+            self._scopes[scope] = view
+        return view
+
+    def _get(self, key: tuple) -> FlattenedBin | None:
+        flat = self._flat.get(key)
+        if flat is None:
+            self.misses += 1
+        else:
+            self._flat.move_to_end(key)
+            self.hits += 1
+        return flat
+
+    def _put(self, key: tuple, flat: FlattenedBin) -> None:
+        if key in self._flat:
+            self._flat.move_to_end(key)
+        self._flat[key] = flat
+        while len(self._flat) > self.maxsize:
+            old_key, _ = self._flat.popitem(last=False)
+            self.evictions += 1
+            owner = self._scopes.get(old_key[0])
+            if owner is not None:
+                owner.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._flat)
+
+
+class PrepareCacheScope:
+    """One tenant's view of a shared :class:`PrepareCache`.
+
+    Keys gain a ``scope`` prefix (e.g. the job's dataset fingerprint),
+    so tenants whose bins carry identical contig-index tuples but
+    different underlying reads never collide, while repeat submissions
+    of the same dataset hit the flatten cache warm. Hit/miss counters
+    are scope-local (they feed the owning job's profile); ``evictions``
+    counts this scope's entries evicted by store pressure, whichever
+    tenant caused it. Quacks like :class:`PrepareCache` for
+    :meth:`BatchPreparer.prepare`.
+    """
+
+    def __init__(self, store: PrepareCache, scope) -> None:
+        self.store = store
+        self.scope = scope
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, bin_: Bin, end: End) -> FlattenedBin | None:
+        flat = self.store._get((self.scope, *PrepareCache.key(bin_, end)))
         if flat is None:
             self.misses += 1
         else:
@@ -184,10 +325,7 @@ class PrepareCache:
         return flat
 
     def put(self, bin_: Bin, end: End, flat: FlattenedBin) -> None:
-        self._flat[self.key(bin_, end)] = flat
-
-    def __len__(self) -> int:
-        return len(self._flat)
+        self.store._put((self.scope, *PrepareCache.key(bin_, end)), flat)
 
 
 class BatchPreparer:

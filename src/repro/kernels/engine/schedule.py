@@ -142,6 +142,27 @@ def validate_k_schedule(k_schedule: tuple[int, ...]) -> None:
         )
 
 
+def merge_k_side(cur: SideArrays, best: SideArrays,
+                 settled: np.ndarray) -> None:
+    """One side's settle/merge step of the iterative k schedule.
+
+    Unsettled ends take the new walk if it is *accepted* (any non-fork
+    state) or at least as long as the held fork; accepted ends settle.
+    Mutates ``best`` and ``settled`` in place. Shared by
+    :func:`iterate_k_schedule` and the coalescing driver
+    (:mod:`repro.kernels.engine.coalesce`), whose per-job merges must
+    carry identical semantics to stay byte-identical with solo runs.
+    """
+    accepted = cur.state_codes != FORK_CODE
+    # unsettled ends take the new walk if it is accepted (any
+    # non-fork state) or at least as long as the held fork
+    upd = ~settled & (accepted | (cur.lens >= best.lens))
+    best.text[upd] = cur.text[upd]
+    best.lens[upd] = cur.lens[upd]
+    best.state_codes[upd] = cur.state_codes[upd]
+    settled |= accepted
+
+
 def iterate_k_schedule(
     run_one: Callable[[int], "object"],
     n_contigs: int,
@@ -176,14 +197,7 @@ def iterate_k_schedule(
             (getattr(res, "left_arrays", None), res.left, settled_l, best_l),
         ):
             cur = arrays if arrays is not None else SideArrays.from_side(side)
-            accepted = cur.state_codes != FORK_CODE
-            # unsettled ends take the new walk if it is accepted (any
-            # non-fork state) or at least as long as the held fork
-            upd = ~settled & (accepted | (cur.lens >= best.lens))
-            best.text[upd] = cur.text[upd]
-            best.lens[upd] = cur.lens[upd]
-            best.state_codes[upd] = cur.state_codes[upd]
-            settled |= accepted
+            merge_k_side(cur, best, settled)
     assert merged is not None
     merged.contigs = n_contigs
     return last_k, merged, best_r.to_side(), best_l.to_side()

@@ -416,6 +416,9 @@ class LocalAssemblyKernel:
         last_k, merged, right, left = iterate_k_schedule(
             _run_one, len(contigs), k_schedule,
         )
+        merged.prep_cache_hits = cache.hits
+        merged.prep_cache_misses = cache.misses
+        merged.prep_cache_evictions = cache.evictions
         if self.memory_model == "trace":
             self.last_replay = schedule_replay
         if self.sanitize_checks and schedule_reports:

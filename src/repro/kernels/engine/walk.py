@@ -47,11 +47,14 @@ from repro.genomics.dna import decode_matrix, encode
 from repro.genomics.kmer import fingerprint_matrix, shift_fingerprints
 from repro.hashing.murmur import murmur2_batch
 from repro.kernels.engine.events import (
+    NO_WARPS,
     EventBus,
     ProbeIteration,
+    ProbeWarps,
     SlotAccess,
     SlotRead,
     WalkStep,
+    WalkStepWarps,
 )
 from repro.kernels.engine.prepare import Batch
 from repro.kernels.vectortable import WarpHashTables
@@ -189,11 +192,16 @@ class WalkPhase:
 
     def __init__(self, policy: WalkPolicy = DEFAULT_POLICY,
                  max_walk_len: int = DEFAULT_MAX_WALK_LEN,
-                 seed: int = 0, defer_overflow: bool = False) -> None:
+                 seed: int = 0, defer_overflow: bool = False,
+                 attribution: bool = False) -> None:
         self.policy = policy
         self.max_walk_len = max_walk_len
         self.seed = seed
         self.defer_overflow = defer_overflow
+        #: Emit per-warp attribution evidence (ProbeWarps/WalkStepWarps)
+        #: for multi-tenant decomposition; explicit opt-in by the
+        #: coalescing driver (see :class:`ConstructPhase`).
+        self.attribution = attribution
 
     def _on_probe_miss(self, found_slot: np.ndarray, missing: np.ndarray,
                        u: np.ndarray, miss: np.ndarray,
@@ -221,6 +229,7 @@ class WalkPhase:
         u = np.arange(a.size, dtype=np.int64)
         probe_u = np.zeros(a.size, dtype=np.int64)
         iterations = 0
+        emit_probe_warps = self.attribution and bus.wants(ProbeWarps)
         while u.size:
             over = probe_u >= tables.capacities[a[u]]
             if over.any():
@@ -254,6 +263,14 @@ class WalkPhase:
                 phase="walk", lanes=u.size, warps=u.size,
                 key_compares=int(np.count_nonzero(occupied)),
             ))
+            if emit_probe_warps:
+                au = a[u]
+                bus.emit(ProbeWarps(
+                    phase="walk", pending_warps=au,
+                    compare_warps=au[occupied], cas_warps=NO_WARPS,
+                    matched_warps=NO_WARPS, claimed_warps=NO_WARPS,
+                    merged_warps=NO_WARPS,
+                ))
             hit = occupied & (slot_fp == fps[u])
             found_slot[u[hit]] = slots[hit]
             miss = ~occupied
@@ -288,6 +305,7 @@ class WalkPhase:
         overflowed: list[int] = []
         emit_slots = bus.wants(SlotAccess)
         emit_reads = bus.wants(SlotRead)
+        emit_step_warps = self.attribution and bus.wants(WalkStepWarps)
         for _step in range(max_len + 1):
             if not alive.any():
                 break
@@ -320,6 +338,7 @@ class WalkPhase:
                 res_bases[f] = b
 
             bases_committed = 0
+            commit_w = NO_WARPS
             next_alive = alive.copy()
             advancing = ~missing & (res_states == _EXTEND)
             # terminal warps leave the walk as one mask assignment: a
@@ -348,8 +367,14 @@ class WalkPhase:
                     np.uint8)
                 base_lens[ok] += 1
                 bases_committed = int(ok.size)
+                if emit_step_warps:
+                    commit_w = ok
             bus.emit(WalkStep(walkers=a.size, vote_reads=vote_reads,
                               bases_committed=bases_committed))
+            if emit_step_warps:
+                bus.emit(WalkStepWarps(walker_warps=a,
+                                       vote_read_warps=a[f],
+                                       commit_warps=commit_w))
             first_step[a] = False
             alive = next_alive
         return WalkOutput(base_codes=base_codes, base_lens=base_lens,

@@ -184,7 +184,21 @@ class CheckpointStore:
         Raises :class:`~repro.errors.CheckpointError` for corrupt files,
         format mismatches, or a configuration-fingerprint mismatch.
         """
-        path = self.path_for(device.name, k)
+        return self.load_named(device.name, k, device)
+
+    def load_named(self, name: str, k: int,
+                   device: DeviceSpec | None = None,
+                   ) -> tuple[KernelRunResult, KernelProfile] | None:
+        """Load a checkpoint saved under an arbitrary ``name`` slot.
+
+        :meth:`save` keys checkpoints by a caller-chosen name string —
+        historically always a device name, but the assembly service
+        (:mod:`repro.serve`) keys per-job checkpoints by the job's
+        request fingerprint instead. ``device`` rebuilds the result's
+        device spec and may be ``None`` when the caller only needs the
+        counters.
+        """
+        path = self.path_for(name, k)
         if not path.exists():
             return None
         try:

@@ -1,4 +1,4 @@
-"""The repo-invariant rule catalog (REP001–REP006).
+"""The repo-invariant rule catalog (REP001–REP007).
 
 Each rule guards a property this reproduction's correctness or
 reproducibility depends on; the ids are stable and documented in API.md.
@@ -311,3 +311,78 @@ class ScalarLoopInHotPhaseRule(LintRule):
                         f"per-element comprehension in hot {fn.name}(): "
                         f"vectorize over the array, or move the scalar "
                         f"path to repro.kernels.engine.oracle")
+
+
+@register_rule
+class BlockingCallInServeRule(LintRule):
+    """REP007: serve coroutines must never block the event loop.
+
+    The assembly service's contract (DESIGN.md decision #15) is that the
+    request path stays fully async — one stalled coroutine freezes every
+    connected client AND the coalescing window timers, turning a
+    latency-bounding feature into a latency cliff. Synchronous file,
+    process, and sleep calls therefore may only run through
+    ``run_in_executor``. The rule flags the known blockers when called
+    directly inside an ``async def`` of :mod:`repro.serve`; sync helper
+    ``def``/``lambda`` bodies nested in a coroutine are exempt — they
+    are exactly the things handed to executors.
+    """
+
+    rule_id = "REP007"
+    description = "blocking call on the event loop in a serve coroutine"
+
+    #: ``module.name`` attribute calls that block the calling thread.
+    _BLOCKING_ATTRS = {
+        "time": frozenset({"sleep"}),
+        "os": frozenset({"fsync"}),
+        "subprocess": frozenset({"run", "call", "check_call",
+                                 "check_output"}),
+    }
+
+    #: Method names that do file I/O regardless of the receiver (Path).
+    _IO_METHODS = frozenset({"read_text", "write_text", "read_bytes",
+                             "write_bytes"})
+
+    @staticmethod
+    def _applies(path: str) -> bool:
+        return "serve" in Path(path).parts
+
+    def _blocking_desc(self, call: ast.Call) -> str | None:
+        func = call.func
+        if isinstance(func, ast.Name) and func.id == "open":
+            return "open()"
+        if not isinstance(func, ast.Attribute):
+            return None
+        if func.attr in self._IO_METHODS:
+            return f".{func.attr}()"
+        if isinstance(func.value, ast.Name):
+            if func.attr in self._BLOCKING_ATTRS.get(func.value.id, ()):
+                return f"{func.value.id}.{func.attr}()"
+        return None
+
+    def _scan(self, fn: ast.AsyncFunctionDef,
+              path: str) -> Iterator[LintFinding]:
+        def visit(node: ast.AST) -> Iterator[LintFinding]:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.Lambda,
+                                      ast.AsyncFunctionDef)):
+                    # sync defs/lambdas are executor material; nested
+                    # coroutines get their own pass from check()
+                    continue
+                if isinstance(child, ast.Call):
+                    desc = self._blocking_desc(child)
+                    if desc is not None:
+                        yield self.finding(
+                            child, path,
+                            f"blocking {desc} in coroutine {fn.name}(): "
+                            f"run it via the event loop's run_in_executor "
+                            f"(or asyncio.sleep for delays)")
+                yield from visit(child)
+        yield from visit(fn)
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[LintFinding]:
+        if not self._applies(path):
+            return
+        for fn in ast.walk(tree):
+            if isinstance(fn, ast.AsyncFunctionDef):
+                yield from self._scan(fn, path)

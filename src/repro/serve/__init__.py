@@ -1,0 +1,48 @@
+"""The async coalescing assembly service (DESIGN.md decision #15).
+
+Many small local-assembly requests fuse into one megabatch launch wave:
+jobs landing within a configurable window — or until a warps-per-wave
+high-water mark — are concatenated into a single multi-tenant launch
+per execution configuration, run through the vectorized engine once via
+:func:`repro.kernels.engine.run_schedule_coalesced`, and scattered back
+per job with byte-exact provenance (profiles, overflow sets, sanitizer
+verdicts all attributable to the owning job). Pure stdlib: asyncio for
+the request path, an executor for the waves.
+"""
+
+from repro.serve.batcher import (
+    DEFAULT_MAX_WAVE_WARPS,
+    DEFAULT_WINDOW_S,
+    CoalescingBatcher,
+)
+from repro.serve.protocol import (
+    DEFAULT_K_SCHEDULE,
+    JobOptions,
+    JobSpec,
+    JobStatus,
+    ProtocolError,
+    job_fingerprint,
+    parse_job_request,
+)
+from repro.serve.queue import DEFAULT_MAX_IN_FLIGHT, AdmissionControl
+from repro.serve.service import AssemblyService, serve_forever
+from repro.serve.worker import configure_worker, run_wave
+
+__all__ = [
+    "AdmissionControl",
+    "AssemblyService",
+    "CoalescingBatcher",
+    "DEFAULT_K_SCHEDULE",
+    "DEFAULT_MAX_IN_FLIGHT",
+    "DEFAULT_MAX_WAVE_WARPS",
+    "DEFAULT_WINDOW_S",
+    "JobOptions",
+    "JobSpec",
+    "JobStatus",
+    "ProtocolError",
+    "configure_worker",
+    "job_fingerprint",
+    "parse_job_request",
+    "run_wave",
+    "serve_forever",
+]

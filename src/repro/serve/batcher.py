@@ -1,0 +1,114 @@
+"""The coalescing batcher: fuse queued jobs into megabatch waves.
+
+Jobs bucket by their :attr:`~repro.serve.protocol.JobOptions.coalescing_key`
+(only jobs that would run on the same kernel configuration may fuse).
+The first job landing in an empty bucket arms a **window timer**; every
+further job joins the bucket until either
+
+* the window expires (latency bound: a lone job never waits longer than
+  the window), or
+* the bucket's warp estimate crosses the **high-water mark** (throughput
+  bound: a burst flushes as soon as a wave is big enough to be worth
+  launching, without waiting out the window).
+
+Either trigger flushes the bucket as one wave to the dispatch callback.
+``window == 0`` degenerates to one-launch-per-job — the uncoalesced
+baseline the benchmark compares against.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.serve.protocol import JobSpec
+
+DEFAULT_WINDOW_S = 0.01
+DEFAULT_MAX_WAVE_WARPS = 4096
+
+
+@dataclass
+class _Bucket:
+    jobs: list[JobSpec] = field(default_factory=list)
+    warps: int = 0
+    timer: asyncio.Task | None = None
+
+
+class CoalescingBatcher:
+    """Window-or-high-water job fusion in front of the worker pool.
+
+    ``dispatch(key, jobs)`` is an async callable invoked once per wave,
+    on the event loop, with at least one job. Single-threaded by
+    construction: submits and flushes both run on the loop, so bucket
+    state needs no locking.
+    """
+
+    def __init__(self, dispatch, window_s: float = DEFAULT_WINDOW_S,
+                 max_wave_warps: int = DEFAULT_MAX_WAVE_WARPS) -> None:
+        if window_s < 0:
+            raise ReproError(f"window_s must be >= 0, got {window_s}")
+        if max_wave_warps < 1:
+            raise ReproError(
+                f"max_wave_warps must be >= 1, got {max_wave_warps}")
+        self._dispatch = dispatch
+        self.window_s = window_s
+        self.max_wave_warps = max_wave_warps
+        self._buckets: dict[tuple, _Bucket] = {}
+        self.waves = 0
+        self.jobs_waved = 0
+        self.biggest_wave = 0
+
+    async def submit(self, spec: JobSpec) -> None:
+        """Add one admitted job; may flush a wave before returning."""
+        key = spec.options.coalescing_key
+        if self.window_s == 0:
+            await self._launch(key, [spec])
+            return
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = self._buckets[key] = _Bucket()
+        bucket.jobs.append(spec)
+        # each contig runs as one warp per extension direction
+        bucket.warps += 2 * spec.n_contigs
+        if bucket.warps >= self.max_wave_warps:
+            await self._flush(key)
+        elif bucket.timer is None:
+            bucket.timer = asyncio.get_running_loop().create_task(
+                self._window_expiry(key))
+
+    async def flush_all(self) -> None:
+        """Flush every armed bucket now (drain on shutdown)."""
+        for key in list(self._buckets):
+            await self._flush(key)
+
+    def stats(self) -> dict:
+        return {"waves": self.waves, "jobs_waved": self.jobs_waved,
+                "biggest_wave": self.biggest_wave,
+                "window_s": self.window_s,
+                "max_wave_warps": self.max_wave_warps,
+                "pending_buckets": len(self._buckets)}
+
+    async def _window_expiry(self, key: tuple) -> None:
+        await asyncio.sleep(self.window_s)
+        bucket = self._buckets.get(key)
+        if bucket is not None:
+            bucket.timer = None  # expired, not cancelled
+            await self._flush(key)
+
+    async def _flush(self, key: tuple) -> None:
+        bucket = self._buckets.pop(key, None)
+        if bucket is None or not bucket.jobs:
+            return
+        if bucket.timer is not None:
+            bucket.timer.cancel()
+        await self._launch(key, bucket.jobs)
+
+    async def _launch(self, key: tuple, jobs: list[JobSpec]) -> None:
+        self.waves += 1
+        self.jobs_waved += len(jobs)
+        self.biggest_wave = max(self.biggest_wave, len(jobs))
+        await self._dispatch(key, jobs)
+
+
+__all__ = ["CoalescingBatcher", "DEFAULT_MAX_WAVE_WARPS", "DEFAULT_WINDOW_S"]

@@ -1,0 +1,57 @@
+"""Admission control: a bounded in-flight budget for the service.
+
+The coalescing batcher makes queueing *attractive* — a deep backlog
+fuses into bigger, cheaper waves — but an unbounded backlog turns burst
+overload into unbounded latency and memory. Admission control caps the
+number of jobs accepted-but-not-finished; a submit past the cap is
+rejected immediately (HTTP 429) so clients can back off and retry,
+rather than queue behind work the service cannot promise to start.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+DEFAULT_MAX_IN_FLIGHT = 256
+
+
+class AdmissionControl:
+    """Counting gate over jobs between acceptance and completion.
+
+    Purely synchronous bookkeeping — the service calls :meth:`try_admit`
+    on submit and :meth:`release` when a job reaches a terminal state,
+    all on the event loop, so no locking is needed.
+    """
+
+    def __init__(self, max_in_flight: int = DEFAULT_MAX_IN_FLIGHT) -> None:
+        if max_in_flight < 1:
+            raise ReproError(
+                f"max_in_flight must be >= 1, got {max_in_flight}")
+        self.max_in_flight = max_in_flight
+        self.in_flight = 0
+        self.admitted = 0
+        self.rejected = 0
+
+    def try_admit(self) -> bool:
+        """Admit one job, or refuse when the in-flight budget is spent."""
+        if self.in_flight >= self.max_in_flight:
+            self.rejected += 1
+            return False
+        self.in_flight += 1
+        self.admitted += 1
+        return True
+
+    def release(self) -> None:
+        """A previously admitted job reached a terminal state."""
+        if self.in_flight <= 0:
+            raise ReproError("release() without a matching try_admit()")
+        self.in_flight -= 1
+
+    def stats(self) -> dict:
+        return {"in_flight": self.in_flight,
+                "max_in_flight": self.max_in_flight,
+                "admitted": self.admitted,
+                "rejected": self.rejected}
+
+
+__all__ = ["AdmissionControl", "DEFAULT_MAX_IN_FLIGHT"]

@@ -1,0 +1,380 @@
+"""The async assembly service: HTTP front, coalescing middle, waves out.
+
+Endpoints (HTTP/1.1, JSON bodies)::
+
+    POST /v1/jobs             submit a job  -> 202 {"job_id", "status"}
+                              over budget   -> 429 {"error"}
+                              malformed     -> 400 {"error"}
+    GET  /v1/jobs/<id>        poll          -> 200 {"status", ...}
+    GET  /v1/jobs/<id>/result result        -> 200 payload | 409 pending
+    GET  /v1/stats            service counters (admission, waves, cache)
+
+The request path is fully async (stdlib ``asyncio.start_server`` plus a
+minimal HTTP parser — no third-party dependencies); assembly itself runs
+in an executor so the event loop keeps accepting and coalescing during a
+wave. ``workers <= 1`` uses a dedicated single-thread executor (one
+wave at a time, cache shared in-process); ``workers > 1`` uses a
+process pool so independent waves overlap across cores.
+
+With a checkpoint directory configured, every finished job is persisted
+through :class:`~repro.resilience.CheckpointStore` under its request
+fingerprint, and an identical resubmission — same payload, same
+execution options — completes instantly from the checkpoint instead of
+recomputing (the poll body says ``"resumed": true``). Checkpoint I/O is
+synchronous file I/O and therefore also runs in the executor, never on
+the event loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+from concurrent.futures import Executor, ProcessPoolExecutor, \
+    ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.errors import CheckpointError, ReproError
+from repro.resilience.checkpoint import (
+    CheckpointStore,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.serve.batcher import (
+    DEFAULT_MAX_WAVE_WARPS,
+    DEFAULT_WINDOW_S,
+    CoalescingBatcher,
+)
+from repro.serve.protocol import JobSpec, JobStatus, ProtocolError, \
+    parse_job_request
+from repro.serve.queue import DEFAULT_MAX_IN_FLIGHT, AdmissionControl
+from repro.serve.worker import (
+    DEFAULT_CACHE_ENTRIES,
+    configure_worker,
+    prep_cache,
+    run_wave,
+)
+from repro.simt.device import device_by_name
+
+_MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+@dataclass
+class JobRecord:
+    spec: JobSpec
+    status: JobStatus = JobStatus.QUEUED
+    payload: dict | None = None
+    error: str | None = None
+    resumed: bool = False
+    submitted_at: float = 0.0
+    finished_at: float = 0.0
+
+    def status_body(self) -> dict:
+        body = {"job_id": self.spec.job_id, "status": self.status.value,
+                "fingerprint": self.spec.fingerprint}
+        if self.resumed:
+            body["resumed"] = True
+        if self.error is not None:
+            body["error"] = self.error
+        return body
+
+
+class AssemblyService:
+    """A long-lived coalescing assembly server over one event loop.
+
+    Args:
+        window_s: coalescing window; 0 disables fusion (solo waves).
+        max_wave_warps: high-water mark flushing a bucket early.
+        max_in_flight: admission budget (submits past it get 429).
+        workers: > 1 runs waves on a process pool; otherwise a thread.
+        checkpoint_dir: enables per-job checkpoint/resume when set.
+        cache_entries: bound of each worker's shared prepare cache.
+    """
+
+    def __init__(self, window_s: float = DEFAULT_WINDOW_S,
+                 max_wave_warps: int = DEFAULT_MAX_WAVE_WARPS,
+                 max_in_flight: int = DEFAULT_MAX_IN_FLIGHT,
+                 workers: int = 1,
+                 checkpoint_dir: str | None = None,
+                 cache_entries: int = DEFAULT_CACHE_ENTRIES) -> None:
+        if workers < 1:
+            raise ReproError(f"workers must be >= 1, got {workers}")
+        self.admission = AdmissionControl(max_in_flight)
+        self.batcher = CoalescingBatcher(self._dispatch, window_s=window_s,
+                                         max_wave_warps=max_wave_warps)
+        self.workers = workers
+        self.cache_entries = cache_entries
+        self.checkpoint_dir = checkpoint_dir
+        self._store: CheckpointStore | None = None
+        self._jobs: dict[str, JobRecord] = {}
+        self._ids = itertools.count(1)
+        self._pool: Executor | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._wave_tasks: set[asyncio.Task] = set()
+        self._clients: set[asyncio.Task] = set()
+        self.completed = 0
+        self.failed = 0
+        self.resumed = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> int:
+        """Bind and serve; returns the actual port (0 picks one)."""
+        if self.workers > 1:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers, initializer=configure_worker,
+                initargs=(self.cache_entries,))
+        else:
+            # A dedicated single-thread lane, NOT the default executor:
+            # waves must run one at a time (the documented workers=1
+            # semantics, and what the coalescing benchmark relies on for
+            # a fair one-launch-per-job baseline), while checkpoint I/O
+            # keeps the default executor to itself.
+            configure_worker(self.cache_entries)
+            self._pool = ThreadPoolExecutor(max_workers=1,
+                                            thread_name_prefix="wave")
+        if self.checkpoint_dir is not None:
+            loop = asyncio.get_running_loop()
+            self._store = await loop.run_in_executor(
+                None, lambda: CheckpointStore(self.checkpoint_dir,
+                                              meta={"suite": "serve"}))
+        self._server = await asyncio.start_server(
+            self._handle_client, host, port)
+        return self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        """Drain armed buckets, finish in-flight waves, close the server."""
+        await self.batcher.flush_all()
+        while self._wave_tasks:
+            await asyncio.gather(*list(self._wave_tasks),
+                                 return_exceptions=True)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._clients):
+            task.cancel()
+        if self._clients:
+            await asyncio.gather(*list(self._clients),
+                                 return_exceptions=True)
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    # ------------------------------------------------------------------
+    # job flow
+
+    async def submit(self, body: dict) -> tuple[int, dict]:
+        """Admit, fingerprint, resume-or-enqueue one submission."""
+        if not self.admission.try_admit():
+            return 429, {"error": "service at capacity, retry later",
+                         **self.admission.stats()}
+        try:
+            spec = parse_job_request(body, job_id=f"j{next(self._ids)}")
+        except ProtocolError as exc:
+            self.admission.release()
+            return 400, {"error": str(exc)}
+        record = JobRecord(spec=spec,
+                           submitted_at=asyncio.get_running_loop().time())
+        self._jobs[spec.job_id] = record
+        resumed = await self._try_resume(record)
+        if not resumed:
+            await self.batcher.submit(spec)
+        return 202, record.status_body()
+
+    async def _try_resume(self, record: JobRecord) -> bool:
+        """Complete a job from its fingerprint checkpoint, if present."""
+        if self._store is None:
+            return False
+        spec = record.spec
+        device = device_by_name(spec.options.device)
+        loop = asyncio.get_running_loop()
+        try:
+            loaded = await loop.run_in_executor(
+                None, self._store.load_named,
+                f"job-{spec.fingerprint}", spec.options.k_schedule[-1],
+                device)
+        except CheckpointError:
+            return False  # unreadable checkpoint: recompute
+        if loaded is None:
+            return False
+        result, _profile = loaded
+        record.payload = {"ok": True, "result": result_to_dict(result)}
+        record.resumed = True
+        self.resumed += 1
+        self._finish(record, JobStatus.DONE)
+        return True
+
+    async def _dispatch(self, key: tuple, jobs: list[JobSpec]) -> None:
+        """Batcher callback: run one wave in the executor, scatter back."""
+        task = asyncio.get_running_loop().create_task(
+            self._run_wave(key, jobs))
+        self._wave_tasks.add(task)
+        task.add_done_callback(self._wave_tasks.discard)
+
+    async def _run_wave(self, key: tuple, jobs: list[JobSpec]) -> None:
+        for spec in jobs:
+            self._jobs[spec.job_id].status = JobStatus.RUNNING
+        wave = {"options": jobs[0].options.to_dict(),
+                "jobs": [{"job_id": s.job_id, "dat": s.dat,
+                          "fingerprint": s.fingerprint} for s in jobs]}
+        loop = asyncio.get_running_loop()
+        try:
+            payloads = await loop.run_in_executor(self._pool, run_wave, wave)
+        except Exception as exc:  # wave-level failure fails every job
+            for spec in jobs:
+                record = self._jobs[spec.job_id]
+                record.error = str(exc)
+                self._finish(record, JobStatus.FAILED)
+            return
+        for spec, payload in zip(jobs, payloads):
+            record = self._jobs[spec.job_id]
+            record.payload = payload
+            if payload.get("ok"):
+                await self._save_checkpoint(record)
+                self._finish(record, JobStatus.DONE)
+            else:
+                record.error = payload.get("error")
+                self._finish(record, JobStatus.FAILED)
+
+    async def _save_checkpoint(self, record: JobRecord) -> None:
+        if self._store is None:
+            return
+        spec = record.spec
+        device = device_by_name(spec.options.device)
+        result = result_from_dict(record.payload["result"], device)
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(
+            None, self._store.save, f"job-{spec.fingerprint}",
+            spec.options.k_schedule[-1], result, result.profile)
+
+    def _finish(self, record: JobRecord, status: JobStatus) -> None:
+        record.status = status
+        record.finished_at = asyncio.get_running_loop().time()
+        if status is JobStatus.DONE:
+            self.completed += 1
+        else:
+            self.failed += 1
+        self.admission.release()
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+
+    async def _handle_client(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._clients.add(task)
+            task.add_done_callback(self._clients.discard)
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, body = request
+                status, payload = await self._route(method, path, body)
+                data = json.dumps(payload).encode()
+                writer.write(
+                    f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+                    f"Content-Type: application/json\r\n"
+                    f"Content-Length: {len(data)}\r\n"
+                    f"Connection: keep-alive\r\n\r\n".encode() + data)
+                await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError,
+                asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                # stop() may cancel a handler that is already draining
+                # its closed transport; that is a clean exit, not noise
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        line = await reader.readline()
+        if not line:
+            return None
+        try:
+            method, path, _version = line.decode().split()
+        except ValueError:
+            return None
+        length = 0
+        while True:
+            header = await reader.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = header.decode().partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    length = int(value.strip())
+                except ValueError:
+                    return None
+        if length > _MAX_BODY_BYTES:
+            return None
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), path, body
+
+    async def _route(self, method: str, path: str,
+                     body: bytes) -> tuple[int, dict]:
+        if method == "POST" and path == "/v1/jobs":
+            try:
+                parsed = json.loads(body or b"{}")
+            except json.JSONDecodeError as exc:
+                return 400, {"error": f"bad JSON body: {exc}"}
+            return await self.submit(parsed)
+        if method == "GET" and path == "/v1/stats":
+            return 200, self.stats()
+        if method == "GET" and path.startswith("/v1/jobs/"):
+            rest = path[len("/v1/jobs/"):]
+            job_id, _, tail = rest.partition("/")
+            record = self._jobs.get(job_id)
+            if record is None:
+                return 404, {"error": f"unknown job {job_id!r}"}
+            if tail == "":
+                return 200, record.status_body()
+            if tail == "result":
+                if record.status is JobStatus.DONE:
+                    return 200, record.payload
+                if record.status is JobStatus.FAILED:
+                    return 200, record.payload or {
+                        "ok": False, "error": record.error}
+                return 409, {"error": "job still pending",
+                             **record.status_body()}
+        return 404, {"error": f"no route for {method} {path}"}
+
+    def stats(self) -> dict:
+        cache = prep_cache()
+        return {
+            "admission": self.admission.stats(),
+            "batcher": self.batcher.stats(),
+            "jobs": {"completed": self.completed, "failed": self.failed,
+                     "resumed": self.resumed, "known": len(self._jobs)},
+            "prep_cache": {"hits": cache.hits, "misses": cache.misses,
+                           "evictions": cache.evictions,
+                           "entries": len(cache)},
+            "workers": self.workers,
+        }
+
+
+_REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+            409: "Conflict", 429: "Too Many Requests"}
+
+
+async def serve_forever(host: str, port: int, **kwargs) -> None:
+    """CLI entry: run an :class:`AssemblyService` until cancelled."""
+    service = AssemblyService(**kwargs)
+    bound = await service.start(host, port)
+    print(f"repro serve: listening on http://{host}:{bound} "
+          f"(window={service.batcher.window_s * 1000:g}ms, "
+          f"high-water={service.batcher.max_wave_warps} warps, "
+          f"workers={service.workers})")
+    try:
+        await asyncio.Event().wait()
+    finally:
+        await service.stop()
+
+
+__all__ = ["AssemblyService", "JobRecord", "serve_forever"]

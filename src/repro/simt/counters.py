@@ -72,6 +72,11 @@ class KernelProfile:
     contigs_dropped: int = 0
     #: Grow-retry re-launches performed after table overflows.
     overflow_retries: int = 0
+    #: PrepareCache flatten reuse over the run (k-schedule and, under
+    #: the coalescing service, cross-request reuse for repeat tenants).
+    prep_cache_hits: int = 0
+    prep_cache_misses: int = 0
+    prep_cache_evictions: int = 0
     seconds: float = 0.0
     # --- phase breakdown consumed by the timing model ---
     construct_intops: int = 0
@@ -91,6 +96,7 @@ class KernelProfile:
             "walk_steps", "sync_ops", "atomics", "serial_depth",
             "kernels_launched", "contigs", "extension_bases",
             "contigs_dropped", "overflow_retries",
+            "prep_cache_hits", "prep_cache_misses", "prep_cache_evictions",
             "construct_intops", "walk_intops",
         ):
             setattr(self, name, getattr(self, name) + getattr(other, name))

@@ -123,3 +123,168 @@ class TestScheduleReuse:
         assert tuple(cached.left) == tuple(left)
         assert cached.profile.intops == merged.intops
         assert cached.profile.hbm_bytes == merged.hbm_bytes
+
+
+class TestSubsetBatchValidation:
+    """subset_batch edge cases: duplicates and out-of-range ids used to
+    silently misalign capacities; now they raise."""
+
+    def _batch(self, n=5, k=21):
+        from repro.kernels.engine import BatchPreparer
+
+        contigs = _contigs(n=n, seed=9)
+        prep = BatchPreparer()
+        bins = bin_contigs(contigs, k)
+        return prep.prepare(contigs, bins[0], End.RIGHT, k)
+
+    def test_empty_subset_rejected(self):
+        from repro.errors import KernelError
+        from repro.kernels.engine import subset_batch
+
+        with pytest.raises(KernelError, match="at least one warp id"):
+            subset_batch(self._batch(), [])
+
+    def test_out_of_range_rejected(self):
+        from repro.errors import KernelError
+        from repro.kernels.engine import subset_batch
+
+        batch = self._batch()
+        with pytest.raises(KernelError, match="out of range"):
+            subset_batch(batch, [0, batch.n_warps])
+        with pytest.raises(KernelError, match="out of range"):
+            subset_batch(batch, [-1])
+
+    def test_duplicates_rejected(self):
+        from repro.errors import KernelError
+        from repro.kernels.engine import subset_batch
+
+        with pytest.raises(KernelError, match="duplicate warp ids"):
+            subset_batch(self._batch(), [2, 1, 2])
+
+    def test_full_subset_roundtrips(self):
+        from repro.kernels.engine import subset_batch
+
+        batch = self._batch()
+        again = subset_batch(batch, list(range(batch.n_warps)))
+        _batches_equal(batch, again)
+
+    def test_reordered_ids_match_sorted(self):
+        """Ids in any order produce the same (warp-sorted) batch, with
+        capacities following their warp."""
+        from repro.kernels.engine import subset_batch
+
+        batch = self._batch()
+        caps = [7, 11, 13]
+        fwd = subset_batch(batch, [1, 3, 4], caps)
+        rev = subset_batch(batch, [4, 1, 3], [13, 7, 11])
+        _batches_equal(fwd, rev)
+        np.testing.assert_array_equal(fwd.capacities, [7, 11, 13])
+
+
+class TestConcatBatches:
+    def _prepare(self, n, seed, k=21):
+        from repro.kernels.engine import BatchPreparer
+
+        contigs = _contigs(n=n, seed=seed)
+        prep = BatchPreparer()
+        bins = bin_contigs(contigs, k)
+        return prep.prepare(contigs, bins[0], End.RIGHT, k)
+
+    def test_fused_layout(self):
+        from repro.kernels.engine import concat_batches, subset_batch
+
+        a = self._prepare(3, seed=1)
+        b = self._prepare(2, seed=2)
+        fused, base = concat_batches([a, b])
+        np.testing.assert_array_equal(base, [0, a.n_warps, a.n_warps + b.n_warps])
+        assert fused.n_warps == a.n_warps + b.n_warps
+        assert fused.contig_ids == a.contig_ids + b.contig_ids
+        np.testing.assert_array_equal(
+            fused.capacities, np.concatenate([a.capacities, b.capacities]))
+        np.testing.assert_array_equal(
+            fused.ins_warp,
+            np.concatenate([a.ins_warp, b.ins_warp + a.n_warps]))
+        # insertion payloads concatenate unchanged
+        for name in ("ins_home", "ins_fp", "ins_ext", "ins_hi"):
+            np.testing.assert_array_equal(
+                getattr(fused, name),
+                np.concatenate([getattr(a, name), getattr(b, name)]),
+                err_msg=name)
+
+    def test_requires_matching_k(self):
+        from repro.errors import KernelError
+        from repro.kernels.engine import concat_batches
+
+        with pytest.raises(KernelError, match="different k"):
+            concat_batches([self._prepare(2, seed=1, k=21),
+                            self._prepare(2, seed=2, k=33)])
+
+    def test_requires_batches(self):
+        from repro.errors import KernelError
+        from repro.kernels.engine import concat_batches
+
+        with pytest.raises(KernelError, match="at least one batch"):
+            concat_batches([])
+
+
+class TestPrepareCacheLRU:
+    def _flat(self, tag):
+        # any payload object works; the cache never inspects it
+        return ("flat", tag)
+
+    def test_eviction_order_and_counters(self):
+        cache = PrepareCache(maxsize=2)
+        cache._put(("a",), self._flat("a"))
+        cache._put(("b",), self._flat("b"))
+        assert cache._get(("a",)) is not None   # refresh "a"
+        cache._put(("c",), self._flat("c"))     # evicts LRU "b"
+        assert cache._get(("b",)) is None
+        assert cache._get(("a",)) is not None
+        assert cache._get(("c",)) is not None
+        assert (cache.hits, cache.misses, cache.evictions) == (3, 1, 1)
+        assert len(cache) == 2
+
+    def test_maxsize_validated(self):
+        from repro.errors import KernelError
+
+        with pytest.raises(KernelError, match="maxsize"):
+            PrepareCache(maxsize=0)
+
+    def test_scoped_views_isolate_and_attribute(self):
+        store = PrepareCache(maxsize=2)
+        t1, t2 = store.scoped("t1"), store.scoped("t2")
+        assert store.scoped("t1") is t1         # stable per scope
+        key = lambda: None
+        t1.store._put(("t1", "x"), self._flat(1))
+        # same logical key under another scope is a distinct entry
+        assert store._get(("t2", "x")) is None
+        # pressure from t2 evicts t1's LRU entry, attributed to t1
+        t2.store._put(("t2", "x"), self._flat(2))
+        t2.store._put(("t2", "y"), self._flat(3))
+        assert t1.evictions == 1
+        assert t2.evictions == 0
+        assert store.evictions == 1
+
+    def test_scope_local_hit_miss_counters(self):
+        from repro.kernels.engine import BatchPreparer
+
+        contigs = _contigs(n=3, seed=12)
+        bins = bin_contigs(contigs, 21)
+        prep = BatchPreparer()
+        store = PrepareCache()
+        s1, s2 = store.scoped("j1"), store.scoped("j2")
+        prep.prepare(contigs, bins[0], End.RIGHT, 21, cache=s1)
+        prep.prepare(contigs, bins[0], End.RIGHT, 33, cache=s1)  # warm hit
+        prep.prepare(contigs, bins[0], End.RIGHT, 21, cache=s2)  # own miss
+        assert (s1.hits, s1.misses) == (1, 1)
+        assert (s2.hits, s2.misses) == (0, 1)
+        assert (store.hits, store.misses) == (1, 2)
+
+    def test_schedule_profile_exposes_cache_counters(self):
+        contigs = _forky_contigs(seed=8)
+        kern = CudaLocalAssemblyKernel(A100)
+        res = kern.run_schedule(contigs, (21, 33))
+        cache = kern.last_prep_cache
+        assert res.profile.prep_cache_hits == cache.hits > 0
+        assert res.profile.prep_cache_misses == cache.misses > 0
+        assert res.profile.prep_cache_evictions == cache.evictions == 0

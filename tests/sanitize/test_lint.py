@@ -231,12 +231,75 @@ def test_rep006_scoped_to_engine_phase_modules():
 
 
 # ----------------------------------------------------------------------
+# REP007 — blocking calls in serve coroutines
+
+SERVE = "src/repro/serve"
+
+
+def test_rep007_flags_blocking_calls_in_coroutines():
+    fs = findings_for("REP007", """
+        async def submit(self, body):
+            time.sleep(0.1)
+            with open("log.json") as fh:
+                data = fh.read()
+            path.write_text(data)
+            os.fsync(fd)
+            subprocess.run(["sync"])
+        """, path=f"{SERVE}/service.py")
+    assert [f.rule for f in fs] == ["REP007"] * 5
+    assert "submit" in fs[0].message
+    assert "run_in_executor" in fs[0].message
+
+
+def test_rep007_exempts_sync_helpers_and_executor_lambdas():
+    fs = findings_for("REP007", """
+        async def start(self):
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(
+                None, lambda: open(self.path).read())
+
+            def _save():
+                with open(self.path, "w") as fh:
+                    fh.write("x")
+            await loop.run_in_executor(None, _save)
+            await asyncio.sleep(0.01)
+
+        def sync_helper(self):
+            time.sleep(0.1)
+            return open("f").read()
+        """, path=f"{SERVE}/service.py")
+    assert fs == []
+
+
+def test_rep007_checks_nested_coroutines_once():
+    fs = findings_for("REP007", """
+        async def outer(self):
+            async def inner():
+                time.sleep(1)
+            await inner()
+        """, path=f"{SERVE}/batcher.py")
+    assert [f.rule for f in fs] == ["REP007"]
+    assert "inner" in fs[0].message
+
+
+def test_rep007_scoped_to_serve_modules():
+    source = """
+        async def poll(self):
+            time.sleep(0.5)
+        """
+    assert findings_for("REP007", source,
+                        path="src/repro/analysis/bench.py") == []
+    assert findings_for("REP007", source,
+                        path=f"{SERVE}/worker.py") != []
+
+
+# ----------------------------------------------------------------------
 # engine mechanics
 
 
-def test_rule_catalog_is_the_documented_six():
+def test_rule_catalog_is_the_documented_seven():
     assert sorted(RULES) == ["REP001", "REP002", "REP003", "REP004",
-                             "REP005", "REP006"]
+                             "REP005", "REP006", "REP007"]
     for rule_id, rule in RULES.items():
         assert rule.rule_id == rule_id
         assert rule.description

@@ -1,0 +1,148 @@
+"""Coalescing batcher and admission-control unit tests (no HTTP)."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ReproError
+from repro.serve.batcher import CoalescingBatcher
+from repro.serve.protocol import JobOptions, JobSpec
+from repro.serve.queue import AdmissionControl
+
+
+def spec(job_id: str, n_contigs: int = 2, **options) -> JobSpec:
+    return JobSpec(job_id=job_id, dat="unused", n_contigs=n_contigs,
+                   options=JobOptions(**options), fingerprint=job_id)
+
+
+class WaveSink:
+    def __init__(self) -> None:
+        self.waves: list[tuple[tuple, list[str]]] = []
+
+    async def __call__(self, key: tuple, jobs: list[JobSpec]) -> None:
+        self.waves.append((key, [s.job_id for s in jobs]))
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestWindow:
+    def test_burst_within_window_fuses_into_one_wave(self):
+        async def scenario():
+            sink = WaveSink()
+            batcher = CoalescingBatcher(sink, window_s=0.02)
+            for i in range(5):
+                await batcher.submit(spec(f"j{i}"))
+            assert sink.waves == []  # window still open
+            await asyncio.sleep(0.08)
+            return sink.waves, batcher.stats()
+
+        waves, stats = run(scenario())
+        assert waves == [(JobOptions().coalescing_key,
+                          ["j0", "j1", "j2", "j3", "j4"])]
+        assert stats["waves"] == 1
+        assert stats["jobs_waved"] == 5
+        assert stats["biggest_wave"] == 5
+        assert stats["pending_buckets"] == 0
+
+    def test_zero_window_launches_each_job_solo(self):
+        async def scenario():
+            sink = WaveSink()
+            batcher = CoalescingBatcher(sink, window_s=0)
+            for i in range(3):
+                await batcher.submit(spec(f"j{i}"))
+            return sink.waves
+
+        waves = run(scenario())
+        assert [jobs for _, jobs in waves] == [["j0"], ["j1"], ["j2"]]
+
+    def test_jobs_arriving_after_expiry_start_a_new_wave(self):
+        async def scenario():
+            sink = WaveSink()
+            batcher = CoalescingBatcher(sink, window_s=0.01)
+            await batcher.submit(spec("early"))
+            await asyncio.sleep(0.06)
+            await batcher.submit(spec("late"))
+            await asyncio.sleep(0.06)
+            return sink.waves
+
+        waves = run(scenario())
+        assert [jobs for _, jobs in waves] == [["early"], ["late"]]
+
+
+class TestHighWater:
+    def test_high_water_flushes_before_the_window(self):
+        async def scenario():
+            sink = WaveSink()
+            # 2 warps per contig -> 4 warps per job; mark at 8 warps
+            batcher = CoalescingBatcher(sink, window_s=30.0,
+                                        max_wave_warps=8)
+            await batcher.submit(spec("j0"))
+            assert sink.waves == []
+            await batcher.submit(spec("j1"))  # 8 warps: flush now
+            await batcher.submit(spec("j2"))
+            await batcher.flush_all()
+            return sink.waves
+
+        waves = run(scenario())
+        assert [jobs for _, jobs in waves] == [["j0", "j1"], ["j2"]]
+
+    def test_flush_all_drains_armed_buckets(self):
+        async def scenario():
+            sink = WaveSink()
+            batcher = CoalescingBatcher(sink, window_s=30.0)
+            await batcher.submit(spec("j0"))
+            await batcher.submit(spec("j1", device="MI250X"))
+            await batcher.flush_all()
+            assert batcher.stats()["pending_buckets"] == 0
+            return sink.waves
+
+        waves = run(scenario())
+        assert sorted(jobs for _, jobs in waves) == [["j0"], ["j1"]]
+
+
+class TestCoalescingKeys:
+    def test_different_configurations_never_share_a_wave(self):
+        async def scenario():
+            sink = WaveSink()
+            batcher = CoalescingBatcher(sink, window_s=0.02)
+            await batcher.submit(spec("a1"))
+            await batcher.submit(spec("b1", device="MI250X"))
+            await batcher.submit(spec("a2"))
+            await batcher.submit(spec("c1", k_schedule=(21,)))
+            await asyncio.sleep(0.08)
+            return sink.waves
+
+        waves = run(scenario())
+        assert sorted(jobs for _, jobs in waves) == [
+            ["a1", "a2"], ["b1"], ["c1"]]
+        keys = [key for key, _ in waves]
+        assert len(set(keys)) == 3
+
+    def test_validates_configuration(self):
+        sink = WaveSink()
+        with pytest.raises(ReproError, match="window_s"):
+            CoalescingBatcher(sink, window_s=-1)
+        with pytest.raises(ReproError, match="max_wave_warps"):
+            CoalescingBatcher(sink, max_wave_warps=0)
+
+
+class TestAdmissionControl:
+    def test_caps_in_flight_and_counts(self):
+        gate = AdmissionControl(max_in_flight=2)
+        assert gate.try_admit() and gate.try_admit()
+        assert not gate.try_admit()
+        assert gate.stats() == {"in_flight": 2, "max_in_flight": 2,
+                                "admitted": 2, "rejected": 1}
+        gate.release()
+        assert gate.try_admit()
+
+    def test_release_requires_a_matching_admit(self):
+        gate = AdmissionControl(max_in_flight=1)
+        with pytest.raises(ReproError, match="release"):
+            gate.release()
+
+    def test_validates_budget(self):
+        with pytest.raises(ReproError, match="max_in_flight"):
+            AdmissionControl(max_in_flight=0)

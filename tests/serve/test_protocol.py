@@ -1,0 +1,98 @@
+"""Wire-protocol parsing and validation of the assembly service."""
+
+import numpy as np
+import pytest
+
+from repro.genomics.io import dumps_dat
+from repro.genomics.simulate import ErrorProfile, ScenarioSpec, simulate_batch
+from repro.serve.protocol import (
+    DEFAULT_K_SCHEDULE,
+    JobOptions,
+    ProtocolError,
+    error_to_payload,
+    job_fingerprint,
+    parse_job_request,
+)
+
+
+def make_dat(n_contigs=2, seed=7) -> str:
+    spec = ScenarioSpec(contig_length=120, flank_length=50, read_length=70,
+                        depth=5, seed_window=40)
+    errors = ErrorProfile(error_rate=0.0, lo_quality_fraction=0.0)
+    rng = np.random.default_rng(seed)
+    return dumps_dat([sc.contig for sc in
+                      simulate_batch(n_contigs, spec, rng, errors)])
+
+
+class TestParseJobRequest:
+    def test_minimal_body_uses_defaults(self):
+        spec = parse_job_request({"dat": make_dat()}, job_id="j1")
+        assert spec.job_id == "j1"
+        assert spec.n_contigs == 2
+        assert spec.options == JobOptions()
+        assert spec.options.k_schedule == DEFAULT_K_SCHEDULE
+        assert len(spec.fingerprint) == 32
+
+    def test_full_body_round_trips(self):
+        body = {"dat": make_dat(), "k_schedule": [21, 33],
+                "device": "MI250X", "backend": "hip",
+                "overflow_policy": "grow-retry"}
+        spec = parse_job_request(body, job_id="j2")
+        assert spec.options.device == "MI250X"
+        assert spec.options.backend == "hip"
+        assert spec.options.k_schedule == (21, 33)
+        assert spec.options.overflow_policy == "grow-retry"
+
+    @pytest.mark.parametrize("body,match", [
+        ("not a dict", "JSON object"),
+        ({}, "non-empty 'dat'"),
+        ({"dat": ""}, "non-empty 'dat'"),
+        ({"dat": "garbage"}, "bad .dat payload"),
+        ({"dat": "#locassm v1\n0\n"}, "no contigs"),
+    ])
+    def test_rejects_malformed_payloads(self, body, match):
+        with pytest.raises(ProtocolError, match=match):
+            parse_job_request(body, job_id="j1")
+
+    def test_rejects_bad_execution_options(self):
+        dat = make_dat()
+        with pytest.raises(ProtocolError, match="k_schedule"):
+            parse_job_request({"dat": dat, "k_schedule": [33, 21]},
+                              job_id="j1")
+        with pytest.raises(ProtocolError, match="k_schedule"):
+            parse_job_request({"dat": dat, "k_schedule": "soon"},
+                              job_id="j1")
+        with pytest.raises(ProtocolError):
+            parse_job_request({"dat": dat, "device": "TPU9000"},
+                              job_id="j1")
+        with pytest.raises(ProtocolError, match="overflow_policy"):
+            parse_job_request({"dat": dat, "overflow_policy": "explode"},
+                              job_id="j1")
+
+
+class TestFingerprint:
+    def test_depends_on_payload_and_options(self):
+        dat_a, dat_b = make_dat(seed=1), make_dat(seed=2)
+        opts = JobOptions()
+        assert job_fingerprint(dat_a, opts) == job_fingerprint(dat_a, opts)
+        assert job_fingerprint(dat_a, opts) != job_fingerprint(dat_b, opts)
+        assert (job_fingerprint(dat_a, opts)
+                != job_fingerprint(dat_a, JobOptions(k_schedule=(21,))))
+
+    def test_coalescing_key_excludes_payload(self):
+        a = parse_job_request({"dat": make_dat(seed=1)}, job_id="j1")
+        b = parse_job_request({"dat": make_dat(seed=2)}, job_id="j2")
+        assert a.options.coalescing_key == b.options.coalescing_key
+        assert a.fingerprint != b.fingerprint
+
+
+def test_error_payload_carries_overflow_attributes():
+    from repro.errors import HashTableFullError
+
+    err = HashTableFullError("table full", contig_id=3, k=21,
+                             capacity=64, probes=64)
+    payload = error_to_payload(err)
+    assert payload["ok"] is False
+    assert payload["error_type"] == "HashTableFullError"
+    assert (payload["contig_id"], payload["k"],
+            payload["capacity"], payload["probes"]) == (3, 21, 64, 64)

@@ -1,0 +1,211 @@
+"""End-to-end tests of the assembly service over its real HTTP socket."""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.extension import PRODUCTION_POLICY
+from repro.genomics.io import dumps_dat, loads_dat
+from repro.kernels import CudaLocalAssemblyKernel
+from repro.serve import AssemblyService
+from repro.serve.worker import configure_worker, run_wave
+from repro.simt.device import A100
+
+
+def make_dat(n_contigs=2, seed=7) -> str:
+    from repro.genomics.simulate import (
+        ErrorProfile,
+        ScenarioSpec,
+        simulate_batch,
+    )
+
+    spec = ScenarioSpec(contig_length=120, flank_length=50, read_length=70,
+                        depth=5, seed_window=40)
+    errors = ErrorProfile(error_rate=0.0, lo_quality_fraction=0.0)
+    rng = np.random.default_rng(seed)
+    return dumps_dat([sc.contig for sc in
+                      simulate_batch(n_contigs, spec, rng, errors)])
+
+
+async def request(port, method, path, payload=None):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        body = json.dumps(payload).encode() if payload is not None else b""
+        writer.write(f"{method} {path} HTTP/1.1\r\nHost: t\r\n"
+                     f"Content-Length: {len(body)}\r\n\r\n".encode() + body)
+        await writer.drain()
+        status = int((await reader.readline()).split()[1])
+        length = 0
+        while True:
+            header = await reader.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = header.decode().partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        data = await reader.readexactly(length) if length else b""
+        return status, json.loads(data or b"{}")
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def poll_done(port, job_id, timeout=30.0):
+    deadline = asyncio.get_running_loop().time() + timeout
+    while True:
+        _, body = await request(port, "GET", f"/v1/jobs/{job_id}")
+        if body["status"] in ("done", "failed"):
+            return body
+        if asyncio.get_running_loop().time() > deadline:
+            raise AssertionError(f"job {job_id} never finished: {body}")
+        await asyncio.sleep(0.01)
+
+
+class TestServiceEndToEnd:
+    def test_burst_coalesces_and_matches_direct_engine_run(self):
+        """Concurrent submissions fuse into one wave, results byte-exact."""
+        dats = [make_dat(seed=s) for s in (1, 2, 3)]
+
+        async def scenario():
+            service = AssemblyService(window_s=0.05)
+            port = await service.start()
+            try:
+                submits = await asyncio.gather(*[
+                    request(port, "POST", "/v1/jobs",
+                            {"dat": dat, "k_schedule": [21, 33]})
+                    for dat in dats])
+                assert all(status == 202 for status, _ in submits)
+                ids = [body["job_id"] for _, body in submits]
+                for job_id in ids:
+                    body = await poll_done(port, job_id)
+                    assert body["status"] == "done"
+                results = [await request(port, "GET",
+                                         f"/v1/jobs/{job_id}/result")
+                           for job_id in ids]
+                _, stats = await request(port, "GET", "/v1/stats")
+                return results, stats
+            finally:
+                await service.stop()
+
+        results, stats = asyncio.run(scenario())
+        # the whole burst fused into a single megabatch wave
+        assert stats["batcher"]["waves"] == 1
+        assert stats["batcher"]["biggest_wave"] == 3
+        assert stats["jobs"]["completed"] == 3
+        # each tenant's result equals a direct solo engine run
+        for dat, (status, payload) in zip(dats, results):
+            assert status == 200 and payload["ok"]
+            kern = CudaLocalAssemblyKernel(A100, policy=PRODUCTION_POLICY)
+            solo = kern.run_schedule(loads_dat(dat), (21, 33))
+            got = payload["result"]
+            assert got["k"] == solo.k
+            assert [[b, s] for b, s in got["right"]] == [
+                [bases, state.value] for bases, state in solo.right]
+            assert [[b, s] for b, s in got["left"]] == [
+                [bases, state.value] for bases, state in solo.left]
+
+    def test_resume_from_checkpoint_on_identical_resubmission(self, tmp_path):
+        dat = make_dat(seed=11)
+        body = {"dat": dat, "k_schedule": [21]}
+
+        async def scenario():
+            service = AssemblyService(window_s=0.01,
+                                      checkpoint_dir=str(tmp_path))
+            port = await service.start()
+            try:
+                _, first = await request(port, "POST", "/v1/jobs", body)
+                done = await poll_done(port, first["job_id"])
+                assert "resumed" not in done
+                _, r1 = await request(
+                    port, "GET", f"/v1/jobs/{first['job_id']}/result")
+                _, second = await request(port, "POST", "/v1/jobs", body)
+                assert second.get("resumed") is True
+                _, r2 = await request(
+                    port, "GET", f"/v1/jobs/{second['job_id']}/result")
+                _, stats = await request(port, "GET", "/v1/stats")
+                return r1, r2, stats
+            finally:
+                await service.stop()
+
+        r1, r2, stats = asyncio.run(scenario())
+        assert stats["jobs"]["resumed"] == 1
+        assert stats["batcher"]["waves"] == 1  # second run never launched
+        assert r1["result"]["right"] == r2["result"]["right"]
+        assert r1["result"]["left"] == r2["result"]["left"]
+
+    def test_admission_control_returns_429_past_the_budget(self):
+        async def scenario():
+            # long window: submissions stay in flight while we overfill
+            service = AssemblyService(window_s=30.0, max_in_flight=2)
+            port = await service.start()
+            try:
+                codes = []
+                for seed in (1, 2, 3):
+                    status, body = await request(
+                        port, "POST", "/v1/jobs",
+                        {"dat": make_dat(seed=seed), "k_schedule": [21]})
+                    codes.append(status)
+                _, stats = await request(port, "GET", "/v1/stats")
+                return codes, stats
+            finally:
+                await service.stop()
+
+        codes, stats = asyncio.run(scenario())
+        assert codes == [202, 202, 429]
+        assert stats["admission"]["rejected"] == 1
+
+    def test_http_error_paths(self):
+        async def scenario():
+            service = AssemblyService(window_s=0.01)
+            port = await service.start()
+            try:
+                bad_dat = await request(port, "POST", "/v1/jobs",
+                                        {"dat": "garbage"})
+                unknown = await request(port, "GET", "/v1/jobs/j999")
+                no_route = await request(port, "GET", "/v1/nope")
+                status, body = await request(
+                    port, "POST", "/v1/jobs",
+                    {"dat": make_dat(), "k_schedule": [21]})
+                pending = await request(
+                    port, "GET", f"/v1/jobs/{body['job_id']}/result")
+                await poll_done(port, body["job_id"])
+                return bad_dat, unknown, no_route, pending
+            finally:
+                await service.stop()
+
+        bad_dat, unknown, no_route, pending = asyncio.run(scenario())
+        assert bad_dat[0] == 400 and "dat" in bad_dat[1]["error"]
+        assert unknown[0] == 404
+        assert no_route[0] == 404
+        # polling a result before the wave lands is a 409, not an error
+        assert pending[0] in (409, 200)
+
+
+class TestRunWave:
+    def test_run_wave_scatters_payloads_per_job(self):
+        configure_worker(cache_entries=16)
+        wave = {
+            "options": {"device": "A100", "backend": "auto",
+                        "k_schedule": [21, 33],
+                        "overflow_policy": "drop-contig"},
+            "jobs": [{"job_id": f"j{i}", "dat": make_dat(seed=i),
+                      "fingerprint": f"fp{i}"} for i in (1, 2)],
+        }
+        payloads = run_wave(wave)
+        assert len(payloads) == 2
+        assert all(p["ok"] for p in payloads)
+        assert payloads[0]["result"]["right"] != payloads[1]["result"]["right"]
+
+    def test_run_wave_rejects_empty_wave(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="at least one job"):
+            run_wave({"options": {"device": "A100", "backend": "auto",
+                                  "k_schedule": [21],
+                                  "overflow_policy": "drop-contig"},
+                      "jobs": []})
