@@ -274,18 +274,47 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.serve import serve_forever
 
+    fault_plan = None
+    if args.fault_plan:
+        fault_plan = _load_fault_plan(args.fault_plan)
     try:
         asyncio.run(serve_forever(
             args.host, args.port,
+            drain_timeout_s=args.drain_timeout,
             window_s=args.window_ms / 1000.0,
             max_wave_warps=args.max_wave_warps,
             max_in_flight=args.max_in_flight,
             workers=args.workers,
             checkpoint_dir=args.checkpoint_dir,
-            cache_entries=args.cache_entries))
+            cache_entries=args.cache_entries,
+            journal_path=args.journal,
+            recover=args.recover,
+            default_deadline_s=args.deadline_s,
+            fault_plan=fault_plan))
     except KeyboardInterrupt:
+        # fallback for platforms without loop signal handlers; with
+        # them, SIGINT drains gracefully inside serve_forever instead
         print("repro serve: shut down")
     return 0
+
+
+def _load_fault_plan(path: str):
+    """Parse a JSON chaos plan file into a seeded FaultPlan."""
+    from repro.resilience import FaultKind, FaultPlan, FaultSpec
+
+    with open(path) as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict):
+        raise ReproError(f"fault plan {path} must be a JSON object")
+    faults = []
+    for entry in doc.get("faults", []):
+        kw = dict(entry)
+        try:
+            kw["kind"] = FaultKind(kw.pop("kind"))
+            faults.append(FaultSpec(**kw))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ReproError(f"bad fault spec in {path}: {exc}") from None
+    return FaultPlan(faults=tuple(faults), seed=int(doc.get("seed", 0)))
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
@@ -412,6 +441,23 @@ def build_parser() -> argparse.ArgumentParser:
                               "identical resubmissions from checkpoints")
     p_serve.add_argument("--cache-entries", type=int, default=256,
                          help="bound of each worker's prepare cache")
+    p_serve.add_argument("--journal", default=None, metavar="PATH",
+                         help="crash-safe job journal (WAL): submits are "
+                              "durably logged before their 202")
+    p_serve.add_argument("--recover", action="store_true",
+                         help="replay the --journal on start: finished "
+                              "jobs resume from checkpoints, in-flight "
+                              "jobs re-dispatch")
+    p_serve.add_argument("--drain-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="bound on draining in-flight waves at "
+                              "shutdown (default: drain fully)")
+    p_serve.add_argument("--deadline-s", type=float, default=60.0,
+                         help="per-job deadline when a submission sends "
+                              "no deadline_s (default 60)")
+    p_serve.add_argument("--fault-plan", default=None, metavar="PATH",
+                         help="seeded JSON chaos plan injected by the "
+                              "wave supervisor (testing only)")
     p_serve.set_defaults(func=_cmd_serve)
 
     p_lint = sub.add_parser(

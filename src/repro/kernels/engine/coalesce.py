@@ -37,7 +37,17 @@ sequences (fused retry launches re-fuse only the failing segments);
 (same contig, k, capacity, probes) as the job's
 :attr:`CoalescedJobResult.error` — solo raising aborts mid-launch, so an
 erroring job yields its error instead of a result, while its co-tenants
-are unaffected. Fault injection is not supported in coalesced mode.
+are unaffected.
+
+Fault injection is supported for the *wave-scoped, fingerprint-scoped*
+kinds only (``worker-crash``, ``wave-stall``, ``launch-failure``):
+faults attributed to a job fingerprint fire identically no matter how
+the wave was fused, bisected, or re-dispatched, so chaos runs stay
+replayable. Kinds that mutate a prepared batch or a finished profile
+(``table-pressure``, ``read-corruption``, ``degenerate-profile``) and
+launch-ordinal-scoped specs are rejected with a clear
+:class:`~repro.errors.KernelError` — fusion changes launch ordinals and
+batch layouts, so those faults could not replay deterministically.
 """
 
 from __future__ import annotations
@@ -577,12 +587,41 @@ def _replay_job_k(kernel, state: _JobState, k: int,
 # ----------------------------------------------------------------------
 
 
+#: Fault kinds whose effects depend on launch ordinals or batch layout —
+#: both change under fusion, so these cannot replay deterministically.
+_COALESCE_UNSUPPORTED_FAULTS = frozenset({
+    "table-pressure", "read-corruption", "degenerate-profile",
+})
+
+
+def _validate_coalesced_injector(injector, n_jobs: int,
+                                 fingerprints: list[str] | None) -> None:
+    """Reject fault plans that cannot fire deterministically under fusion."""
+    unsupported = sorted({
+        spec.kind.value for spec in injector.plan.faults
+        if spec.kind.value in _COALESCE_UNSUPPORTED_FAULTS})
+    if unsupported:
+        raise KernelError(
+            "coalesced execution does not support fault kinds "
+            f"{unsupported}: they mutate batch layouts or profiles that "
+            "fusion rearranges; scope chaos by job fingerprint with "
+            "worker-crash / wave-stall / launch-failure instead")
+    if any(spec.launch is not None for spec in injector.plan.faults):
+        raise KernelError(
+            "launch-ordinal-scoped faults are not replayable under "
+            "fusion (ordinals depend on how jobs were coalesced); "
+            "scope the spec by job fingerprint instead")
+    if fingerprints is not None and len(fingerprints) != n_jobs:
+        raise KernelError("fingerprints must align with jobs")
+
+
 def run_schedule_coalesced(
     kernel,
     jobs: list[list[Contig]],
     k_schedule: tuple[int, ...] = (21, 33, 55, 77),
     parallel_scale: float = 1.0,
     prep_caches: list | None = None,
+    fingerprints: list[str] | None = None,
 ) -> list[CoalescedJobResult]:
     """Run N jobs' k-schedules as fused multi-tenant launch waves.
 
@@ -591,11 +630,12 @@ def run_schedule_coalesced(
     run per job. ``prep_caches`` optionally supplies one prepare cache
     per job (e.g. :meth:`PrepareCache.scoped` views of a store shared
     across service requests); the default is a fresh solo-equivalent
-    cache per job.
+    cache per job. ``fingerprints`` optionally names each job (the
+    serve tier passes request fingerprints) so a seeded
+    :class:`~repro.resilience.FaultInjector` on the kernel can attribute
+    wave-scoped faults per job; an injector whose plan contains kinds
+    that cannot replay under fusion is rejected up front.
     """
-    if kernel.fault_injector is not None:
-        raise KernelError("coalesced execution does not support "
-                          "fault injection")
     if not jobs:
         raise KernelError("run_schedule_coalesced needs at least one job")
     for j, contigs in enumerate(jobs):
@@ -603,6 +643,13 @@ def run_schedule_coalesced(
             raise KernelError(f"coalesced job {j} has no contigs")
     if prep_caches is not None and len(prep_caches) != len(jobs):
         raise KernelError("prep_caches must align with jobs")
+    if kernel.fault_injector is not None:
+        _validate_coalesced_injector(kernel.fault_injector, len(jobs),
+                                     fingerprints)
+        # may raise InjectedCrashError (fatal) or BackendLaunchError
+        # (transient) before any launch — whole-wave faults, attributed
+        # by fingerprint, absorbed by the serve supervisor's bisection
+        kernel.fault_injector.begin_wave(list(fingerprints or []))
     validate_k_schedule(k_schedule)
     if parallel_scale <= 0 or parallel_scale > 1:
         raise KernelError(

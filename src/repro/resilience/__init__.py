@@ -26,20 +26,26 @@ from repro.resilience.policy import (
 )
 from repro.resilience.retry import (
     DEFAULT_BACKOFF,
+    DEFAULT_JITTER,
     DEFAULT_RETRIES,
+    backoff_delay,
     retry_transient,
 )
 from repro.resilience.faults import (
+    CHECKPOINT_FAULT_KINDS,
+    WAVE_FAULT_KINDS,
     FaultInjector,
     FaultKind,
     FaultPlan,
     FaultRecord,
     FaultSpec,
     InjectedCrashError,
+    corrupt_file,
 )
 from repro.resilience.checkpoint import (
     CHECKPOINT_FORMAT,
     CheckpointStore,
+    payload_crc,
     profile_from_dict,
     profile_to_dict,
     result_from_dict,
@@ -47,10 +53,12 @@ from repro.resilience.checkpoint import (
 )
 
 __all__ = [
+    "CHECKPOINT_FAULT_KINDS",
     "CHECKPOINT_FORMAT",
     "CheckpointStore",
     "DEFAULT_BACKOFF",
     "DEFAULT_GROW_FACTOR",
+    "DEFAULT_JITTER",
     "DEFAULT_MAX_GROW_ATTEMPTS",
     "DEFAULT_RETRIES",
     "FaultInjector",
@@ -60,6 +68,10 @@ __all__ = [
     "FaultSpec",
     "InjectedCrashError",
     "OverflowPolicy",
+    "WAVE_FAULT_KINDS",
+    "backoff_delay",
+    "corrupt_file",
+    "payload_crc",
     "profile_from_dict",
     "profile_to_dict",
     "result_from_dict",

@@ -17,6 +17,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
+import zlib
 from pathlib import Path
 
 from repro.core.extension import WalkState
@@ -27,6 +28,18 @@ from repro.simt.device import DeviceSpec
 
 #: Bumped when the on-disk layout changes incompatibly.
 CHECKPOINT_FORMAT = 1
+
+
+def payload_crc(payload: dict) -> str:
+    """CRC32 (hex8) over the canonical JSON of ``payload`` minus ``crc``.
+
+    Stored alongside the meta block so silent on-disk corruption —
+    bit rot, torn copies, chaos-injected damage — is detected at load
+    time even when the damaged bytes still parse as JSON.
+    """
+    body = json.dumps({k: v for k, v in payload.items() if k != "crc"},
+                      sort_keys=True).encode("utf-8")
+    return f"{zlib.crc32(body) & 0xFFFFFFFF:08x}"
 
 
 def profile_to_dict(profile: KernelProfile) -> dict:
@@ -129,6 +142,7 @@ class CheckpointStore:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.meta = dict(meta or {})
+        self.quarantined: list[Path] = []
         self.sweep_stale_tmps()
 
     def path_for(self, device_name: str, k: int) -> Path:
@@ -164,6 +178,7 @@ class CheckpointStore:
             "result": result_to_dict(result),
             "full_profile": profile_to_dict(full_profile),
         }
+        payload["crc"] = payload_crc(payload)
         path = self.path_for(device_name, k)
         tmp = self.directory / f"{path.name}.{os.getpid()}.tmp"
         try:
@@ -177,12 +192,33 @@ class CheckpointStore:
             raise
         return path
 
+    def quarantine(self, path: Path, reason: str) -> Path:
+        """Move a damaged checkpoint aside and treat it as missing.
+
+        Corruption is an *environmental* failure (bit rot, torn copy, a
+        chaos fault), not a caller mistake — so instead of raising
+        mid-resume the store renames the file to ``<name>.quarantine``
+        (preserving the evidence for post-mortem) and the run simply
+        recomputes. Configuration problems (format drift, meta
+        mismatch) still raise: silently recomputing those would mask a
+        real operator error.
+        """
+        qpath = path.with_suffix(".quarantine")
+        try:
+            path.replace(qpath)
+        except OSError:
+            qpath = path  # raced with another loader's quarantine
+        self.quarantined.append(qpath)
+        return qpath
+
     def load(self, device: DeviceSpec,
              k: int) -> tuple[KernelRunResult, KernelProfile] | None:
         """Load one run, or ``None`` when no checkpoint exists.
 
-        Raises :class:`~repro.errors.CheckpointError` for corrupt files,
-        format mismatches, or a configuration-fingerprint mismatch.
+        Corrupt / truncated / CRC-mismatched files are quarantined (see
+        :meth:`quarantine`) and reported as missing; format mismatches
+        and configuration-fingerprint mismatches raise
+        :class:`~repro.errors.CheckpointError`.
         """
         return self.load_named(device.name, k, device)
 
@@ -203,8 +239,18 @@ class CheckpointStore:
             return None
         try:
             payload = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError) as exc:
-            raise CheckpointError(f"corrupt checkpoint {path}: {exc}") from None
+        except OSError:
+            return None  # raced with a concurrent quarantine/clear
+        except json.JSONDecodeError:
+            self.quarantine(path, "unparseable JSON")
+            return None
+        if not isinstance(payload, dict):
+            self.quarantine(path, "payload is not an object")
+            return None
+        stored_crc = payload.get("crc")
+        if stored_crc is not None and stored_crc != payload_crc(payload):
+            self.quarantine(path, "CRC mismatch")
+            return None
         if payload.get("format") != CHECKPOINT_FORMAT:
             raise CheckpointError(
                 f"checkpoint {path} has format {payload.get('format')!r}, "
@@ -214,8 +260,12 @@ class CheckpointStore:
                 f"checkpoint {path} was written by a different configuration "
                 f"({payload.get('meta')} != {self.meta}); use a fresh "
                 "checkpoint directory or matching settings")
-        result = result_from_dict(payload["result"], device)
-        full = profile_from_dict(payload["full_profile"])
+        try:
+            result = result_from_dict(payload["result"], device)
+            full = profile_from_dict(payload["full_profile"])
+        except KeyError:
+            self.quarantine(path, "missing payload sections")
+            return None
         return result, full
 
     def completed(self) -> set[tuple[str, int]]:
@@ -234,6 +284,9 @@ class CheckpointStore:
                 continue  # unreadable files simply don't count as done
             if not isinstance(payload, dict):
                 continue
+            crc = payload.get("crc")
+            if crc is not None and crc != payload_crc(payload):
+                continue  # damaged on disk; load_named would quarantine it
             if payload.get("format") != CHECKPOINT_FORMAT:
                 continue
             if payload.get("meta") != self.meta:

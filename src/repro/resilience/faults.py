@@ -22,6 +22,7 @@ run after run — faults are reproducible test fixtures, not chaos.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from enum import Enum
 
@@ -52,6 +53,24 @@ class FaultKind(Enum):
     DEGENERATE_PROFILE = "degenerate-profile"
     #: Abort an :class:`ExperimentSuite` run (fatal unless ``transient``).
     SUITE_CRASH = "suite-crash"
+    #: Kill a serve wave mid-flight (:class:`InjectedCrashError`, as if
+    #: the pool worker died — the supervisor bisects the blast radius).
+    WORKER_CRASH = "worker-crash"
+    #: Hang a serve wave past its deadline (the supervisor times out).
+    WAVE_STALL = "wave-stall"
+    #: Corrupt a job's checkpoint file on disk after it is written.
+    CHECKPOINT_CORRUPTION = "checkpoint-corruption"
+    #: Delay a checkpoint write (slow disk) by ``delay_s`` seconds.
+    SLOW_DISK = "slow-disk"
+
+
+#: Wave-scoped kinds consumed via :meth:`FaultInjector.wave_fault` /
+#: :meth:`FaultInjector.begin_wave`.
+WAVE_FAULT_KINDS = frozenset({FaultKind.WORKER_CRASH, FaultKind.WAVE_STALL})
+
+#: Checkpoint-I/O kinds consumed via :meth:`FaultInjector.checkpoint_fault`.
+CHECKPOINT_FAULT_KINDS = frozenset({
+    FaultKind.CHECKPOINT_CORRUPTION, FaultKind.SLOW_DISK})
 
 
 @dataclass(frozen=True)
@@ -78,6 +97,14 @@ class FaultSpec:
             :class:`~repro.errors.BackendLaunchError` instead of the
             fatal :class:`InjectedCrashError`.
         times: how many times the fault may fire before it is spent.
+        fingerprint: restrict a serve-scoped fault (WORKER_CRASH,
+            WAVE_STALL, CHECKPOINT_CORRUPTION, SLOW_DISK, or a
+            wave-level LAUNCH_FAILURE) to waves containing this job
+            fingerprint; ``None`` matches any wave. Fingerprint scoping
+            — unlike launch ordinals — survives coalescing, bisection
+            and re-dispatch, so chaos runs stay replayable.
+        delay_s: stall / slow-disk duration in seconds (WAVE_STALL,
+            SLOW_DISK).
     """
 
     kind: FaultKind
@@ -91,6 +118,8 @@ class FaultSpec:
     mode: str = "zero-intops"
     transient: bool = False
     times: int = 1
+    fingerprint: str | None = None
+    delay_s: float = 0.25
 
 
 @dataclass(frozen=True)
@@ -170,7 +199,9 @@ class FaultInjector:
 
     def _take(self, kind: FaultKind, *, launch: int | None = None,
               device: str | None = None, k: int | None = None,
-              run: int | None = None) -> FaultSpec | None:
+              run: int | None = None,
+              fingerprints: tuple[str, ...] | list[str] | None = None,
+              ) -> FaultSpec | None:
         """Consume one charge of the first matching live spec, if any."""
         for i, spec in enumerate(self.plan.faults):
             if spec.kind is not kind or self._remaining[i] <= 0:
@@ -184,6 +215,10 @@ class FaultInjector:
                     and spec.device != device:
                 continue
             if spec.k is not None and k is not None and spec.k != k:
+                continue
+            if spec.fingerprint is not None and (
+                    fingerprints is None
+                    or spec.fingerprint not in fingerprints):
                 continue
             self._remaining[i] -= 1
             return spec
@@ -286,3 +321,81 @@ class FaultInjector:
                 f"injected transient suite failure at {device_name}/k={k}")
         raise InjectedCrashError(
             f"injected suite crash at {device_name}/k={k} (run {ordinal})")
+
+    # ------------------------------------------------------------------
+    # serve hook points (wave supervision / checkpoint I/O)
+
+    def wave_fault(self, fingerprints: list[str]) -> FaultSpec | None:
+        """Consume one wave-scoped fault matching this wave's jobs.
+
+        Called by the serve-side :class:`WaveSupervisor` before a wave is
+        dispatched. Returns the spec (``WORKER_CRASH`` or ``WAVE_STALL``)
+        so the *caller* applies the effect — the injector object lives in
+        the service process, where its ``times`` accounting is shared
+        across retries and bisection halves; pool workers cannot share
+        that state.
+        """
+        for kind in (FaultKind.WORKER_CRASH, FaultKind.WAVE_STALL):
+            spec = self._take(kind, fingerprints=fingerprints)
+            if spec is not None:
+                self.fired.append(FaultRecord(spec.kind, "wave", {
+                    "fingerprints": tuple(fingerprints),
+                    "fingerprint": spec.fingerprint,
+                    "delay_s": spec.delay_s}))
+                return spec
+        return None
+
+    def begin_wave(self, fingerprints: list[str]) -> None:
+        """Engine hook: called by ``run_schedule_coalesced`` per wave.
+
+        Applies wave-scoped faults inline: ``WORKER_CRASH`` raises
+        :class:`InjectedCrashError`, ``WAVE_STALL`` sleeps ``delay_s``
+        (simulating a hung wave — the caller's deadline may fire), and a
+        fingerprint-matched ``LAUNCH_FAILURE`` raises the transient
+        :class:`~repro.errors.BackendLaunchError`.
+        """
+        spec = self.wave_fault(list(fingerprints))
+        if spec is not None:
+            if spec.kind is FaultKind.WORKER_CRASH:
+                raise InjectedCrashError(
+                    "injected worker crash mid-wave "
+                    f"({len(fingerprints)} fused jobs)")
+            time.sleep(spec.delay_s)
+        spec = self._take(FaultKind.LAUNCH_FAILURE,
+                          fingerprints=list(fingerprints))
+        if spec is not None:
+            self.fired.append(FaultRecord(spec.kind, "wave", {
+                "fingerprints": tuple(fingerprints)}))
+            raise BackendLaunchError(
+                "injected transient wave launch failure "
+                f"({len(fingerprints)} fused jobs)")
+
+    def checkpoint_fault(self, fingerprint: str) -> FaultSpec | None:
+        """Consume one checkpoint-I/O fault scoped to this job, if any.
+
+        Returns the spec (``CHECKPOINT_CORRUPTION`` or ``SLOW_DISK``)
+        for the caller to apply — corruption is applied by the service
+        *after* the store's atomic write, modeling bit rot rather than a
+        torn write (torn writes are already impossible by rename).
+        """
+        for kind in (FaultKind.CHECKPOINT_CORRUPTION, FaultKind.SLOW_DISK):
+            spec = self._take(kind, fingerprints=(fingerprint,))
+            if spec is not None:
+                self.fired.append(FaultRecord(spec.kind, "checkpoint", {
+                    "fingerprint": fingerprint, "delay_s": spec.delay_s}))
+                return spec
+        return None
+
+
+def corrupt_file(path) -> None:
+    """Deterministically corrupt a file in place (chaos helper).
+
+    Truncates to half length and appends garbage, so the result is both
+    invalid JSON and CRC-mismatched — exercising quarantine, not parsing
+    luck.
+    """
+    from pathlib import Path
+
+    p = Path(path)
+    data = p.read_bytes()
+    p.write_bytes(data[: len(data) // 2] + b"\x00corrupt")

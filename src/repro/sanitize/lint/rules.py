@@ -1,4 +1,4 @@
-"""The repo-invariant rule catalog (REP001–REP007).
+"""The repo-invariant rule catalog (REP001–REP008).
 
 Each rule guards a property this reproduction's correctness or
 reproducibility depends on; the ids are stable and documented in API.md.
@@ -386,3 +386,115 @@ class BlockingCallInServeRule(LintRule):
         for fn in ast.walk(tree):
             if isinstance(fn, ast.AsyncFunctionDef):
                 yield from self._scan(fn, path)
+
+
+@register_rule
+class SilentFailureHandlingRule(LintRule):
+    """REP008: fault-tolerance paths must not hide or hammer failures.
+
+    Two anti-patterns defeat the resilience layer (DESIGN.md decision
+    #16) from the inside, scoped to :mod:`repro.serve` and
+    :mod:`repro.resilience`:
+
+    * a broad ``except Exception`` / bare ``except`` whose body is only
+      ``pass`` — the failure vanishes instead of reaching the
+      supervisor, journal, or circuit breaker that exists to see it;
+    * a retry loop (a ``while``/``for`` whose body catches
+      ``TransientError`` or ``BackendLaunchError``) with no backoff call
+      anywhere in the loop — lockstep hot-retry is exactly the storm the
+      jittered :func:`~repro.resilience.backoff_delay` schedule defuses.
+
+    Narrow excepts, handlers that log/re-raise/fold the error into a
+    result, and loops that sleep between attempts all pass.
+    """
+
+    rule_id = "REP008"
+    description = ("swallowed broad except or backoff-free retry loop "
+                   "in a resilience path")
+
+    _BROAD = frozenset({"Exception", "BaseException"})
+    _TRANSIENT = frozenset({"TransientError", "BackendLaunchError"})
+    #: Call names that count as backoff between attempts: the shared
+    #: schedule helpers plus any direct sleep (time./asyncio./injected).
+    _BACKOFF_CALLS = frozenset({"sleep", "backoff_delay",
+                                "retry_transient"})
+
+    @staticmethod
+    def _applies(path: str) -> bool:
+        parts = Path(path).parts
+        return "serve" in parts or "resilience" in parts
+
+    @staticmethod
+    def _exc_names(node: ast.AST | None) -> set[str]:
+        """Exception class names in an ``except`` clause's type."""
+        if node is None:
+            return set()
+        elts = node.elts if isinstance(node, ast.Tuple) else [node]
+        return {e.id if isinstance(e, ast.Name)
+                else getattr(e, "attr", "") for e in elts}
+
+    @staticmethod
+    def _pass_only(handler: ast.ExceptHandler) -> bool:
+        return all(isinstance(stmt, ast.Pass)
+                   or (isinstance(stmt, ast.Expr)
+                       and isinstance(stmt.value, ast.Constant)
+                       and stmt.value.value is Ellipsis)
+                   for stmt in handler.body)
+
+    def _has_backoff(self, loop: ast.AST) -> bool:
+        for node in ast.walk(loop):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = (func.id if isinstance(func, ast.Name)
+                    else getattr(func, "attr", ""))
+            if name in self._BACKOFF_CALLS:
+                return True
+        return False
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[LintFinding]:
+        if not self._applies(path):
+            return
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Try):
+                continue
+            for handler in node.handlers:
+                names = self._exc_names(handler.type)
+                broad = handler.type is None or names & self._BROAD
+                if broad and self._pass_only(handler):
+                    caught = ", ".join(sorted(names)) or "everything"
+                    yield self.finding(
+                        handler, path,
+                        f"except catching {caught} with a pass-only body "
+                        f"swallows the failure: narrow it, fold it into "
+                        f"the result, or let the supervisor see it")
+        yield from self._scan_retry_loops(tree, path)
+
+    def _scan_retry_loops(self, tree: ast.Module,
+                          path: str) -> Iterator[LintFinding]:
+        flagged: set[int] = set()
+
+        def visit(node: ast.AST,
+                  loop: ast.AST | None) -> Iterator[LintFinding]:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.While, ast.For, ast.AsyncFor)):
+                    yield from visit(child, child)
+                    continue
+                if isinstance(child, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef, ast.Lambda)):
+                    yield from visit(child, None)  # new retry scope
+                    continue
+                if (isinstance(child, ast.ExceptHandler)
+                        and loop is not None
+                        and id(loop) not in flagged):
+                    caught = self._exc_names(child.type) & self._TRANSIENT
+                    if caught and not self._has_backoff(loop):
+                        flagged.add(id(loop))
+                        yield self.finding(
+                            child, path,
+                            f"retry loop catches {', '.join(sorted(caught))}"
+                            f" without backoff: sleep a backoff_delay() "
+                            f"between attempts (or use retry_transient)")
+                yield from visit(child, loop)
+
+        yield from visit(tree, None)

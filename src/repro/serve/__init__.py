@@ -8,12 +8,25 @@ per execution configuration, run through the vectorized engine once via
 per job with byte-exact provenance (profiles, overflow sets, sanitizer
 verdicts all attributable to the owning job). Pure stdlib: asyncio for
 the request path, an executor for the waves.
+
+Fault tolerance (DESIGN.md decision #16) wraps every wave in the
+:class:`WaveSupervisor` boundary — per-job deadlines, seeded
+backoff+jitter retries, blast-radius bisection down to solo launches,
+a per-key :class:`CircuitBreaker` and depth-proportional load shedding
+— and the :class:`JobJournal` write-ahead log makes acknowledged jobs
+survive a kill -9 (``repro serve --recover``).
 """
 
 from repro.serve.batcher import (
     DEFAULT_MAX_WAVE_WARPS,
     DEFAULT_WINDOW_S,
     CoalescingBatcher,
+)
+from repro.serve.journal import (
+    JOURNAL_FORMAT,
+    JobJournal,
+    JournalError,
+    JournalState,
 )
 from repro.serve.protocol import (
     DEFAULT_K_SCHEDULE,
@@ -26,20 +39,40 @@ from repro.serve.protocol import (
 )
 from repro.serve.queue import DEFAULT_MAX_IN_FLIGHT, AdmissionControl
 from repro.serve.service import AssemblyService, serve_forever
+from repro.serve.supervisor import (
+    DEFAULT_BREAKER_COOLDOWN_S,
+    DEFAULT_BREAKER_THRESHOLD,
+    DEFAULT_DEADLINE_S,
+    CircuitBreaker,
+    LoadShedder,
+    WaveDeadlineError,
+    WaveSupervisor,
+)
 from repro.serve.worker import configure_worker, run_wave
 
 __all__ = [
     "AdmissionControl",
     "AssemblyService",
+    "CircuitBreaker",
     "CoalescingBatcher",
+    "DEFAULT_BREAKER_COOLDOWN_S",
+    "DEFAULT_BREAKER_THRESHOLD",
+    "DEFAULT_DEADLINE_S",
     "DEFAULT_K_SCHEDULE",
     "DEFAULT_MAX_IN_FLIGHT",
     "DEFAULT_MAX_WAVE_WARPS",
     "DEFAULT_WINDOW_S",
+    "JOURNAL_FORMAT",
+    "JobJournal",
     "JobOptions",
     "JobSpec",
     "JobStatus",
+    "JournalError",
+    "JournalState",
+    "LoadShedder",
     "ProtocolError",
+    "WaveDeadlineError",
+    "WaveSupervisor",
     "configure_worker",
     "job_fingerprint",
     "parse_job_request",

@@ -45,7 +45,8 @@ class CoalescingBatcher:
     """
 
     def __init__(self, dispatch, window_s: float = DEFAULT_WINDOW_S,
-                 max_wave_warps: int = DEFAULT_MAX_WAVE_WARPS) -> None:
+                 max_wave_warps: int = DEFAULT_MAX_WAVE_WARPS,
+                 window_scale=None) -> None:
         if window_s < 0:
             raise ReproError(f"window_s must be >= 0, got {window_s}")
         if max_wave_warps < 1:
@@ -54,15 +55,26 @@ class CoalescingBatcher:
         self._dispatch = dispatch
         self.window_s = window_s
         self.max_wave_warps = max_wave_warps
+        # optional () -> float in [0, 1]: the load shedder shrinks the
+        # effective window as in-flight depth grows; sampled per submit
+        self._window_scale = window_scale
         self._buckets: dict[tuple, _Bucket] = {}
         self.waves = 0
         self.jobs_waved = 0
         self.biggest_wave = 0
 
+    def effective_window_s(self) -> float:
+        if self._window_scale is None:
+            return self.window_s
+        return self.window_s * max(0.0, min(1.0, self._window_scale()))
+
     async def submit(self, spec: JobSpec) -> None:
         """Add one admitted job; may flush a wave before returning."""
         key = spec.options.coalescing_key
-        if self.window_s == 0:
+        window = self.effective_window_s()
+        if window == 0:
+            # permanently (window_s == 0: the uncoalesced baseline) or
+            # temporarily (fully shed): flush this job as a solo wave
             await self._launch(key, [spec])
             return
         bucket = self._buckets.get(key)
@@ -75,7 +87,7 @@ class CoalescingBatcher:
             await self._flush(key)
         elif bucket.timer is None:
             bucket.timer = asyncio.get_running_loop().create_task(
-                self._window_expiry(key))
+                self._window_expiry(key, window))
 
     async def flush_all(self) -> None:
         """Flush every armed bucket now (drain on shutdown)."""
@@ -86,11 +98,12 @@ class CoalescingBatcher:
         return {"waves": self.waves, "jobs_waved": self.jobs_waved,
                 "biggest_wave": self.biggest_wave,
                 "window_s": self.window_s,
+                "effective_window_s": self.effective_window_s(),
                 "max_wave_warps": self.max_wave_warps,
                 "pending_buckets": len(self._buckets)}
 
-    async def _window_expiry(self, key: tuple) -> None:
-        await asyncio.sleep(self.window_s)
+    async def _window_expiry(self, key: tuple, window: float) -> None:
+        await asyncio.sleep(window)
         bucket = self._buckets.get(key)
         if bucket is not None:
             bucket.timer = None  # expired, not cancelled

@@ -7,10 +7,12 @@ A job submission is a JSON object::
       "k_schedule": [21, 33, 55, 77],       # optional, validated
       "device": "A100",                     # optional, default A100
       "backend": "auto",                    # optional backend name
-      "overflow_policy": "drop-contig"      # optional, default drop-contig
+      "overflow_policy": "drop-contig",     # optional, default drop-contig
+      "deadline_s": 10.0                    # optional latency budget
     }
 
-Everything except the payload forms the job's **coalescing key**: only
+Everything except the payload and the deadline forms the job's
+**coalescing key**: only
 jobs whose execution configuration matches byte-for-byte may share a
 fused launch wave (they must agree on the kernel that runs them). The
 **fingerprint** additionally hashes the payload and is the job's
@@ -69,13 +71,23 @@ class JobOptions:
 
 @dataclass
 class JobSpec:
-    """One parsed, validated submission."""
+    """One parsed, validated submission.
+
+    ``deadline_s`` is the client's per-job latency budget; the wave
+    supervisor derives each fused wave's timeout from the tightest
+    budget aboard. It is deliberately *not* part of
+    :class:`JobOptions`: deadlines affect scheduling, not execution, so
+    they must change neither the coalescing key (jobs with different
+    budgets may still fuse) nor the fingerprint (a resubmission with a
+    different budget still resumes from its checkpoint).
+    """
 
     job_id: str
     dat: str
     n_contigs: int
     options: JobOptions
     fingerprint: str
+    deadline_s: float | None = None
 
 
 def parse_job_request(body: dict, job_id: str) -> JobSpec:
@@ -115,11 +127,21 @@ def parse_job_request(body: dict, job_id: str) -> JobSpec:
             body.get("overflow_policy", "drop-contig"))
     except (ReproError, ValueError) as exc:
         raise ProtocolError(f"bad overflow_policy: {exc}") from None
+    deadline_s = body.get("deadline_s")
+    if deadline_s is not None:
+        try:
+            deadline_s = float(deadline_s)
+        except (TypeError, ValueError):
+            raise ProtocolError("deadline_s must be a number") from None
+        if not deadline_s > 0:
+            raise ProtocolError(
+                f"deadline_s must be > 0, got {deadline_s}")
     options = JobOptions(device=device, backend=backend, k_schedule=ks,
                          overflow_policy=policy.value)
     return JobSpec(job_id=job_id, dat=dat, n_contigs=len(contigs),
                    options=options,
-                   fingerprint=job_fingerprint(dat, options))
+                   fingerprint=job_fingerprint(dat, options),
+                   deadline_s=deadline_s)
 
 
 def job_fingerprint(dat: str, options: JobOptions) -> str:

@@ -32,14 +32,28 @@ class AdmissionControl:
         self.admitted = 0
         self.rejected = 0
 
-    def try_admit(self) -> bool:
-        """Admit one job, or refuse when the in-flight budget is spent."""
-        if self.in_flight >= self.max_in_flight:
+    def try_admit(self, budget: int | None = None) -> bool:
+        """Admit one job, or refuse when the in-flight budget is spent.
+
+        ``budget`` optionally tightens (never widens) the configured
+        budget for this one decision — the load shedder passes a
+        reduced budget while the service is degraded.
+        """
+        limit = self.max_in_flight
+        if budget is not None:
+            limit = min(limit, budget)
+        if self.in_flight >= limit:
             self.rejected += 1
             return False
         self.in_flight += 1
         self.admitted += 1
         return True
+
+    def admit(self) -> None:
+        """Admit unconditionally (journal recovery re-seats acknowledged
+        jobs even when the budget would refuse new work)."""
+        self.in_flight += 1
+        self.admitted += 1
 
     def release(self) -> None:
         """A previously admitted job reached a terminal state."""

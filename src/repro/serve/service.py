@@ -5,6 +5,7 @@ Endpoints (HTTP/1.1, JSON bodies)::
     POST /v1/jobs             submit a job  -> 202 {"job_id", "status"}
                               over budget   -> 429 {"error"}
                               malformed     -> 400 {"error"}
+                              draining      -> 503 {"error"}
     GET  /v1/jobs/<id>        poll          -> 200 {"status", ...}
     GET  /v1/jobs/<id>/result result        -> 200 payload | 409 pending
     GET  /v1/stats            service counters (admission, waves, cache)
@@ -16,22 +17,35 @@ wave. ``workers <= 1`` uses a dedicated single-thread executor (one
 wave at a time, cache shared in-process); ``workers > 1`` uses a
 process pool so independent waves overlap across cores.
 
+Every wave runs under the :class:`~repro.serve.supervisor.WaveSupervisor`
+fault boundary: per-job deadlines, seeded backoff+jitter retries for
+transient failures, blast-radius bisection for crashes and timeouts, a
+per-coalescing-key circuit breaker, and load shedding that shrinks the
+coalescing window and tightens admission as depth grows. A worker crash
+therefore fails only the poisoned job, byte-identically to what its
+co-tenants would have produced anyway (record/replay parity).
+
 With a checkpoint directory configured, every finished job is persisted
 through :class:`~repro.resilience.CheckpointStore` under its request
 fingerprint, and an identical resubmission — same payload, same
 execution options — completes instantly from the checkpoint instead of
-recomputing (the poll body says ``"resumed": true``). Checkpoint I/O is
-synchronous file I/O and therefore also runs in the executor, never on
-the event loop.
+recomputing (the poll body says ``"resumed": true``). With a journal
+path configured, every submit is durably logged *before* its 202
+acknowledgement, so ``repro serve --recover`` after a kill -9 re-seats
+every acknowledged job: finished ones from their checkpoints, in-flight
+ones by re-dispatch. Checkpoint and journal I/O are synchronous file
+I/O and therefore always run in the executor, never on the event loop.
 """
 
 from __future__ import annotations
 
 import asyncio
+import functools
 import itertools
 import json
-from concurrent.futures import Executor, ProcessPoolExecutor, \
-    ThreadPoolExecutor
+import signal
+from concurrent.futures import BrokenExecutor, Executor, \
+    ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 
 from repro.errors import CheckpointError, ReproError
@@ -40,14 +54,29 @@ from repro.resilience.checkpoint import (
     result_from_dict,
     result_to_dict,
 )
+from repro.resilience.faults import (
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    corrupt_file,
+)
 from repro.serve.batcher import (
     DEFAULT_MAX_WAVE_WARPS,
     DEFAULT_WINDOW_S,
     CoalescingBatcher,
 )
-from repro.serve.protocol import JobSpec, JobStatus, ProtocolError, \
-    parse_job_request
+from repro.serve.journal import JobJournal, JournalState
+from repro.serve.protocol import JobOptions, JobSpec, JobStatus, \
+    ProtocolError, parse_job_request
 from repro.serve.queue import DEFAULT_MAX_IN_FLIGHT, AdmissionControl
+from repro.serve.supervisor import (
+    DEFAULT_BREAKER_COOLDOWN_S,
+    DEFAULT_BREAKER_THRESHOLD,
+    DEFAULT_DEADLINE_S,
+    CircuitBreaker,
+    LoadShedder,
+    WaveSupervisor,
+)
 from repro.serve.worker import (
     DEFAULT_CACHE_ENTRIES,
     configure_worker,
@@ -66,6 +95,7 @@ class JobRecord:
     payload: dict | None = None
     error: str | None = None
     resumed: bool = False
+    recovered: bool = False
     submitted_at: float = 0.0
     finished_at: float = 0.0
 
@@ -74,6 +104,8 @@ class JobRecord:
                 "fingerprint": self.spec.fingerprint}
         if self.resumed:
             body["resumed"] = True
+        if self.recovered:
+            body["recovered"] = True
         if self.error is not None:
             body["error"] = self.error
         return body
@@ -89,6 +121,17 @@ class AssemblyService:
         workers: > 1 runs waves on a process pool; otherwise a thread.
         checkpoint_dir: enables per-job checkpoint/resume when set.
         cache_entries: bound of each worker's shared prepare cache.
+        journal_path: enables the crash-safe job journal when set.
+        recover: replay the journal on start, re-seating acknowledged
+            jobs (requires ``journal_path``).
+        default_deadline_s: per-job deadline when a submission has none.
+        wave_retries: transient re-attempts per wave before bisection.
+        drain_timeout_s: default bound on :meth:`stop`'s drain phase.
+        breaker_threshold / breaker_cooldown_s: circuit breaker tuning.
+        fault_plan: optional seeded chaos plan; wave- and
+            checkpoint-scoped faults fire in the service process.
+        seed: seeds the retry-jitter generator.
+        journal_fsync: fsync each journal append (disable in tests).
     """
 
     def __init__(self, window_s: float = DEFAULT_WINDOW_S,
@@ -96,31 +139,66 @@ class AssemblyService:
                  max_in_flight: int = DEFAULT_MAX_IN_FLIGHT,
                  workers: int = 1,
                  checkpoint_dir: str | None = None,
-                 cache_entries: int = DEFAULT_CACHE_ENTRIES) -> None:
+                 cache_entries: int = DEFAULT_CACHE_ENTRIES,
+                 journal_path: str | None = None,
+                 recover: bool = False,
+                 default_deadline_s: float = DEFAULT_DEADLINE_S,
+                 wave_retries: int = 2,
+                 drain_timeout_s: float | None = None,
+                 breaker_threshold: int = DEFAULT_BREAKER_THRESHOLD,
+                 breaker_cooldown_s: float = DEFAULT_BREAKER_COOLDOWN_S,
+                 fault_plan: FaultPlan | None = None,
+                 seed: int = 0,
+                 journal_fsync: bool = True) -> None:
         if workers < 1:
             raise ReproError(f"workers must be >= 1, got {workers}")
+        if recover and journal_path is None:
+            raise ReproError("recover=True requires a journal_path")
         self.admission = AdmissionControl(max_in_flight)
-        self.batcher = CoalescingBatcher(self._dispatch, window_s=window_s,
-                                         max_wave_warps=max_wave_warps)
+        self.shedder = LoadShedder(max_in_flight)
+        self.supervisor = WaveSupervisor(
+            self._execute_wave,
+            default_deadline_s=default_deadline_s,
+            retries=wave_retries,
+            seed=seed,
+            breaker=CircuitBreaker(threshold=breaker_threshold,
+                                   cooldown_s=breaker_cooldown_s),
+            injector=(FaultInjector(fault_plan)
+                      if fault_plan is not None else None))
+        self.batcher = CoalescingBatcher(
+            self._dispatch, window_s=window_s,
+            max_wave_warps=max_wave_warps,
+            window_scale=lambda: self.shedder.window_scale(
+                self.admission.in_flight))
         self.workers = workers
         self.cache_entries = cache_entries
         self.checkpoint_dir = checkpoint_dir
+        self.journal_path = journal_path
+        self.journal_fsync = journal_fsync
+        self.recover = recover
+        self.drain_timeout_s = drain_timeout_s
         self._store: CheckpointStore | None = None
+        self._journal: JobJournal | None = None
         self._jobs: dict[str, JobRecord] = {}
         self._ids = itertools.count(1)
         self._pool: Executor | None = None
         self._server: asyncio.AbstractServer | None = None
         self._wave_tasks: set[asyncio.Task] = set()
         self._clients: set[asyncio.Task] = set()
+        self._draining = False
         self.completed = 0
         self.failed = 0
         self.resumed = 0
+        self.recovered_finished = 0
+        self.recovered_pending = 0
+        self.recovery_torn = 0
 
     # ------------------------------------------------------------------
     # lifecycle
 
     async def start(self, host: str = "127.0.0.1", port: int = 0) -> int:
         """Bind and serve; returns the actual port (0 picks one)."""
+        loop = asyncio.get_running_loop()
         if self.workers > 1:
             self._pool = ProcessPoolExecutor(
                 max_workers=self.workers, initializer=configure_worker,
@@ -135,20 +213,95 @@ class AssemblyService:
             self._pool = ThreadPoolExecutor(max_workers=1,
                                             thread_name_prefix="wave")
         if self.checkpoint_dir is not None:
-            loop = asyncio.get_running_loop()
             self._store = await loop.run_in_executor(
                 None, lambda: CheckpointStore(self.checkpoint_dir,
                                               meta={"suite": "serve"}))
+        recovered: JournalState | None = None
+        if self.journal_path is not None:
+            if self.recover:
+                recovered = await loop.run_in_executor(
+                    None, JobJournal.replay, self.journal_path)
+            self._journal = await loop.run_in_executor(
+                None, lambda: JobJournal(self.journal_path,
+                                         fsync=self.journal_fsync))
+        if recovered is not None:
+            await self._recover(recovered)
         self._server = await asyncio.start_server(
             self._handle_client, host, port)
         return self._server.sockets[0].getsockname()[1]
 
-    async def stop(self) -> None:
-        """Drain armed buckets, finish in-flight waves, close the server."""
-        await self.batcher.flush_all()
-        while self._wave_tasks:
-            await asyncio.gather(*list(self._wave_tasks),
-                                 return_exceptions=True)
+    async def _recover(self, state: JournalState) -> None:
+        """Re-seat every acknowledged job from a replayed journal.
+
+        Jobs the journal saw finish come back from their checkpoints
+        (``done``) or their recorded error (``failed``); anything
+        acknowledged but unfinished — including jobs whose checkpoint
+        went missing or corrupt in the crash — re-dispatches through the
+        batcher. Admission is seated unconditionally: these jobs were
+        already promised a result.
+        """
+        self.recovery_torn = state.torn
+        if state.max_job_ordinal:
+            self._ids = itertools.count(state.max_job_ordinal + 1)
+        loop = asyncio.get_running_loop()
+        for job_id, job in state.jobs.items():
+            try:
+                options = JobOptions(
+                    device=job["options"]["device"],
+                    backend=job["options"]["backend"],
+                    k_schedule=tuple(job["options"]["k_schedule"]),
+                    overflow_policy=job["options"]["overflow_policy"])
+                spec = JobSpec(job_id=job_id, dat=job["dat"],
+                               n_contigs=int(job["n_contigs"]),
+                               options=options,
+                               fingerprint=job["fingerprint"],
+                               deadline_s=job.get("deadline_s"))
+            except (KeyError, TypeError, ValueError):
+                continue  # a damaged submit record cannot be re-seated
+            record = JobRecord(spec=spec, recovered=True,
+                               submitted_at=loop.time())
+            self._jobs[job_id] = record
+            self.admission.admit()
+            if job.get("phase") == "finish" and job.get("status") == "failed":
+                record.error = job.get("error")
+                record.payload = {"ok": False, "error": record.error}
+                self._finish(record, JobStatus.FAILED)
+                self.recovered_finished += 1
+                continue
+            if await self._try_resume(record):
+                self.recovered_finished += 1
+                continue
+            # acknowledged but not durably finished: run it (again)
+            self.recovered_pending += 1
+            await self.batcher.submit(spec)
+
+    async def stop(self, drain_timeout_s: float | None = None) -> bool:
+        """Drain, journal the final state, close the server.
+
+        New submits are refused with 503 the moment draining starts.
+        The drain (flush armed buckets + await in-flight waves) is
+        bounded by ``drain_timeout_s`` (falling back to the constructor
+        default; ``None`` drains without bound). Returns ``True`` when
+        the drain completed, ``False`` when the bound expired with work
+        still in flight — which the journal records, so a later
+        ``--recover`` re-dispatches the abandoned jobs.
+        """
+        self._draining = True
+        timeout = (drain_timeout_s if drain_timeout_s is not None
+                   else self.drain_timeout_s)
+        drained = True
+        try:
+            if timeout is not None:
+                await asyncio.wait_for(self._drain(), timeout)
+            else:
+                await self._drain()
+        except asyncio.TimeoutError:
+            drained = False
+        if self._journal is not None:
+            await self._journal_append("shutdown", drained=drained)
+            journal, self._journal = self._journal, None
+            await asyncio.get_running_loop().run_in_executor(
+                None, journal.close)
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -159,15 +312,27 @@ class AssemblyService:
             await asyncio.gather(*list(self._clients),
                                  return_exceptions=True)
         if self._pool is not None:
-            self._pool.shutdown(wait=True)
+            # an expired drain must not hang shutdown on a stuck wave
+            self._pool.shutdown(wait=drained, cancel_futures=not drained)
             self._pool = None
+        return drained
+
+    async def _drain(self) -> None:
+        await self.batcher.flush_all()
+        while self._wave_tasks:
+            await asyncio.gather(*list(self._wave_tasks),
+                                 return_exceptions=True)
 
     # ------------------------------------------------------------------
     # job flow
 
     async def submit(self, body: dict) -> tuple[int, dict]:
-        """Admit, fingerprint, resume-or-enqueue one submission."""
-        if not self.admission.try_admit():
+        """Admit, journal, fingerprint, resume-or-enqueue one submission."""
+        if self._draining:
+            return 503, {"error": "service is draining, submit elsewhere"}
+        budget = self.shedder.admission_budget(
+            self.supervisor.breaker.open_keys())
+        if not self.admission.try_admit(budget):
             return 429, {"error": "service at capacity, retry later",
                          **self.admission.stats()}
         try:
@@ -178,10 +343,22 @@ class AssemblyService:
         record = JobRecord(spec=spec,
                            submitted_at=asyncio.get_running_loop().time())
         self._jobs[spec.job_id] = record
+        # durability before acknowledgement: the 202 below promises the
+        # job will survive a crash, so the submit record hits disk first
+        await self._journal_append(
+            "submit", job_id=spec.job_id, dat=spec.dat,
+            n_contigs=spec.n_contigs, options=spec.options.to_dict(),
+            fingerprint=spec.fingerprint, deadline_s=spec.deadline_s)
         resumed = await self._try_resume(record)
         if not resumed:
             await self.batcher.submit(spec)
         return 202, record.status_body()
+
+    async def _journal_append(self, op: str, **data) -> None:
+        if self._journal is None:
+            return
+        await asyncio.get_running_loop().run_in_executor(
+            None, functools.partial(self._journal.append, op, **data))
 
     async def _try_resume(self, record: JobRecord) -> bool:
         """Complete a job from its fingerprint checkpoint, if present."""
@@ -196,18 +373,20 @@ class AssemblyService:
                 f"job-{spec.fingerprint}", spec.options.k_schedule[-1],
                 device)
         except CheckpointError:
-            return False  # unreadable checkpoint: recompute
+            return False  # configuration mismatch: recompute
         if loaded is None:
-            return False
+            return False  # missing — or corrupt and quarantined
         result, _profile = loaded
         record.payload = {"ok": True, "result": result_to_dict(result)}
         record.resumed = True
         self.resumed += 1
         self._finish(record, JobStatus.DONE)
+        await self._journal_append("finish", job_id=spec.job_id,
+                                   status="done", resumed=True)
         return True
 
     async def _dispatch(self, key: tuple, jobs: list[JobSpec]) -> None:
-        """Batcher callback: run one wave in the executor, scatter back."""
+        """Batcher callback: supervise one wave, scatter results back."""
         task = asyncio.get_running_loop().create_task(
             self._run_wave(key, jobs))
         self._wave_tasks.add(task)
@@ -216,18 +395,18 @@ class AssemblyService:
     async def _run_wave(self, key: tuple, jobs: list[JobSpec]) -> None:
         for spec in jobs:
             self._jobs[spec.job_id].status = JobStatus.RUNNING
-        wave = {"options": jobs[0].options.to_dict(),
-                "jobs": [{"job_id": s.job_id, "dat": s.dat,
-                          "fingerprint": s.fingerprint} for s in jobs]}
-        loop = asyncio.get_running_loop()
+        await self._journal_append("dispatch",
+                                   job_ids=[s.job_id for s in jobs])
         try:
-            payloads = await loop.run_in_executor(self._pool, run_wave, wave)
-        except Exception as exc:  # wave-level failure fails every job
-            for spec in jobs:
-                record = self._jobs[spec.job_id]
-                record.error = str(exc)
-                self._finish(record, JobStatus.FAILED)
-            return
+            payloads = await self.supervisor.run(key, jobs)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            # the supervisor absorbs wave failures; this is the backstop
+            # for bugs in the supervision path itself
+            payloads = [{"ok": False, "error": str(exc),
+                         "error_type": type(exc).__name__}
+                        for _ in jobs]
         for spec, payload in zip(jobs, payloads):
             record = self._jobs[spec.job_id]
             record.payload = payload
@@ -237,17 +416,52 @@ class AssemblyService:
             else:
                 record.error = payload.get("error")
                 self._finish(record, JobStatus.FAILED)
+            await self._journal_append("finish", job_id=spec.job_id,
+                                       status=record.status.value,
+                                       error=record.error)
+
+    async def _execute_wave(self, jobs: list[JobSpec]) -> list[dict]:
+        """The supervisor's executor dispatch (retried / bisected there)."""
+        wave = {"options": jobs[0].options.to_dict(),
+                "jobs": [{"job_id": s.job_id, "dat": s.dat,
+                          "fingerprint": s.fingerprint} for s in jobs]}
+        loop = asyncio.get_running_loop()
+        try:
+            return await loop.run_in_executor(self._pool, run_wave, wave)
+        except BrokenExecutor:
+            # the pool is dead with the worker; stand up a fresh one so
+            # the supervisor's bisection has somewhere to re-run
+            self._rebuild_pool()
+            raise
+
+    def _rebuild_pool(self) -> None:
+        if self.workers <= 1:
+            return  # a thread lane survives worker exceptions
+        old, self._pool = self._pool, ProcessPoolExecutor(
+            max_workers=self.workers, initializer=configure_worker,
+            initargs=(self.cache_entries,))
+        if old is not None:
+            old.shutdown(wait=False, cancel_futures=True)
 
     async def _save_checkpoint(self, record: JobRecord) -> None:
         if self._store is None:
             return
         spec = record.spec
+        injector = self.supervisor.injector
+        fault = (injector.checkpoint_fault(spec.fingerprint)
+                 if injector is not None else None)
+        if fault is not None and fault.kind is FaultKind.SLOW_DISK:
+            await asyncio.sleep(fault.delay_s)
         device = device_by_name(spec.options.device)
         result = result_from_dict(record.payload["result"], device)
         loop = asyncio.get_running_loop()
-        await loop.run_in_executor(
+        path = await loop.run_in_executor(
             None, self._store.save, f"job-{spec.fingerprint}",
             spec.options.k_schedule[-1], result, result.profile)
+        if fault is not None and fault.kind is FaultKind.CHECKPOINT_CORRUPTION:
+            # damage lands after the atomic write: modeled bit rot. The
+            # next resume CRC-checks, quarantines, and recomputes.
+            await loop.run_in_executor(None, corrupt_file, path)
 
     def _finish(self, record: JobRecord, status: JobStatus) -> None:
         record.status = status
@@ -347,7 +561,8 @@ class AssemblyService:
 
     def stats(self) -> dict:
         cache = prep_cache()
-        return {
+        open_keys = self.supervisor.breaker.open_keys()
+        body = {
             "admission": self.admission.stats(),
             "batcher": self.batcher.stats(),
             "jobs": {"completed": self.completed, "failed": self.failed,
@@ -356,25 +571,59 @@ class AssemblyService:
                            "evictions": cache.evictions,
                            "entries": len(cache)},
             "workers": self.workers,
+            "supervisor": self.supervisor.stats(),
+            "shed": self.shedder.stats(self.admission.in_flight, open_keys),
+            "draining": self._draining,
         }
+        if self.journal_path is not None:
+            body["journal"] = {
+                "path": str(self.journal_path),
+                "appends": (self._journal.appends
+                            if self._journal is not None else 0),
+                "recovered_finished": self.recovered_finished,
+                "recovered_pending": self.recovered_pending,
+                "recovery_torn": self.recovery_torn,
+            }
+        if self._store is not None:
+            body["checkpoints"] = {
+                "quarantined": len(self._store.quarantined)}
+        return body
 
 
 _REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
-            409: "Conflict", 429: "Too Many Requests"}
+            409: "Conflict", 429: "Too Many Requests",
+            503: "Service Unavailable"}
 
 
-async def serve_forever(host: str, port: int, **kwargs) -> None:
-    """CLI entry: run an :class:`AssemblyService` until cancelled."""
+async def serve_forever(host: str, port: int,
+                        drain_timeout_s: float | None = None,
+                        **kwargs) -> None:
+    """CLI entry: run an :class:`AssemblyService` until signalled.
+
+    SIGTERM and SIGINT both trigger a graceful stop: refuse new submits
+    with 503, drain in-flight waves (bounded by ``drain_timeout_s``),
+    journal the final state, then exit.
+    """
     service = AssemblyService(**kwargs)
     bound = await service.start(host, port)
     print(f"repro serve: listening on http://{host}:{bound} "
           f"(window={service.batcher.window_s * 1000:g}ms, "
           f"high-water={service.batcher.max_wave_warps} warps, "
-          f"workers={service.workers})")
+          f"workers={service.workers})", flush=True)
+    stopper = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, stopper.set)
+        except (NotImplementedError, RuntimeError, ValueError):
+            pass  # platforms without loop signal handlers
     try:
-        await asyncio.Event().wait()
+        await stopper.wait()
     finally:
-        await service.stop()
+        drained = await service.stop(drain_timeout_s)
+        print(f"repro serve: stopped "
+              f"({'drained' if drained else 'drain timed out'})",
+              flush=True)
 
 
 __all__ = ["AssemblyService", "JobRecord", "serve_forever"]

@@ -84,7 +84,8 @@ def run_wave(wave: dict) -> list[dict]:
     store = prep_cache()
     caches = [store.scoped(j["fingerprint"]) for j in jobs]
     outcomes = run_schedule_coalesced(
-        kernel, contigs, options.k_schedule, prep_caches=caches)
+        kernel, contigs, options.k_schedule, prep_caches=caches,
+        fingerprints=[j["fingerprint"] for j in jobs])
     payloads: list[dict] = []
     for outcome in outcomes:
         if outcome.error is not None:

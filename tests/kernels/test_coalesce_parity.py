@@ -209,15 +209,83 @@ class TestCoalesceValidation:
         with pytest.raises(KernelError, match="job 1 has no contigs"):
             run_schedule_coalesced(kern, [_contigs(2, seed=1), []], (21, 33))
 
-    def test_rejects_fault_injector(self):
+    def test_rejects_batch_mutating_fault_kinds(self):
         from repro.resilience import (FaultInjector, FaultKind, FaultPlan,
                                       FaultSpec)
         inj = FaultInjector(FaultPlan(faults=(
-            FaultSpec(FaultKind.TABLE_PRESSURE, launch=0, warps=(0,),
-                      capacity=4),)))
+            FaultSpec(FaultKind.TABLE_PRESSURE, warps=(0,), capacity=4),)))
         kern = CudaLocalAssemblyKernel(A100, fault_injector=inj)
-        with pytest.raises(KernelError, match="fault injection"):
+        with pytest.raises(KernelError, match="table-pressure"):
             run_schedule_coalesced(kern, _jobs((1, 2)), (21, 33))
+
+    def test_rejects_launch_ordinal_scoped_faults(self):
+        from repro.resilience import (FaultInjector, FaultKind, FaultPlan,
+                                      FaultSpec)
+        inj = FaultInjector(FaultPlan(faults=(
+            FaultSpec(FaultKind.LAUNCH_FAILURE, launch=3),)))
+        kern = CudaLocalAssemblyKernel(A100, fault_injector=inj)
+        with pytest.raises(KernelError, match="fingerprint"):
+            run_schedule_coalesced(kern, _jobs((1, 2)), (21, 33))
+
+    def test_rejects_misaligned_fingerprints(self):
+        from repro.resilience import FaultInjector, FaultPlan
+        kern = CudaLocalAssemblyKernel(
+            A100, fault_injector=FaultInjector(FaultPlan()))
+        with pytest.raises(KernelError, match="fingerprints must align"):
+            run_schedule_coalesced(kern, _jobs((1, 2)), (21, 33),
+                                   fingerprints=["only-one"])
+
+    def test_fingerprint_scoped_worker_crash_fires_then_clears(self):
+        """A fingerprint-matched WORKER_CRASH kills the wave once; after
+        the spec is spent the same wave runs clean with solo parity."""
+        from repro.resilience import (FaultInjector, FaultKind, FaultPlan,
+                                      FaultSpec, InjectedCrashError)
+        jobs = _jobs((1, 2))
+        inj = FaultInjector(FaultPlan(faults=(
+            FaultSpec(FaultKind.WORKER_CRASH, fingerprint="fpB"),)))
+        kern = CudaLocalAssemblyKernel(A100, fault_injector=inj,
+                                       overflow_policy="drop-contig")
+        with pytest.raises(InjectedCrashError, match="worker crash"):
+            run_schedule_coalesced(kern, jobs, (21, 33),
+                                   fingerprints=["fpA", "fpB"])
+        assert inj.counts() == {"worker-crash": 1}
+        fused = run_schedule_coalesced(kern, jobs, (21, 33),
+                                       fingerprints=["fpA", "fpB"])
+        clean = CudaLocalAssemblyKernel(A100, overflow_policy="drop-contig")
+        for job, c in zip(jobs, fused):
+            solo = clean.run_schedule(job, (21, 33))
+            assert c.result.right == solo.right
+            assert c.result.left == solo.left
+
+    def test_fingerprint_scoped_crash_skips_non_matching_wave(self):
+        from repro.resilience import (FaultInjector, FaultKind, FaultPlan,
+                                      FaultSpec)
+        jobs = _jobs((1, 2))
+        inj = FaultInjector(FaultPlan(faults=(
+            FaultSpec(FaultKind.WORKER_CRASH, fingerprint="elsewhere"),)))
+        kern = CudaLocalAssemblyKernel(A100, fault_injector=inj,
+                                       overflow_policy="drop-contig")
+        fused = run_schedule_coalesced(kern, jobs, (21, 33),
+                                       fingerprints=["fpA", "fpB"])
+        assert all(c.error is None for c in fused)
+        assert inj.counts() == {}
+
+    def test_wave_launch_failure_is_transient(self):
+        from repro.errors import BackendLaunchError
+        from repro.resilience import (FaultInjector, FaultKind, FaultPlan,
+                                      FaultSpec)
+        jobs = _jobs((1, 2))
+        inj = FaultInjector(FaultPlan(faults=(
+            FaultSpec(FaultKind.LAUNCH_FAILURE, fingerprint="fpA"),)))
+        kern = CudaLocalAssemblyKernel(A100, fault_injector=inj,
+                                       overflow_policy="drop-contig")
+        with pytest.raises(BackendLaunchError, match="transient"):
+            run_schedule_coalesced(kern, jobs, (21, 33),
+                                   fingerprints=["fpA", "fpB"])
+        # transient: the retry succeeds once the spec is spent
+        fused = run_schedule_coalesced(kern, jobs, (21, 33),
+                                       fingerprints=["fpA", "fpB"])
+        assert all(c.error is None for c in fused)
 
     def test_rejects_misaligned_prep_caches(self):
         kern = CudaLocalAssemblyKernel(A100)

@@ -14,6 +14,7 @@ from repro.resilience import (
     FaultPlan,
     FaultSpec,
     InjectedCrashError,
+    payload_crc,
     profile_to_dict,
     result_from_dict,
     result_to_dict,
@@ -61,17 +62,30 @@ class TestValidation:
         with pytest.raises(CheckpointError, match="different configuration"):
             other.load(A100, K)
 
-    def test_corrupt_file_rejected(self, tmp_path):
+    def test_corrupt_file_quarantined(self, tmp_path):
         store = CheckpointStore(tmp_path)
-        store.path_for("A100", K).write_text("{not json")
-        with pytest.raises(CheckpointError, match="corrupt"):
-            store.load(A100, K)
+        path = store.path_for("A100", K)
+        path.write_text("{not json")
+        assert store.load(A100, K) is None
+        assert not path.exists()
+        assert [p.suffix for p in store.quarantined] == [".quarantine"]
+        assert store.quarantined[0].exists()
+
+    def test_crc_mismatch_quarantined(self, tmp_path, clean_run):
+        store = CheckpointStore(tmp_path)
+        path = store.save("A100", K, clean_run, clean_run.profile)
+        payload = json.loads(path.read_text())
+        payload["result"]["wall_time_s"] = 123.0  # bit-flip, stale CRC
+        path.write_text(json.dumps(payload))
+        assert store.load(A100, K) is None
+        assert not path.exists() and len(store.quarantined) == 1
 
     def test_format_drift_rejected(self, tmp_path, clean_run):
         store = CheckpointStore(tmp_path)
         path = store.save("A100", K, clean_run, clean_run.profile)
         payload = json.loads(path.read_text())
         payload["format"] = 999
+        payload["crc"] = payload_crc(payload)  # drift, not corruption
         path.write_text(json.dumps(payload))
         with pytest.raises(CheckpointError, match="format"):
             store.load(A100, K)

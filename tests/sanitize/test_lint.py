@@ -294,12 +294,96 @@ def test_rep007_scoped_to_serve_modules():
 
 
 # ----------------------------------------------------------------------
+# REP008 — silent failure handling in resilience paths
+
+RESIL = "src/repro/resilience"
+
+
+def test_rep008_flags_swallowed_broad_except():
+    fs = findings_for("REP008", """
+        def poll(self):
+            try:
+                refresh()
+            except Exception:
+                pass
+            try:
+                refresh()
+            except:
+                ...
+        """, path=f"{SERVE}/service.py")
+    assert [f.rule for f in fs] == ["REP008"] * 2
+    assert "swallows" in fs[0].message
+
+
+def test_rep008_flags_backoff_free_retry_loop():
+    fs = findings_for("REP008", """
+        def launch(self):
+            while True:
+                try:
+                    return attempt()
+                except TransientError:
+                    continue
+        """, path=f"{RESIL}/retry.py")
+    assert [f.rule for f in fs] == ["REP008"]
+    assert "backoff" in fs[0].message
+
+
+def test_rep008_allows_narrow_handled_and_backed_off():
+    fs = findings_for("REP008", """
+        def launch(self):
+            try:
+                cleanup()
+            except OSError:
+                pass  # narrow: best-effort cleanup
+            try:
+                run()
+            except Exception as exc:
+                record(exc)  # handled, not swallowed
+            for attempt in range(3):
+                try:
+                    return attempt_once()
+                except BackendLaunchError:
+                    sleep(backoff_delay(attempt))
+        """, path=f"{RESIL}/retry.py")
+    assert fs == []
+
+
+def test_rep008_scoped_to_serve_and_resilience():
+    source = """
+        def run(self):
+            while True:
+                try:
+                    return go()
+                except TransientError:
+                    continue
+        """
+    assert findings_for("REP008", source,
+                        path="src/repro/analysis/bench.py") == []
+    assert findings_for("REP008", source,
+                        path=f"{RESIL}/faults.py") != []
+
+
+def test_rep008_nested_def_resets_loop_scope():
+    fs = findings_for("REP008", """
+        def outer(self):
+            for job in jobs:
+                def attempt_one():
+                    try:
+                        return go()
+                    except TransientError:
+                        raise
+                retry_transient(attempt_one)
+        """, path=f"{SERVE}/supervisor.py")
+    assert fs == []
+
+
+# ----------------------------------------------------------------------
 # engine mechanics
 
 
-def test_rule_catalog_is_the_documented_seven():
+def test_rule_catalog_is_the_documented_eight():
     assert sorted(RULES) == ["REP001", "REP002", "REP003", "REP004",
-                             "REP005", "REP006", "REP007"]
+                             "REP005", "REP006", "REP007", "REP008"]
     for rule_id, rule in RULES.items():
         assert rule.rule_id == rule_id
         assert rule.description

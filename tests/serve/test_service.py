@@ -159,6 +159,68 @@ class TestServiceEndToEnd:
         assert codes == [202, 202, 429]
         assert stats["admission"]["rejected"] == 1
 
+    def test_concurrent_burst_admission_is_exact(self):
+        """32 simultaneous submits against a budget of 8: 8 in, 24 out."""
+        async def scenario():
+            # long window: admitted jobs stay in flight during the burst
+            service = AssemblyService(window_s=30.0, max_in_flight=8)
+            port = await service.start()
+            try:
+                statuses = await asyncio.gather(*[
+                    request(port, "POST", "/v1/jobs",
+                            {"dat": make_dat(n_contigs=1, seed=s),
+                             "k_schedule": [21]})
+                    for s in range(32)])
+                _, stats = await request(port, "GET", "/v1/stats")
+                return [status for status, _ in statuses], stats
+            finally:
+                await service.stop()
+
+        codes, stats = asyncio.run(scenario())
+        assert sorted(codes).count(202) == 8
+        assert sorted(codes).count(429) == 24
+        assert stats["admission"]["rejected"] == 24
+
+    def test_draining_service_refuses_submits_with_503(self):
+        from repro.resilience import FaultKind, FaultPlan, FaultSpec
+
+        dat = make_dat(n_contigs=1, seed=9)
+
+        async def scenario():
+            # an injected stall keeps the wave in flight while we drain
+            service = AssemblyService(window_s=0.01, fault_plan=FaultPlan(
+                faults=(FaultSpec(FaultKind.WAVE_STALL, delay_s=0.5),)))
+            port = await service.start()
+            _, first = await request(port, "POST", "/v1/jobs",
+                                     {"dat": dat, "k_schedule": [21]})
+            stop_task = asyncio.get_running_loop().create_task(
+                service.stop())
+            await asyncio.sleep(0.1)  # drain has begun, wave still stalled
+            refused = await request(port, "POST", "/v1/jobs",
+                                    {"dat": dat, "k_schedule": [21]})
+            drained = await stop_task
+            return first, refused, drained, service
+
+        first, refused, drained, service = asyncio.run(scenario())
+        assert refused[0] == 503 and "draining" in refused[1]["error"]
+        assert drained is True  # the in-flight job finished before exit
+        assert service._jobs[first["job_id"]].status.value == "done"
+
+    def test_bounded_drain_gives_up_on_a_stuck_wave(self):
+        from repro.resilience import FaultKind, FaultPlan, FaultSpec
+
+        async def scenario():
+            service = AssemblyService(window_s=0.01, fault_plan=FaultPlan(
+                faults=(FaultSpec(FaultKind.WAVE_STALL, delay_s=30.0),)))
+            port = await service.start()
+            _, body = await request(
+                port, "POST", "/v1/jobs",
+                {"dat": make_dat(n_contigs=1, seed=4), "k_schedule": [21]})
+            await asyncio.sleep(0.05)  # the wave is now stalled
+            return await service.stop(drain_timeout_s=0.2)
+
+        assert asyncio.run(scenario()) is False
+
     def test_http_error_paths(self):
         async def scenario():
             service = AssemblyService(window_s=0.01)
