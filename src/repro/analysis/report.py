@@ -76,6 +76,23 @@ def render_series(name: str, xs: Sequence, ys: Sequence, x_label: str = "x",
     return "\n".join(lines)
 
 
+def render_assembly_report(result, title: str = "Assembly report") -> str:
+    """Render a :class:`~repro.metahipmer.DeNovoResult` per-round table.
+
+    One row per pipeline round (k, contigs, N50 before/after the local
+    assembly merge, carried-in contigs...) plus a final-assembly summary
+    line — the human-readable companion of ``repro assemble --stats``.
+    """
+    from dataclasses import asdict
+
+    rows = [asdict(s) for s in result.rounds]
+    table = render_dict_table(rows, title=title)
+    summary = (f"final: {len(result.contigs)} contig(s), "
+               f"N50 {result.final_n50:,}, "
+               f"fingerprint {result.fingerprint()[:16]}")
+    return f"{table}\n{summary}" if rows else summary
+
+
 def render_resilience_summary(rows: Sequence[dict]) -> str:
     """Render :meth:`ExperimentSuite.resilience_summary` rows.
 

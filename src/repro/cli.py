@@ -4,6 +4,9 @@ Sub-commands::
 
     run         run local assembly on a .dat file (like the artifact's
                 ``./ht_loc <input> <k> <output>``)
+    assemble    run the end-to-end de novo pipeline (reads -> contigs)
+                on a scenario preset or FASTQ file, with per-stage
+                checkpoints and --resume
     generate    generate a Table II-shaped dataset into a .dat file
     experiment  regenerate a paper table or figure (table1..table7,
                 fig5..fig9, all)
@@ -23,6 +26,7 @@ from repro.analysis.experiments import ExperimentConfig, ExperimentSuite
 from repro.analysis.report import render_dict_table, render_resilience_summary
 from repro.core.extension import PRODUCTION_POLICY
 from repro.datasets.generate import generate_paper_dataset
+from repro.datasets.scenarios import SCENARIOS
 from repro.errors import ReproError
 from repro.genomics.io import read_dat, write_dat, write_fasta
 from repro.kernels import available_backends, backend_for_device, create_backend
@@ -96,6 +100,109 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(report.render())
             if not report.ok:
                 return 1
+    return 0
+
+
+def _cmd_assemble(args: argparse.Namespace) -> int:
+    import os
+    from dataclasses import asdict
+
+    from repro.genomics.io import read_fastq
+    from repro.metahipmer.pipeline import (
+        DeNovoAssembler,
+        PipelineCheckpoint,
+        reads_fingerprint,
+    )
+
+    if args.resume and not args.checkpoint_dir:
+        print("--resume needs --checkpoint-dir", file=sys.stderr)
+        return 2
+
+    if args.scenario:
+        scenario = SCENARIOS[args.scenario]
+        reads = scenario.build(seed=args.seed).reads
+        k_schedule = tuple(scenario.k_schedule)
+        min_count = scenario.min_count
+        source = f"scenario:{args.scenario}"
+    else:
+        try:
+            reads = read_fastq(args.reads)
+        except OSError as exc:
+            print(f"error: cannot read {args.reads}: {exc}", file=sys.stderr)
+            return 1
+        k_schedule = (21, 33)
+        min_count = 2
+        source = args.reads
+    if args.k_schedule:
+        k_schedule = tuple(int(x) for x in args.k_schedule.split(","))
+    if args.min_count is not None:
+        min_count = args.min_count
+
+    kernel = None
+    if args.backend:
+        if args.backend == "scalar":
+            kernel = create_backend("scalar", policy=PRODUCTION_POLICY)
+        else:
+            kernel = create_backend(args.backend,
+                                    device=device_by_name(args.device),
+                                    policy=PRODUCTION_POLICY)
+
+    asm = DeNovoAssembler(k_schedule=k_schedule, min_count=min_count,
+                          kernel=kernel)
+
+    checkpoint = None
+    if args.checkpoint_dir:
+        meta = {"source": source, "seed": args.seed,
+                "reads": reads_fingerprint(reads),
+                **asm.config_fingerprint()}
+        checkpoint = PipelineCheckpoint(args.checkpoint_dir, meta=meta)
+        if not args.resume:
+            checkpoint.clear()
+
+    # Test hook: REPRO_ASSEMBLE_CRASH_AFTER="<k>:<stage>" kills the
+    # process right after that stage's checkpoint is durably written —
+    # the crash/resume tests drive the pipeline through every possible
+    # interruption point with it.
+    crash_after = os.environ.get("REPRO_ASSEMBLE_CRASH_AFTER")
+
+    def on_stage(k: int, stage: str, resumed: bool) -> None:
+        print(f"[assemble] k={k} {stage}: "
+              f"{'resumed' if resumed else 'done'}")
+        if crash_after == f"{k}:{stage}" and not resumed:
+            print(f"[assemble] injected crash after k={k} {stage}",
+                  file=sys.stderr)
+            sys.stdout.flush()
+            sys.stderr.flush()
+            os._exit(137)
+
+    result = asm.assemble(reads, checkpoint=checkpoint, on_stage=on_stage)
+
+    if args.output:
+        write_fasta([(c.name, c.extended_sequence())
+                     for c in result.contigs], args.output)
+    if args.stats:
+        # Purely functional (no timestamps / hostnames): a resumed run
+        # must produce a byte-identical stats file.
+        stats = {
+            "source": source,
+            "seed": args.seed,
+            "k_schedule": list(k_schedule),
+            "min_count": min_count,
+            "reads": len(reads),
+            "final_contigs": len(result.contigs),
+            "final_n50": result.final_n50,
+            "final_fingerprint": result.fingerprint(),
+            "rounds": [asdict(r) for r in result.rounds],
+        }
+        with open(args.stats, "w") as fh:
+            json.dump(stats, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    from repro.analysis.report import render_assembly_report
+
+    print(render_assembly_report(result, title=f"Assembly of {source}"))
+    print(f"{len(reads)} reads -> {len(result.contigs)} contigs, "
+          f"N50 {result.final_n50}, "
+          f"fingerprint {result.fingerprint()[:16]}")
     return 0
 
 
@@ -362,6 +469,41 @@ def build_parser() -> argparse.ArgumentParser:
                             "style: 'all' or a comma list of racecheck, "
                             "synccheck, initcheck; exits 1 on findings")
     p_run.set_defaults(func=_cmd_run)
+
+    p_asm = sub.add_parser(
+        "assemble",
+        help="run the end-to-end de novo assembler (reads -> contigs)")
+    asm_src = p_asm.add_mutually_exclusive_group(required=True)
+    asm_src.add_argument("--scenario", choices=sorted(SCENARIOS),
+                         help="built-in scenario preset to generate and "
+                              "assemble")
+    asm_src.add_argument("--reads", metavar="FASTQ",
+                         help="assemble reads from a FASTQ file instead")
+    p_asm.add_argument("--seed", type=int, default=None,
+                       help="override the scenario's RNG seed")
+    p_asm.add_argument("--k-schedule", default=None, metavar="K1,K2,...",
+                       help="comma-separated k per round (default: the "
+                            "scenario's schedule, or 21,33 for --reads)")
+    p_asm.add_argument("--min-count", type=int, default=None,
+                       help="k-mer error-filter / edge-support threshold")
+    p_asm.add_argument("--backend", default=None,
+                       choices=available_backends(),
+                       help="run the local-assembly phase on a simulated "
+                            "GPU backend (default: CPU pipeline)")
+    p_asm.add_argument("--device", default="A100",
+                       choices=[d.name for d in PLATFORMS],
+                       help="device model for --backend")
+    p_asm.add_argument("--checkpoint-dir", default=None,
+                       help="persist every completed pipeline stage here")
+    p_asm.add_argument("--resume", action="store_true",
+                       help="restore completed stages from --checkpoint-dir "
+                            "instead of starting over")
+    p_asm.add_argument("--output", default=None, metavar="FASTA",
+                       help="write final contigs here")
+    p_asm.add_argument("--stats", default=None, metavar="JSON",
+                       help="write per-round statistics here "
+                            "(deterministic: resume-safe to diff)")
+    p_asm.set_defaults(func=_cmd_assemble)
 
     p_gen = sub.add_parser("generate", help="generate a Table II-style dataset")
     p_gen.add_argument("k", type=int, choices=(21, 33, 55, 77))

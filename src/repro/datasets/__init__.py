@@ -1,4 +1,5 @@
-"""Dataset substrate: Table II targets and the synthetic generator."""
+"""Dataset substrate: Table II targets, the synthetic generator, and the
+end-to-end assembly scenario presets (``repro assemble --scenario``)."""
 
 from repro.datasets.characteristics import (
     TABLE_II,
@@ -6,10 +7,20 @@ from repro.datasets.characteristics import (
     measure_characteristics,
 )
 from repro.datasets.generate import generate_paper_dataset
+from repro.datasets.scenarios import (
+    SCENARIOS,
+    AssemblyScenario,
+    ScenarioData,
+    get_scenario,
+)
 
 __all__ = [
     "TABLE_II",
     "DatasetCharacteristics",
     "measure_characteristics",
     "generate_paper_dataset",
+    "SCENARIOS",
+    "AssemblyScenario",
+    "ScenarioData",
+    "get_scenario",
 ]

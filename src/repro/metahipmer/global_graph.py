@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import KmerError
-from repro.genomics.dna import BASES, decode, reverse_complement
+from repro.genomics.dna import BASES, complement, decode, reverse_complement
 from repro.genomics.kmer import canonical_kmer, kmer_fingerprints, kmer_matrix
 from repro.genomics.reads import ReadSet
 from repro.metahipmer.kmer_analysis import KmerSpectrum
@@ -70,14 +70,24 @@ class GlobalDeBruijnGraph:
     # construction
     # ------------------------------------------------------------------
 
-    def _is_solid(self, codes: np.ndarray, start: int) -> bool:
+    def _solid_mask(self, codes: np.ndarray) -> np.ndarray:
+        """Per-position solidity of every k-mer of ``codes``, vectorized.
+
+        Canonical fingerprints for the whole sequence are computed in two
+        rolling passes (same identity as k-mer analysis) instead of
+        re-fingerprinting each window — the membership test is the only
+        per-position Python work left.
+        """
+        n = len(codes) - self.k + 1
         if self.spectrum is None:
-            return True
-        window = np.ascontiguousarray(codes[start : start + self.k])
-        fwd = int(kmer_fingerprints(window, self.k)[0])
-        rc = reverse_complement(window)
-        rcf = int(kmer_fingerprints(np.ascontiguousarray(rc), self.k)[0])
-        return self.spectrum.is_solid(min(fwd, rcf))
+            return np.ones(n, dtype=bool)
+        fwd = kmer_fingerprints(codes, self.k)
+        rc = complement(codes)[::-1]
+        rcf = kmer_fingerprints(np.ascontiguousarray(rc), self.k)[::-1]
+        canon = np.minimum(fwd, rcf)
+        counts = self.spectrum.counts
+        return np.fromiter((int(f) in counts for f in canon),
+                           dtype=bool, count=n)
 
     def add_reads(self, reads: ReadSet) -> None:
         """Insert every (solid) k-mer of every read, in both orientations."""
@@ -86,9 +96,8 @@ class GlobalDeBruijnGraph:
                 if len(codes) < self.k:
                     continue
                 mat = kmer_matrix(codes, self.k)
-                for i in range(mat.shape[0]):
-                    if not self._is_solid(codes, i):
-                        continue
+                solid = self._solid_mask(codes)
+                for i in np.nonzero(solid)[0]:
                     kmer = decode(mat[i])
                     node = self._nodes.setdefault(kmer, _Node())
                     node.count += 1

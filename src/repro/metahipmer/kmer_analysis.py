@@ -125,13 +125,20 @@ class KmerSpectrum:
         k: k-mer size.
         counts: canonical fingerprint -> multiplicity (solid k-mers only).
         total_kmers: k-mers scanned (including dropped singletons).
-        singletons_dropped: k-mers excluded by the error filter.
+        singletons_dropped: occurrences of *true* singletons (multiplicity
+            exactly 1) excluded by the error filter — the sequencing-error
+            signal. Zero when ``min_count <= 1`` (nothing is dropped).
+        threshold_rejected: occurrences of repeated k-mers (multiplicity
+            >= 2) that still fell below ``min_count``. Kept separate from
+            the singletons so a stricter threshold does not masquerade as
+            a higher error rate.
     """
 
     k: int
     counts: dict[int, int] = field(default_factory=dict)
     total_kmers: int = 0
     singletons_dropped: int = 0
+    threshold_rejected: int = 0
 
     def __len__(self) -> int:
         return len(self.counts)
@@ -141,7 +148,12 @@ class KmerSpectrum:
 
     @property
     def error_fraction(self) -> float:
-        """Fraction of scanned k-mers attributed to sequencing errors."""
+        """Fraction of scanned k-mers attributed to sequencing errors.
+
+        Only true singletons count as errors; repeated k-mers rejected by
+        a ``min_count > 2`` threshold are tracked in
+        :attr:`threshold_rejected` instead.
+        """
         return self.singletons_dropped / self.total_kmers if self.total_kmers else 0.0
 
 
@@ -157,6 +169,9 @@ def count_kmers_filtered(
     least twice (i.e. already present at insert time) become count-table
     candidates — singletons never allocate memory, exactly the MetaHipMer
     trick. Pass 2 counts candidates exactly and applies ``min_count``.
+    With ``min_count <= 1`` the prepass is bypassed (its whole point is
+    withholding singletons, which the caller wants kept) and every k-mer
+    is counted exactly.
 
     Args:
         reads: input reads.
@@ -170,14 +185,28 @@ def count_kmers_filtered(
     spectrum = KmerSpectrum(k=k, total_kmers=int(fps.size))
     if fps.size == 0:
         return spectrum
-    bloom = BloomFilter(max(64, bloom_bits_per_kmer * fps.size))
-    repeated = bloom.add(fps)
-    candidates = fps[repeated]
-    # Exact counts for candidates only (true multiplicity, not Bloom's guess)
-    cand_set = np.unique(candidates)
-    mask = np.isin(fps, cand_set)
-    uniq, cnt = np.unique(fps[mask], return_counts=True)
+    if min_count <= 1:
+        # The prepass only promotes k-mers seen >= 2 times, so with
+        # min_count == 1 it would silently drop every singleton the
+        # caller asked to keep — count everything exactly instead.
+        uniq, cnt = np.unique(fps, return_counts=True)
+    else:
+        bloom = BloomFilter(max(64, bloom_bits_per_kmer * fps.size))
+        repeated = bloom.add(fps)
+        candidates = fps[repeated]
+        # Exact counts for candidates only (true multiplicity, not Bloom's
+        # guess)
+        cand_set = np.unique(candidates)
+        mask = np.isin(fps, cand_set)
+        uniq, cnt = np.unique(fps[mask], return_counts=True)
     solid = cnt >= min_count
     spectrum.counts = dict(zip(uniq[solid].tolist(), cnt[solid].tolist()))
-    spectrum.singletons_dropped = spectrum.total_kmers - int(cnt[solid].sum())
+    below = ~solid
+    # Non-candidate occurrences never reached the count table; the Bloom
+    # prepass only withholds k-mers seen once, so they are all singletons.
+    # (A Bloom false positive makes a singleton a candidate — it then
+    # shows up here with cnt == 1 and is classified identically.)
+    uncounted = spectrum.total_kmers - int(cnt.sum())
+    spectrum.singletons_dropped = uncounted + int(cnt[below & (cnt == 1)].sum())
+    spectrum.threshold_rejected = int(cnt[below & (cnt >= 2)].sum())
     return spectrum

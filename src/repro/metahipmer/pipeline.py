@@ -1,17 +1,29 @@
 """The end-to-end de novo assembler (Figure 2), single-node form.
 
-``DeNovoAssembler`` chains every stage the paper's pipeline diagram
-shows: k-mer analysis → global de Bruijn graph → contig generation →
-read alignment → **local assembly** (the paper's kernel, either the CPU
-pipeline or a simulated-GPU port), iterating over the production k-mer
-schedule. Each round assembles at one k and feeds its extended contigs
-forward, so later (larger-k) rounds resolve forks the earlier ones could
-not — the paper's Figure 1 resolution mechanism at pipeline scale.
+``DeNovoAssembler`` drives the staged pipeline in
+:mod:`repro.metahipmer.stages` over the production k-mer schedule:
+k-mer analysis → global de Bruijn graph / contig generation → read
+alignment → **local assembly** (the paper's kernel, either the CPU
+pipeline or a simulated-GPU port) → per-round merge. Each round's merged
+contigs (extensions folded into the sequence) feed the next round as
+pseudo-reads, so later (larger-k) rounds resolve forks the earlier ones
+could not — the paper's Figure 1 resolution mechanism at pipeline scale —
+and bridge regions where raw-read coverage is too thin for the larger k.
+
+With a :class:`PipelineCheckpoint` attached, every completed stage is
+persisted through the CRC-validated
+:class:`~repro.resilience.CheckpointStore`; a killed run re-invoked with
+the same checkpoint directory restores each completed stage instead of
+recomputing it and produces byte-identical final contigs and statistics
+(the pipeline draws no randomness). The ``repro assemble`` CLI
+subcommand exposes this as ``--checkpoint-dir`` / ``--resume``.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.core.extension import PRODUCTION_POLICY, WalkPolicy
 from repro.core.pipeline import LocalAssembler
@@ -19,53 +31,109 @@ from repro.errors import KmerError
 from repro.genomics.contig import Contig
 from repro.genomics.reads import ReadSet
 from repro.kernels.engine import LocalAssemblyKernel
-from repro.metahipmer.alignment import assign_reads_to_ends
-from repro.metahipmer.global_graph import GlobalDeBruijnGraph, generate_contigs
-from repro.metahipmer.kmer_analysis import count_kmers_filtered
+from repro.metahipmer.stages import (
+    STAGE_ORDER,
+    STAGES,
+    AssemblyStats,
+    RoundState,
+    StageCallback,
+    n50,
+)
+from repro.resilience.checkpoint import CheckpointStore
+
+__all__ = [
+    "AssemblyStats",
+    "DeNovoAssembler",
+    "DeNovoResult",
+    "PipelineCheckpoint",
+    "n50",
+    "reads_fingerprint",
+]
 
 
-def n50(lengths: list[int]) -> int:
-    """The standard assembly contiguity metric: the length L such that
-    half of all assembled bases lie in contigs of length >= L."""
-    if not lengths:
-        return 0
-    ordered = sorted(lengths, reverse=True)
-    half = sum(ordered) / 2
-    acc = 0
-    for length in ordered:
-        acc += length
-        if acc >= half:
-            return length
-    return ordered[-1]
+def reads_fingerprint(reads: ReadSet) -> str:
+    """Order-sensitive digest of a read set (sequences + qualities).
+
+    Stored in the checkpoint configuration fingerprint so a ``--resume``
+    against different input data is rejected instead of silently mixing
+    rounds from two datasets.
+    """
+    h = hashlib.sha256()
+    for r in reads:
+        h.update(r.name.encode())
+        h.update(b"\x00")
+        h.update(r.codes.tobytes())
+        h.update(r.quals.tobytes())
+    return h.hexdigest()
 
 
-@dataclass
-class AssemblyStats:
-    """Per-round summary of the pipeline's output."""
+class PipelineCheckpoint:
+    """Per-stage checkpointing for the assembler pipeline.
 
-    k: int
-    solid_kmers: int
-    contigs: int
-    total_bases: int
-    n50: int
-    reads_assigned: int
-    extension_bases: int
+    A thin adapter over :class:`~repro.resilience.CheckpointStore`:
+    stage payloads are saved under the name ``stage_<stage>`` keyed by the
+    round's k, inheriting the store's atomic writes, CRC validation,
+    quarantine-on-corruption and configuration-fingerprint checking.
 
-    @property
-    def mean_contig_length(self) -> float:
-        return self.total_bases / self.contigs if self.contigs else 0.0
+    Args:
+        directory: checkpoint directory (created if missing).
+        meta: configuration fingerprint (scenario, seed, k schedule,
+            thresholds, input-reads digest...); resuming against a
+            checkpoint written under a different fingerprint raises
+            :class:`~repro.errors.CheckpointError`.
+    """
+
+    def __init__(self, directory: str | Path, meta: dict | None = None) -> None:
+        self.store = CheckpointStore(directory, meta={"pipeline": 1,
+                                                      **(meta or {})})
+
+    def load(self, k: int, stage: str) -> dict | None:
+        return self.store.load_payload(f"stage_{stage}", k)
+
+    def save(self, k: int, stage: str, payload: dict) -> None:
+        self.store.save_payload(f"stage_{stage}", k, payload)
+
+    def clear(self) -> None:
+        self.store.clear()
 
 
 @dataclass
 class DeNovoResult:
-    """Final contigs plus per-round statistics."""
+    """Final contigs plus per-round provenance.
+
+    Attributes:
+        contigs: the final merged contigs (every accepted extension folded
+            into the sequence; no dangling extension records).
+        rounds: per-round statistics, in k-schedule order.
+        round_contigs: the merged contigs each round produced (parallel to
+            ``rounds``) — the provenance trail of the feed-forward loop,
+            so intermediate assemblies remain inspectable instead of being
+            overwritten round by round.
+    """
 
     contigs: list[Contig]
     rounds: list[AssemblyStats] = field(default_factory=list)
+    round_contigs: list[list[Contig]] = field(default_factory=list)
 
     @property
     def final_n50(self) -> int:
-        return n50([len(c) + c.total_extension_length() for c in self.contigs])
+        """N50 over the final contigs' full (extension-folded) lengths.
+
+        Uses ``extended_sequence()`` lengths so an unfolded extension
+        record still counts once — never added on top of a sequence it
+        was already merged into.
+        """
+        return n50([len(c.extended_sequence()) for c in self.contigs])
+
+    def fingerprint(self) -> str:
+        """Digest of the final contig names + sequences (golden outputs)."""
+        h = hashlib.sha256()
+        for c in self.contigs:
+            h.update(c.name.encode())
+            h.update(b"\x00")
+            h.update(c.extended_sequence().encode())
+            h.update(b"\n")
+        return h.hexdigest()
 
 
 class DeNovoAssembler:
@@ -73,7 +141,9 @@ class DeNovoAssembler:
 
     Args:
         k_schedule: global-graph k per round (MetaHipMer: 21, 33, 55, 77).
-        min_count: k-mer error-filter threshold.
+        min_count: k-mer error-filter threshold (also the graph's edge
+            support threshold and the carried-contig pseudo-read
+            multiplicity).
         min_contig_len: discard unitigs shorter than this.
         policy: local-assembly walk thresholds.
         kernel: optional simulated-GPU kernel to run the local-assembly
@@ -90,11 +160,27 @@ class DeNovoAssembler:
     ) -> None:
         if not k_schedule or list(k_schedule) != sorted(set(k_schedule)):
             raise KmerError(f"k_schedule must be strictly increasing, got {k_schedule}")
-        self.k_schedule = k_schedule
+        self.k_schedule = tuple(int(k) for k in k_schedule)
         self.min_count = min_count
         self.min_contig_len = min_contig_len
         self.policy = policy
         self.kernel = kernel
+
+    def config_fingerprint(self) -> dict:
+        """JSON-compatible configuration summary for checkpoint meta."""
+        import dataclasses
+
+        return {
+            "k_schedule": list(self.k_schedule),
+            "min_count": self.min_count,
+            "min_contig_len": self.min_contig_len,
+            "policy": dataclasses.asdict(self.policy),
+            "kernel": type(self.kernel).__name__ if self.kernel else None,
+            "device": (self.kernel.device.name
+                       if self.kernel is not None
+                       and getattr(self.kernel, "device", None) is not None
+                       else None),
+        }
 
     def _local_assembly(self, contigs: list[Contig], k: int) -> int:
         """Run the paper's kernel over the aligned contigs; returns bases added."""
@@ -114,30 +200,42 @@ class DeNovoAssembler:
         assembler.assemble(contigs)
         return sum(c.total_extension_length() for c in contigs)
 
-    def assemble(self, reads: ReadSet) -> DeNovoResult:
-        """Run every pipeline round; returns final contigs + statistics."""
+    def assemble(
+        self,
+        reads: ReadSet,
+        checkpoint: PipelineCheckpoint | None = None,
+        on_stage: StageCallback | None = None,
+    ) -> DeNovoResult:
+        """Run every pipeline round; returns final contigs + statistics.
+
+        Args:
+            reads: input sequencing reads.
+            checkpoint: persist each completed stage and restore existing
+                stage checkpoints instead of recomputing (resume).
+            on_stage: called after each stage as ``(k, stage, resumed)``
+                — progress reporting for the CLI.
+        """
         result = DeNovoResult(contigs=[])
+        carried: list[Contig] = []
         for k in self.k_schedule:
-            spectrum = count_kmers_filtered(reads, k, min_count=self.min_count)
-            graph = GlobalDeBruijnGraph(k, spectrum,
-                                        min_edge_count=self.min_count)
-            graph.add_reads(reads)
-            seqs = generate_contigs(graph, min_length=max(self.min_contig_len,
-                                                          k + 2))
-            contigs = [Contig.from_string(f"k{k}_contig{i}", s)
-                       for i, s in enumerate(seqs)]
-            if not contigs:
-                continue
-            stats_align = assign_reads_to_ends(contigs, reads)
-            ext = self._local_assembly(contigs, k)
-            result.contigs = contigs
-            result.rounds.append(AssemblyStats(
-                k=k,
-                solid_kmers=len(spectrum),
-                contigs=len(contigs),
-                total_bases=sum(len(c) for c in contigs),
-                n50=n50([len(c) for c in contigs]),
-                reads_assigned=stats_align["assigned"],
-                extension_bases=ext,
-            ))
+            state = RoundState(k=k, reads=reads, carried=carried)
+            for name in STAGE_ORDER:
+                stage = STAGES[name]
+                payload = checkpoint.load(k, name) if checkpoint else None
+                resumed = payload is not None
+                if resumed:
+                    stage.restore(self, state, payload)
+                else:
+                    payload = stage.run(self, state)
+                    if checkpoint is not None:
+                        checkpoint.save(k, name, payload)
+                if on_stage is not None:
+                    on_stage(k, name, resumed)
+                if name == "contigs" and not state.contigs:
+                    break  # nothing to align/extend; carry forward as-is
+            if state.stats is not None:
+                result.rounds.append(state.stats)
+                result.round_contigs.append(state.merged)
+                carried = state.merged
+        result.contigs = carried
         return result

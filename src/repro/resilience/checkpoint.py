@@ -162,24 +162,12 @@ class CheckpointStore:
                 pass  # raced with the writer's own rename/cleanup
         return swept
 
-    def save(self, device_name: str, k: int, result: KernelRunResult,
-             full_profile: KernelProfile) -> Path:
-        """Persist one completed run (atomically via rename).
+    def _write_atomic(self, path: Path, payload: dict) -> Path:
+        """Stage ``payload`` in a per-pid scratch file, fsync, rename.
 
-        The payload is staged in a per-process scratch file and fsynced
-        before the rename; on any failure the scratch file is removed so
-        aborted saves leave nothing behind.
+        On any failure the scratch file is removed so aborted saves leave
+        nothing behind.
         """
-        payload = {
-            "format": CHECKPOINT_FORMAT,
-            "meta": self.meta,
-            "device": device_name,
-            "k": k,
-            "result": result_to_dict(result),
-            "full_profile": profile_to_dict(full_profile),
-        }
-        payload["crc"] = payload_crc(payload)
-        path = self.path_for(device_name, k)
         tmp = self.directory / f"{path.name}.{os.getpid()}.tmp"
         try:
             with open(tmp, "w", encoding="utf-8") as fh:
@@ -191,6 +179,40 @@ class CheckpointStore:
             tmp.unlink(missing_ok=True)
             raise
         return path
+
+    def _framed(self, name: str, k: int, sections: dict) -> dict:
+        """Wrap ``sections`` in the validated checkpoint frame (format,
+        configuration fingerprint, CRC)."""
+        payload = {
+            "format": CHECKPOINT_FORMAT,
+            "meta": self.meta,
+            "device": name,
+            "k": k,
+            **sections,
+        }
+        payload["crc"] = payload_crc(payload)
+        return payload
+
+    def save(self, device_name: str, k: int, result: KernelRunResult,
+             full_profile: KernelProfile) -> Path:
+        """Persist one completed run (atomically via rename)."""
+        payload = self._framed(device_name, k, {
+            "result": result_to_dict(result),
+            "full_profile": profile_to_dict(full_profile),
+        })
+        return self._write_atomic(self.path_for(device_name, k), payload)
+
+    def save_payload(self, name: str, k: int, data: dict) -> Path:
+        """Persist an arbitrary JSON-compatible payload under ``name``.
+
+        The generic sibling of :meth:`save`: the same atomic write, CRC,
+        format version and configuration fingerprint, but the body is a
+        caller-defined dict instead of a kernel run. The assembler
+        pipeline (:mod:`repro.metahipmer.pipeline`) checkpoints each
+        stage's output this way.
+        """
+        payload = self._framed(name, k, {"data": data})
+        return self._write_atomic(self.path_for(name, k), payload)
 
     def quarantine(self, path: Path, reason: str) -> Path:
         """Move a damaged checkpoint aside and treat it as missing.
@@ -234,7 +256,41 @@ class CheckpointStore:
         device spec and may be ``None`` when the caller only needs the
         counters.
         """
-        path = self.path_for(name, k)
+        payload = self._read_validated(self.path_for(name, k))
+        if payload is None:
+            return None
+        try:
+            result = result_from_dict(payload["result"], device)
+            full = profile_from_dict(payload["full_profile"])
+        except KeyError:
+            self.quarantine(self.path_for(name, k), "missing payload sections")
+            return None
+        return result, full
+
+    def load_payload(self, name: str, k: int) -> dict | None:
+        """Load a payload saved by :meth:`save_payload`, or ``None``.
+
+        The same validation contract as :meth:`load`: corrupt files are
+        quarantined and reported missing (the caller recomputes); format
+        or configuration-fingerprint mismatches raise
+        :class:`~repro.errors.CheckpointError`.
+        """
+        payload = self._read_validated(self.path_for(name, k))
+        if payload is None:
+            return None
+        data = payload.get("data")
+        if not isinstance(data, dict):
+            self.quarantine(self.path_for(name, k), "missing payload sections")
+            return None
+        return data
+
+    def _read_validated(self, path: Path) -> dict | None:
+        """Read + frame-validate one checkpoint file.
+
+        Environmental damage (unparseable bytes, CRC mismatch) is
+        quarantined and returns ``None``; configuration problems (format
+        drift, meta mismatch) raise :class:`CheckpointError`.
+        """
         if not path.exists():
             return None
         try:
@@ -260,13 +316,7 @@ class CheckpointStore:
                 f"checkpoint {path} was written by a different configuration "
                 f"({payload.get('meta')} != {self.meta}); use a fresh "
                 "checkpoint directory or matching settings")
-        try:
-            result = result_from_dict(payload["result"], device)
-            full = profile_from_dict(payload["full_profile"])
-        except KeyError:
-            self.quarantine(path, "missing payload sections")
-            return None
-        return result, full
+        return payload
 
     def completed(self) -> set[tuple[str, int]]:
         """The ``(device_name, k)`` pairs with a *usable* checkpoint on disk.

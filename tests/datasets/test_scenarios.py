@@ -1,0 +1,119 @@
+"""Scenario presets: determinism, golden outputs, and the feed-forward
+regression scenario (multi-k strictly beats single-k)."""
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import pytest
+
+from repro.datasets.scenarios import SCENARIOS, get_scenario
+from repro.genomics.dna import decode, reverse_complement
+from repro.metahipmer.pipeline import DeNovoAssembler
+
+GOLDEN = json.loads(
+    (Path(__file__).parent / "golden_scenarios.json").read_text())
+
+
+def _assemble(scenario):
+    data = scenario.build()
+    asm = DeNovoAssembler(k_schedule=scenario.k_schedule,
+                          min_count=scenario.min_count)
+    return data, asm.assemble(data.reads)
+
+
+class TestRegistry:
+    def test_expected_presets(self):
+        assert set(SCENARIOS) == {
+            "single_genome", "metagenome", "uneven_coverage",
+            "high_error", "tandem_repeat", "fork_resolution",
+        }
+
+    def test_get_scenario_unknown(self):
+        with pytest.raises(KeyError, match="valid:"):
+            get_scenario("nope")
+
+    def test_build_is_deterministic(self):
+        sc = get_scenario("metagenome")
+        a, b = sc.build(), sc.build()
+        assert len(a.reads) == len(b.reads)
+        assert all(x.sequence == y.sequence and x.name == y.name
+                   for x, y in zip(a.reads, b.reads))
+
+    def test_build_seed_override_changes_data(self):
+        sc = get_scenario("single_genome")
+        a, b = sc.build(), sc.build(seed=999)
+        assert any(x.sequence != y.sequence for x, y in zip(a.reads, b.reads))
+
+
+class TestGoldenOutputs:
+    """Every preset's assembly is pinned: fingerprint, N50, round stats."""
+
+    def test_golden_covers_every_preset(self):
+        assert set(GOLDEN) == set(SCENARIOS)
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_matches_golden(self, name):
+        _, result = _assemble(SCENARIOS[name])
+        want = GOLDEN[name]
+        assert result.fingerprint() == want["final_fingerprint"]
+        assert len(result.contigs) == want["final_contigs"]
+        assert result.final_n50 == want["final_n50"]
+        assert [asdict(s) for s in result.rounds] == want["rounds"]
+
+
+class TestForkResolution:
+    """The committed feed-forward regression: k=(21,33) must strictly
+    beat k=(33,) alone. Fails if round k+1 does not re-ingest round k's
+    merged contigs (the pre-fix pipeline rebuilt every round from raw
+    reads, making the last round equivalent to single-k assembly)."""
+
+    def test_multi_k_strictly_beats_single_k(self):
+        sc = get_scenario("fork_resolution")
+        data = sc.build()
+        single = DeNovoAssembler(k_schedule=(33,),
+                                 min_count=sc.min_count).assemble(data.reads)
+        multi = DeNovoAssembler(k_schedule=(21, 33),
+                                min_count=sc.min_count).assemble(data.reads)
+        longest = lambda r: max(len(c.extended_sequence()) for c in r.contigs)
+        assert longest(multi) > longest(single)
+        assert multi.final_n50 > single.final_n50
+
+    def test_multi_k_reconstructs_full_genome(self):
+        sc = get_scenario("fork_resolution")
+        data, result = _assemble(sc)
+        truth = decode(data.genomes[0])
+        assert len(result.contigs) == 1
+        seq = result.contigs[0].extended_sequence()
+        assert seq == truth or str(reverse_complement(seq)) == truth
+
+    def test_single_k_breaks_at_thin_junction(self):
+        sc = get_scenario("fork_resolution")
+        data = sc.build()
+        single = DeNovoAssembler(k_schedule=(33,),
+                                 min_count=sc.min_count).assemble(data.reads)
+        assert len(single.contigs) == 2
+
+    def test_provenance_accumulates_per_round(self):
+        _, result = _assemble(get_scenario("fork_resolution"))
+        assert [s.k for s in result.rounds] == [21, 33]
+        assert len(result.round_contigs) == 2
+        # round 2 saw round 1's merged contigs
+        assert result.rounds[1].carried_in == len(result.round_contigs[0])
+        # and the final contigs are exactly the last round's merge
+        assert result.contigs == result.round_contigs[-1]
+
+
+class TestFeedForwardBridging:
+    def test_uneven_coverage_improves_across_rounds(self):
+        """The thin half breaks at k=33 from raw reads alone; carried
+        contigs bridge it, so the merged N50 improves round to round."""
+        _, result = _assemble(get_scenario("uneven_coverage"))
+        assert result.rounds[1].merged_n50 > result.rounds[0].merged_n50
+
+    def test_tandem_repeat_stays_broken(self):
+        """The pathological case: a 30 bp unit x4 cannot be resolved at
+        k<=33, multi-k or not — the assembly stays fragmented."""
+        data, result = _assemble(get_scenario("tandem_repeat"))
+        assert len(result.contigs) > 1
+        assert result.final_n50 < len(data.genomes[0])

@@ -131,3 +131,51 @@ class TestCountKmersFiltered:
     def test_rejects_bad_k(self):
         with pytest.raises(KmerError):
             count_kmers_filtered(ReadSet(), 0)
+
+    def test_min_count_one_keeps_singletons(self):
+        """Regression: the Bloom prepass must not impose a floor of 2.
+
+        With ``min_count=1`` every scanned k-mer — singletons included —
+        must be counted; previously the prepass silently behaved like
+        ``min_count=2``.
+        """
+        reads = ReadSet([Read.from_strings("a", "ACGGATTACACTGAG"),
+                         Read.from_strings("b", "TGCATCCAAGGTCTT")])
+        spectrum = count_kmers_filtered(reads, 11, min_count=1)
+        assert len(spectrum) == spectrum.total_kmers == 2 * (15 - 11 + 1)
+        assert all(c == 1 for c in spectrum.counts.values())
+        assert spectrum.singletons_dropped == 0
+        assert spectrum.threshold_rejected == 0
+        assert spectrum.error_fraction == 0.0
+
+    def test_min_count_one_matches_two_on_repeats(self):
+        """min_count=1 must agree with min_count=2 on non-singletons."""
+        reads = ReadSet([Read.from_strings(f"r{i}", "ACGGATTACACT")
+                         for i in range(2)])
+        s1 = count_kmers_filtered(reads, 8, min_count=1)
+        s2 = count_kmers_filtered(reads, 8, min_count=2)
+        assert s1.counts == s2.counts
+
+    def test_threshold_rejected_tracked_separately(self):
+        """Regression: a doubleton rejected by min_count=3 is not an
+        'error' — it must land in threshold_rejected, not
+        singletons_dropped, so error_fraction stays honest."""
+        reads = ReadSet([Read.from_strings("a", "ACGGATTACACT"),
+                         Read.from_strings("b", "ACGGATTACACT"),
+                         Read.from_strings("c", "TGCATCCAAGGT")])
+        spectrum = count_kmers_filtered(reads, 12, min_count=3)
+        assert len(spectrum) == 0
+        # a+b: one canonical 12-mer seen twice; c: one singleton
+        assert spectrum.threshold_rejected == 2
+        assert spectrum.singletons_dropped == 1
+        assert spectrum.error_fraction == pytest.approx(1 / 3)
+
+    def test_min_count_two_semantics_unchanged(self):
+        """The default path still drops exactly the singletons."""
+        reads = ReadSet([Read.from_strings("a", "ACGGATTACACT"),
+                         Read.from_strings("b", "ACGGATTACACT"),
+                         Read.from_strings("c", "TGCATCCAAGGT")])
+        spectrum = count_kmers_filtered(reads, 12, min_count=2)
+        assert len(spectrum) == 1
+        assert spectrum.singletons_dropped == 1
+        assert spectrum.threshold_rejected == 0

@@ -118,6 +118,57 @@ class TestValidation:
         assert store.completed() == set()
 
 
+class TestGenericPayloads:
+    """save_payload/load_payload: the generic framing used by the
+    assembler pipeline's stage checkpoints."""
+
+    DATA = {"spectrum": {"fingerprints": [1, 2, 3], "counts": [4, 5, 6]},
+            "note": "stage payload"}
+
+    def test_round_trip(self, tmp_path):
+        store = CheckpointStore(tmp_path, meta={"pipeline": 1})
+        store.save_payload("stage_kmers", 21, self.DATA)
+        assert store.load_payload("stage_kmers", 21) == self.DATA
+
+    def test_missing_is_none(self, tmp_path):
+        assert CheckpointStore(tmp_path).load_payload("stage_kmers", 21) is None
+
+    def test_keyed_by_name_and_k(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save_payload("stage_kmers", 21, {"a": 1})
+        store.save_payload("stage_kmers", 33, {"a": 2})
+        store.save_payload("stage_merge", 21, {"a": 3})
+        assert store.load_payload("stage_kmers", 21) == {"a": 1}
+        assert store.load_payload("stage_kmers", 33) == {"a": 2}
+        assert store.load_payload("stage_merge", 21) == {"a": 3}
+
+    def test_meta_mismatch_rejected(self, tmp_path):
+        CheckpointStore(tmp_path, meta={"reads": "abc"}).save_payload(
+            "stage_kmers", 21, self.DATA)
+        other = CheckpointStore(tmp_path, meta={"reads": "xyz"})
+        with pytest.raises(CheckpointError, match="different configuration"):
+            other.load_payload("stage_kmers", 21)
+
+    def test_crc_mismatch_quarantined(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        path = store.save_payload("stage_kmers", 21, self.DATA)
+        payload = json.loads(path.read_text())
+        payload["data"]["note"] = "tampered"  # stale CRC
+        path.write_text(json.dumps(payload))
+        assert store.load_payload("stage_kmers", 21) is None
+        assert not path.exists() and len(store.quarantined) == 1
+
+    def test_missing_data_section_quarantined(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        path = store.save_payload("stage_kmers", 21, self.DATA)
+        payload = json.loads(path.read_text())
+        del payload["data"]
+        payload["crc"] = payload_crc(payload)  # valid frame, no payload
+        path.write_text(json.dumps(payload))
+        assert store.load_payload("stage_kmers", 21) is None
+        assert len(store.quarantined) == 1
+
+
 class TestSuiteResume:
     def test_crash_then_resume_matches_uninterrupted(self, tmp_path):
         reference = ExperimentSuite(ExperimentConfig(**CFG))
