@@ -275,23 +275,68 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    from repro.sanitize.lint import (
-        lint_paths,
-        render_json,
-        render_text,
-        select_rules,
+    import inspect
+    from pathlib import Path
+
+    from repro.sanitize.lint import RULES, render_json, render_text
+    from repro.sanitize.semantic import (
+        UNUSED_SUPPRESSION_EXPLANATION,
+        UNUSED_SUPPRESSION_ID,
+        analyze_paths,
+        render_sarif,
+        write_baseline,
     )
 
+    if args.explain:
+        from repro.sanitize.lint import expand_select
+        ids = [s.strip() for s in args.explain.split(",")]
+        special = [i for i in ids if i == UNUSED_SUPPRESSION_ID]
+        try:
+            ids = special + expand_select(
+                [i for i in ids if i != UNUSED_SUPPRESSION_ID])
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        chunks = []
+        for rule_id in ids:
+            if rule_id == UNUSED_SUPPRESSION_ID:
+                chunks.append(UNUSED_SUPPRESSION_EXPLANATION)
+                continue
+            rule = RULES[rule_id]
+            doc = inspect.cleandoc(rule.__doc__ or rule.description)
+            chunks.append(f"{rule_id}: {rule.description}\n\n{doc}")
+        print("\n\n".join(chunks))
+        return 0
+
+    select = ([s.strip() for s in args.select.split(",")]
+              if args.select else None)
+    baseline = args.baseline
+    if baseline is None and Path("LINT_BASELINE.json").exists():
+        baseline = "LINT_BASELINE.json"
     try:
-        rules = (select_rules([s.strip() for s in args.select.split(",")])
-                 if args.select else None)
+        result = analyze_paths(args.paths, select=select,
+                               cache_path=args.cache,
+                               baseline_path=baseline)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    findings = lint_paths(args.paths, rules)
-    print(render_json(findings) if args.format == "json"
-          else render_text(findings))
-    return 1 if findings else 0
+    if args.write_baseline:
+        target = Path(baseline or "LINT_BASELINE.json")
+        write_baseline(target, result.all_findings)
+        n = sum(1 for f in result.all_findings
+                if f.rule != UNUSED_SUPPRESSION_ID)
+        print(f"wrote {n} baseline finding(s) to {target}", file=sys.stderr)
+        return 0
+    if args.format == "json":
+        print(render_json(result.findings))
+    elif args.format == "sarif":
+        print(render_sarif(result.findings))
+    else:
+        print(render_text(result.findings))
+    print(f"{result.files} file(s), {result.reused} cached, "
+          f"{result.suppressed} suppressed, {result.baselined} baselined",
+          file=sys.stderr)
+    return result.exit_code
 
 
 def _bench_one_suite(suite: str, args: argparse.Namespace) -> int:
@@ -606,9 +651,24 @@ def build_parser() -> argparse.ArgumentParser:
         "lint", help="run the repo-invariant static lint rules")
     p_lint.add_argument("paths", nargs="*", default=["src"],
                         help="files/directories to lint (default: src)")
-    p_lint.add_argument("--format", default="text", choices=("text", "json"))
+    p_lint.add_argument("--format", default="text",
+                        choices=("text", "json", "sarif"))
     p_lint.add_argument("--select", default=None, metavar="IDS",
-                        help="comma-separated rule ids (default: all rules)")
+                        help="comma-separated rule ids, ranges, or "
+                             "prefixes, e.g. REP003,REP009-REP013,REP0 "
+                             "(default: all rules)")
+    p_lint.add_argument("--explain", default=None, metavar="ID",
+                        help="print the rule docstring(s) for the given "
+                             "id(s) and exit")
+    p_lint.add_argument("--baseline", default=None, metavar="PATH",
+                        help="baseline file of grandfathered findings "
+                             "(default: LINT_BASELINE.json if present)")
+    p_lint.add_argument("--write-baseline", action="store_true",
+                        help="write the current findings to the baseline "
+                             "file and exit 0")
+    p_lint.add_argument("--cache", default=None, metavar="PATH",
+                        help="incremental analysis cache keyed by file "
+                             "content hash (off unless given)")
     p_lint.set_defaults(func=_cmd_lint)
     return ap
 

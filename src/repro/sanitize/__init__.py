@@ -11,7 +11,11 @@ Two prongs, modeled on the vendor tool split:
   checker — the mutation-style self-test that proves each checker can
   actually catch its bug class.
 * **static** — :mod:`~repro.sanitize.lint`, an AST lint engine with
-  repo-invariant rules (REP001–REP005) run as ``repro-locassm lint``.
+  per-file repo-invariant rules, plus :mod:`~repro.sanitize.semantic`,
+  the whole-program pass (symbol table, call graph, interprocedural
+  rules with noqa pragmas / baseline / SARIF / incremental cache).
+  Together they form the catalog REP001–REP013, run as
+  ``repro-locassm lint``.
 """
 
 from repro.sanitize import demo as _demo  # noqa: F401  (registers buggy-demo)
@@ -21,11 +25,18 @@ from repro.sanitize.lint import (
     RULES,
     LintFinding,
     LintRule,
+    expand_select,
     lint_paths,
     lint_source,
     render_json,
     render_text,
     select_rules,
+)
+from repro.sanitize.semantic import (
+    AnalysisResult,
+    SemanticRule,
+    analyze_paths,
+    render_sarif,
 )
 from repro.sanitize.report import (
     CHECKS,
@@ -46,11 +57,24 @@ __all__ = [
     "parse_checks",
     # static prong
     "RULES",
+    "AnalysisResult",
     "LintFinding",
     "LintRule",
+    "SemanticRule",
+    "analyze_paths",
+    "expand_select",
     "lint_paths",
     "lint_source",
     "render_json",
+    "render_sarif",
     "render_text",
     "select_rules",
 ]
+
+# The docstring names the catalog span; assert it against the registered
+# rules so the text cannot drift again when REP014 lands (the REP001–
+# REP005 staleness this guards against was a real bug).
+_SPAN = f"{min(RULES)}–{max(RULES)}"
+assert _SPAN in __doc__, (
+    f"stale sanitize docstring: catalog is {_SPAN}, docstring says "
+    f"otherwise - update the rule span in src/repro/sanitize/__init__.py")

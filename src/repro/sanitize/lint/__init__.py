@@ -8,6 +8,7 @@ from repro.sanitize.lint.engine import (
     RULES,
     LintFinding,
     LintRule,
+    expand_select,
     iter_python_files,
     lint_paths,
     lint_source,
@@ -17,11 +18,16 @@ from repro.sanitize.lint.engine import (
     select_rules,
 )
 from repro.sanitize.lint import rules as _rules  # noqa: F401  (registers REP00x)
+# The semantic rules live one package over but share this catalog; load
+# them here so RULES is always the complete REP001–REP013 set no matter
+# which sanitize entry point gets imported first.
+from repro.sanitize.semantic import rules as _semantic  # noqa: F401
 
 __all__ = [
     "RULES",
     "LintFinding",
     "LintRule",
+    "expand_select",
     "iter_python_files",
     "lint_paths",
     "lint_source",

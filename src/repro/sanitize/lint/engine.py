@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import ast
 import json
+import re
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Iterable, Iterator
@@ -67,15 +68,48 @@ def register_rule(cls: type[LintRule]) -> type[LintRule]:
     return cls
 
 
-def select_rules(select: Iterable[str] | None = None) -> list[LintRule]:
-    """The rule set to run: all registered rules, or just ``select`` ids."""
-    if select is None:
-        return list(RULES.values())
-    missing = [s for s in select if s not in RULES]
+_RANGE_RE = re.compile(r"(REP\d{3})-(REP\d{3})\Z")
+
+
+def expand_select(select: Iterable[str]) -> list[str]:
+    """Expand selection items into concrete rule ids.
+
+    Accepts exact ids (``REP006``), inclusive ranges over the registered
+    catalog (``REP009-REP013``), and prefixes (``REP0``, ``REP01``).
+    Unknown items — exact ids not in the catalog, ranges or prefixes
+    matching nothing — raise the same ``unknown lint rule id(s)`` error
+    the exact-id path always has. Order is preserved, duplicates drop.
+    """
+    out: list[str] = []
+    missing: list[str] = []
+    for item in select:
+        if item in RULES:
+            ids = [item]
+        else:
+            m = _RANGE_RE.fullmatch(item)
+            if m is not None:
+                lo, hi = sorted((m.group(1), m.group(2)))
+                ids = [r for r in sorted(RULES) if lo <= r <= hi]
+            elif item.startswith("REP") and not item.isalpha():
+                ids = [r for r in sorted(RULES) if r.startswith(item)]
+            else:
+                ids = []
+        if not ids:
+            missing.append(item)
+        out.extend(i for i in ids if i not in out)
     if missing:
         raise ValueError(f"unknown lint rule id(s) {missing!r}; "
                          f"known: {sorted(RULES)}")
-    return [RULES[s] for s in select]
+    return out
+
+
+def select_rules(select: Iterable[str] | None = None) -> list[LintRule]:
+    """The rule set to run: all registered rules, or just ``select``
+    items (exact ids, ``REP0xx-REP0yy`` ranges, or ``REP0``-style
+    prefixes — see :func:`expand_select`)."""
+    if select is None:
+        return list(RULES.values())
+    return [RULES[s] for s in expand_select(select)]
 
 
 def lint_source(source: str, path: str = "<string>",

@@ -1,0 +1,46 @@
+"""Whole-program semantic analysis: call graph + interprocedural rules.
+
+The per-file lint catalog (:mod:`repro.sanitize.lint`) cannot see a
+blocking call two frames below a coroutine or an event emitted in one
+module and handled in another. This package adds the cross-file half:
+per-module fact extraction (:mod:`~repro.sanitize.semantic.summary`),
+a project symbol table + call graph over those facts
+(:mod:`~repro.sanitize.semantic.callgraph`), rules REP009–REP013
+(:mod:`~repro.sanitize.semantic.rules`), and the analyzer pipeline with
+noqa pragmas, baseline, SARIF output, and the content-hash incremental
+cache (:mod:`~repro.sanitize.semantic.analyzer`).
+
+Importing the package registers REP009–REP013 into the shared
+:data:`~repro.sanitize.lint.engine.RULES` catalog.
+"""
+
+from repro.sanitize.semantic.analyzer import (
+    UNUSED_SUPPRESSION_EXPLANATION,
+    UNUSED_SUPPRESSION_ID,
+    AnalysisResult,
+    analyze_paths,
+    extract_pragmas,
+    load_baseline,
+    render_sarif,
+    rules_fingerprint,
+    write_baseline,
+)
+from repro.sanitize.semantic.callgraph import Project
+from repro.sanitize.semantic.rules import SemanticRule, is_semantic
+from repro.sanitize.semantic.summary import extract_summary
+
+__all__ = [
+    "UNUSED_SUPPRESSION_EXPLANATION",
+    "UNUSED_SUPPRESSION_ID",
+    "AnalysisResult",
+    "Project",
+    "SemanticRule",
+    "analyze_paths",
+    "extract_pragmas",
+    "extract_summary",
+    "is_semantic",
+    "load_baseline",
+    "render_sarif",
+    "rules_fingerprint",
+    "write_baseline",
+]

@@ -1,0 +1,338 @@
+"""The analysis pipeline: cache, suppressions, baseline, and output.
+
+:func:`analyze_paths` is the one entry point ``repro lint`` uses. It
+runs the syntactic catalog per file and the semantic catalog over the
+whole-program :class:`~repro.sanitize.semantic.callgraph.Project`, then
+applies the two escape hatches in order:
+
+1. ``# repro: noqa [REP0xx[,REP0yy]]`` pragmas suppress findings on
+   their line; a pragma that suppresses nothing is itself reported as
+   :data:`UNUSED_SUPPRESSION_ID` (``REP000``) so dead suppressions
+   cannot accumulate.
+2. A committed baseline file (``LINT_BASELINE.json``) grandfathers
+   known findings by ``(rule, path, message)`` — new code must ship
+   clean while pre-existing debt stays visible in the file, not in CI.
+
+The incremental cache stores, per file content hash, the syntactic
+findings (for the *whole* catalog, filtered at query time so one cache
+serves any ``--select``) plus the module summary and pragma table. Warm
+runs re-parse only changed files; the semantic pass always re-runs over
+the (cheap) summaries, so cold and warm runs are byte-identical by
+construction. The cache key also folds in the rule sources — editing
+any rule or the extractor invalidates every entry.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import io
+import json
+import re
+import tokenize
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.sanitize.lint.engine import (
+    RULES, LintFinding, select_rules,
+)
+from repro.sanitize.semantic.callgraph import Project
+from repro.sanitize.semantic.rules import is_semantic
+from repro.sanitize.semantic.summary import extract_summary, module_name_for
+
+#: Pseudo-rule id for "this noqa pragma suppressed nothing". Engine-
+#: generated rather than registered: it has no checker to run, cannot be
+#: selected, and must never count toward the documented catalog.
+UNUSED_SUPPRESSION_ID = "REP000"
+
+UNUSED_SUPPRESSION_EXPLANATION = (
+    "REP000: unused suppression. A '# repro: noqa' pragma on this line "
+    "suppressed no finding (or names rule ids that produced none). Dead "
+    "pragmas hide real regressions behind stale exemptions - delete the "
+    "pragma, or narrow it to the rule ids that actually fire."
+)
+
+_PRAGMA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\s+(?P<rules>REP\d{3}(?:\s*,\s*REP\d{3})*))?")
+
+_CACHE_VERSION = 3
+
+
+def extract_pragmas(source: str) -> list[dict]:
+    """``# repro: noqa`` pragmas: ``{"line", "rules"}`` per occurrence
+    (``rules == []`` means blanket — suppress every rule on the line).
+
+    Only real COMMENT tokens count — the pragma text inside a docstring
+    or string literal (like the ones in this module) is documentation,
+    not a suppression.
+    """
+    pragmas = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            m = _PRAGMA_RE.search(tok.string)
+            if m is None:
+                continue
+            spec = m.group("rules")
+            rules = ([] if spec is None
+                     else [r.strip() for r in spec.split(",")])
+            pragmas.append({"line": tok.start[0], "rules": rules})
+    except tokenize.TokenError:
+        pass  # ast.parse already rejected anything truly broken
+    return pragmas
+
+
+def rules_fingerprint() -> str:
+    """Hash of the catalog ids plus the rule/extractor sources — any
+    edit to what the analyzer *means* invalidates every cache entry."""
+    import repro.sanitize.lint.rules as lint_rules
+    import repro.sanitize.semantic.callgraph as cg
+    import repro.sanitize.semantic.rules as sem_rules
+    import repro.sanitize.semantic.summary as summ
+    h = hashlib.sha256()
+    h.update(f"v{_CACHE_VERSION}|{','.join(sorted(RULES))}|".encode())
+    for mod in (lint_rules, sem_rules, summ, cg):
+        h.update(Path(mod.__file__).read_bytes())
+    return h.hexdigest()[:16]
+
+
+def iter_files_with_roots(paths: Iterable[str | Path]) \
+        -> Iterator[tuple[Path, Path]]:
+    """``(root, file)`` pairs; module names derive from ``root``."""
+    for p in paths:
+        p = Path(p)
+        if p.is_dir():
+            for file in sorted(p.rglob("*.py")):
+                yield (p, file)
+        else:
+            yield (p.parent, p)
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one ``repro lint`` invocation produced."""
+
+    findings: list[LintFinding]          #: post-suppression, post-baseline
+    files: int = 0                       #: files analyzed
+    reused: int = 0                      #: files served from the cache
+    suppressed: int = 0                  #: findings eaten by noqa pragmas
+    baselined: int = 0                   #: findings eaten by the baseline
+    all_findings: list[LintFinding] = field(default_factory=list)
+    project: Project | None = None
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+
+def _load_cache(path: Path | None, fingerprint: str) -> dict:
+    if path is None or not path.exists():
+        return {}
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (ValueError, OSError):
+        return {}
+    if data.get("fingerprint") != fingerprint:
+        return {}
+    files = data.get("files")
+    return files if isinstance(files, dict) else {}
+
+
+def _save_cache(path: Path | None, fingerprint: str, files: dict) -> None:
+    if path is None:
+        return
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {"version": _CACHE_VERSION, "fingerprint": fingerprint,
+               "files": files}
+    path.write_text(json.dumps(payload, sort_keys=True),
+                    encoding="utf-8")
+
+
+def _analyze_file(root: Path, file: Path) -> dict:
+    source = file.read_bytes().decode("utf-8")
+    tree = ast.parse(source, filename=str(file))
+    try:
+        rel_parts = file.relative_to(root).parts
+    except ValueError:
+        rel_parts = (file.name,)
+    module = module_name_for(rel_parts)
+    findings: list[LintFinding] = []
+    for rule in RULES.values():
+        if not is_semantic(rule):
+            findings.extend(rule.check(tree, str(file)))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return {
+        "findings": [asdict(f) for f in findings],
+        "summary": extract_summary(tree, str(file), module),
+        "pragmas": extract_pragmas(source),
+    }
+
+
+def load_baseline(path: Path | None) -> set[tuple[str, str, str]]:
+    """Grandfathered findings as ``(rule, path, message)`` triples."""
+    if path is None or not path.exists():
+        return set()
+    data = json.loads(path.read_text(encoding="utf-8"))
+    return {(f["rule"], f["path"], f["message"])
+            for f in data.get("findings", [])}
+
+
+def write_baseline(path: Path, findings: list[LintFinding]) -> None:
+    """Commit the current findings as the accepted debt set."""
+    payload = {
+        "version": 1,
+        "comment": ("Grandfathered repro-lint findings. Entries match on "
+                    "(rule, path, message); remove them as the debt is "
+                    "paid down. New findings never belong here without a "
+                    "written justification in the PR."),
+        "findings": [{"rule": f.rule, "path": f.path, "message": f.message}
+                     for f in sorted(findings,
+                                     key=lambda f: (f.path, f.line, f.col,
+                                                    f.rule))
+                     if f.rule != UNUSED_SUPPRESSION_ID],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def _apply_suppressions(findings: list[LintFinding],
+                        pragmas_by_path: dict[str, list[dict]]) \
+        -> tuple[list[LintFinding], list[LintFinding], int]:
+    """(kept, REP000 findings for unused pragmas, suppressed count)."""
+    used: dict[tuple[str, int], set[str]] = {}
+    kept: list[LintFinding] = []
+    suppressed = 0
+    index = {(path, p["line"]): p
+             for path, pragmas in pragmas_by_path.items() for p in pragmas}
+    for finding in findings:
+        pragma = index.get((finding.path, finding.line))
+        if pragma is not None and (not pragma["rules"]
+                                   or finding.rule in pragma["rules"]):
+            used.setdefault((finding.path, finding.line),
+                            set()).add(finding.rule)
+            suppressed += 1
+            continue
+        kept.append(finding)
+    unused: list[LintFinding] = []
+    for path, pragmas in pragmas_by_path.items():
+        for pragma in pragmas:
+            fired = used.get((path, pragma["line"]), set())
+            if not pragma["rules"]:
+                if fired:
+                    continue
+                message = ("unused suppression: this '# repro: noqa' "
+                           "pragma suppressed no finding; delete it")
+            else:
+                idle = [r for r in pragma["rules"] if r not in fired]
+                if not idle:
+                    continue
+                message = (f"unused suppression: {', '.join(idle)} "
+                           f"produced no finding on this line; drop the "
+                           f"id(s) or the pragma")
+            unused.append(LintFinding(rule=UNUSED_SUPPRESSION_ID, path=path,
+                                      line=pragma["line"], col=0,
+                                      message=message))
+    return kept, unused, suppressed
+
+
+def analyze_paths(paths: Iterable[str | Path], *,
+                  select: Iterable[str] | None = None,
+                  cache_path: str | Path | None = None,
+                  baseline_path: str | Path | None = None) -> AnalysisResult:
+    """Run the full analysis over files and directories."""
+    rules = select_rules(select)
+    selected_ids = {r.rule_id for r in rules}
+    semantic_rules = [r for r in rules if is_semantic(r)]
+
+    cache_file = Path(cache_path) if cache_path is not None else None
+    fingerprint = rules_fingerprint()
+    cached = _load_cache(cache_file, fingerprint)
+    fresh: dict[str, dict] = {}
+
+    records: list[tuple[str, dict]] = []
+    reused = 0
+    for root, file in iter_files_with_roots(paths):
+        key = str(file)
+        digest = hashlib.sha256(file.read_bytes()).hexdigest()
+        entry = cached.get(key)
+        if entry is not None and entry.get("hash") == digest:
+            record = entry["record"]
+            reused += 1
+        else:
+            record = _analyze_file(root, file)
+        fresh[key] = {"hash": digest, "record": record}
+        records.append((key, record))
+    _save_cache(cache_file, fingerprint, {**cached, **fresh})
+
+    findings = [LintFinding(**f) for _, record in records
+                for f in record["findings"] if f["rule"] in selected_ids]
+    project = Project([record["summary"] for _, record in records])
+    for rule in semantic_rules:
+        findings.extend(rule.check_project(project))
+
+    pragmas_by_path = {key: record["pragmas"] for key, record in records
+                       if record["pragmas"]}
+    kept, unused, suppressed = _apply_suppressions(findings, pragmas_by_path)
+    all_findings = kept + unused
+
+    baseline = load_baseline(
+        Path(baseline_path) if baseline_path is not None else None)
+    baselined = [f for f in all_findings
+                 if (f.rule, f.path, f.message) in baseline]
+    final = [f for f in all_findings
+             if (f.rule, f.path, f.message) not in baseline]
+    final.sort(key=lambda f: (f.path, f.line, f.col, f.rule, f.message))
+    all_findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule,
+                                     f.message))
+    return AnalysisResult(findings=final, files=len(records), reused=reused,
+                          suppressed=suppressed, baselined=len(baselined),
+                          all_findings=all_findings, project=project)
+
+
+# ----------------------------------------------------------------------
+# SARIF rendering
+# ----------------------------------------------------------------------
+
+_SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                 "master/Schemata/sarif-schema-2.1.0.json")
+
+
+def render_sarif(findings: list[LintFinding]) -> str:
+    """SARIF 2.1.0 for code-scanning upload; deterministic output."""
+    rule_ids = sorted({f.rule for f in findings} | set(RULES))
+    rules = []
+    for rule_id in rule_ids:
+        rule = RULES.get(rule_id)
+        desc = (rule.description if rule is not None
+                else "unused '# repro: noqa' suppression pragma")
+        rules.append({"id": rule_id,
+                      "shortDescription": {"text": desc}})
+    results = [{
+        "ruleId": f.rule,
+        "ruleIndex": rule_ids.index(f.rule),
+        "level": "error",
+        "message": {"text": f.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": f.path.replace("\\", "/")},
+                "region": {"startLine": max(f.line, 1),
+                           "startColumn": f.col + 1},
+            },
+        }],
+    } for f in findings]
+    doc = {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "repro-lint",
+                "informationUri":
+                    "https://example.invalid/repro/API.md#repro-sanitize",
+                "rules": rules,
+            }},
+            "results": results,
+        }],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)

@@ -1,0 +1,228 @@
+"""Call-graph mechanics: resolution and reachability on known shapes.
+
+These tests build :class:`Project` instances straight from source
+strings (no files) and probe the graph directly — the rule-level
+behavior lives in test_semantic_rules.py.
+"""
+
+import ast
+import textwrap
+
+from repro.sanitize.semantic import Project, extract_summary
+
+
+def project_of(**modules):
+    summaries = []
+    for name, src in modules.items():
+        tree = ast.parse(textwrap.dedent(src))
+        summaries.append(
+            extract_summary(tree, f"{name.replace('.', '/')}.py",
+                            name.replace("__", ".")))
+    return Project(summaries)
+
+
+def chain_names(project, key):
+    chain = project.blocking_chain(key)
+    if chain is None:
+        return None
+    return [project.functions[hop["func"]]["name"] for hop in chain]
+
+
+# ----------------------------------------------------------------------
+# shapes
+
+
+def test_diamond_reports_one_shortest_chain():
+    p = project_of(mod="""
+        import time
+
+        def a():
+            b()
+            c()
+
+        def b():
+            d()
+
+        def c():
+            d()
+
+        def d():
+            time.sleep(1)
+        """)
+    # both arms reach d; BFS must return exactly one, shortest, stable
+    assert chain_names(p, "mod:a") == ["b", "d"]
+    blocking = p.blocking_chain("mod:a")[-1]["blocking"]
+    assert blocking["desc"] == "time.sleep()"
+
+
+def test_recursion_terminates_and_still_finds_the_leaf():
+    p = project_of(mod="""
+        import time
+
+        def f(n):
+            f(n - 1)
+            g()
+
+        def g():
+            time.sleep(1)
+        """)
+    assert chain_names(p, "mod:f") == ["g"]
+
+
+def test_pure_cycle_without_blocking_is_clean():
+    p = project_of(mod="""
+        def ping():
+            pong()
+
+        def pong():
+            ping()
+        """)
+    assert p.blocking_chain("mod:ping") is None
+
+
+def test_async_chain_tracks_async_ness():
+    p = project_of(mod="""
+        import time
+
+        async def serve():
+            step()
+
+        def step():
+            time.sleep(1)
+        """)
+    assert p.functions["mod:serve"]["is_async"]
+    assert not p.functions["mod:step"]["is_async"]
+    assert chain_names(p, "mod:serve") == ["step"]
+
+
+def test_direct_blocking_is_not_a_transitive_chain():
+    # a blocker inside the coroutine itself is REP007's finding, not a
+    # call-graph edge — blocking_chain only reports depth >= 1
+    p = project_of(mod="""
+        import time
+
+        async def serve():
+            time.sleep(1)
+        """)
+    assert p.blocking_chain("mod:serve") is None
+
+
+# ----------------------------------------------------------------------
+# resolution kinds
+
+
+def test_cross_module_from_import_resolves():
+    p = project_of(
+        pkg__a="""
+            from pkg.b import helper
+
+            async def serve():
+                helper()
+            """,
+        pkg__b="""
+            import time
+
+            def helper():
+                time.sleep(1)
+            """)
+    assert chain_names(p, "pkg.a:serve") == ["helper"]
+
+
+def test_module_alias_attribute_call_resolves():
+    p = project_of(
+        pkg__a="""
+            from pkg import b
+
+            async def serve():
+                b.helper()
+            """,
+        pkg__b="""
+            import time
+
+            def helper():
+                time.sleep(1)
+            """)
+    assert chain_names(p, "pkg.a:serve") == ["helper"]
+
+
+def test_self_method_and_one_level_base_walk():
+    p = project_of(mod="""
+        import time
+
+        class Base:
+            def slow(self):
+                time.sleep(1)
+
+        class Svc(Base):
+            async def serve(self):
+                self.slow()
+        """)
+    assert chain_names(p, "mod:Svc.serve") == ["slow"]
+
+
+def test_constructor_typed_attribute_receiver():
+    p = project_of(mod="""
+        import time
+
+        class Disk:
+            def flush(self):
+                time.sleep(1)
+
+        class Svc:
+            def __init__(self):
+                self.disk = Disk()
+
+            async def serve(self):
+                self.disk.flush()
+        """)
+    assert chain_names(p, "mod:Svc.serve") == ["flush"]
+
+
+def test_function_reference_is_not_an_edge():
+    # run_in_executor(None, helper) passes helper by reference — the
+    # blocking body runs off-loop, so no edge and no chain
+    p = project_of(mod="""
+        import time
+
+        def helper():
+            time.sleep(1)
+
+        async def serve(loop):
+            await loop.run_in_executor(None, helper)
+        """)
+    assert p.blocking_chain("mod:serve") is None
+
+
+def test_unresolvable_receiver_stays_silent():
+    p = project_of(mod="""
+        async def serve(worker):
+            worker.grind()
+        """)
+    assert p.blocking_chain("mod:serve") is None
+
+
+# ----------------------------------------------------------------------
+# return taint closure
+
+
+def test_return_taint_closes_over_calls():
+    p = project_of(
+        pkg__clock="""
+            import time
+
+            def wall():
+                return time.time()
+            """,
+        pkg__use="""
+            from pkg.clock import wall
+
+            def stamp():
+                return wall()
+
+            def fixed():
+                return 42
+            """)
+    sources = p.return_sources()
+    assert sources["pkg.clock:wall"] == frozenset({"time.time()"})
+    assert sources["pkg.use:stamp"] == frozenset({"time.time()"})
+    assert sources["pkg.use:fixed"] == frozenset()

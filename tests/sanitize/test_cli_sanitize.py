@@ -47,6 +47,66 @@ def test_lint_select_filters_rules(tmp_path, capsys):
     assert main(["lint", str(bad), "--select", "REP999"]) == 2
 
 
+def test_lint_select_accepts_ranges_and_prefixes(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import numpy as np\nrng = np.random.default_rng()\n")
+    # REP001 is outside the semantic range, inside the REP0 prefix
+    assert main(["lint", str(bad), "--select", "REP009-REP013"]) == 0
+    capsys.readouterr()
+    assert main(["lint", str(bad), "--select", "REP0"]) == 1
+    assert "REP001" in capsys.readouterr().out
+    assert main(["lint", str(bad), "--select", "REP42-REP99"]) == 2
+    assert "unknown lint rule id(s)" in capsys.readouterr().err
+
+
+def test_lint_explain_prints_the_rule_docstring(capsys):
+    assert main(["lint", "--explain", "REP009"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("REP009:")
+    assert "run_in_executor" in out
+    assert main(["lint", "--explain", "REP000"]) == 0
+    assert "unused suppression" in capsys.readouterr().out
+    assert main(["lint", "--explain", "REP999"]) == 2
+    assert "unknown lint rule id(s)" in capsys.readouterr().err
+
+
+def test_lint_sarif_format(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import numpy as np\nrng = np.random.default_rng()\n")
+    assert main(["lint", str(bad), "--format", "sarif"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["version"] == "2.1.0"
+    assert doc["runs"][0]["results"][0]["ruleId"] == "REP001"
+
+
+def test_lint_cache_is_transparent(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import numpy as np\nrng = np.random.default_rng()\n")
+    cache = tmp_path / "cache.json"
+    assert main(["lint", str(bad), "--format", "json",
+                 "--cache", str(cache)]) == 1
+    cold = capsys.readouterr().out
+    assert cache.exists()
+    assert main(["lint", str(bad), "--format", "json",
+                 "--cache", str(cache)]) == 1
+    captured = capsys.readouterr()
+    assert captured.out == cold
+    assert "1 cached" in captured.err
+
+
+def test_lint_write_baseline_then_clean_run(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import numpy as np\nrng = np.random.default_rng()\n")
+    baseline = tmp_path / "baseline.json"
+    assert main(["lint", str(bad), "--baseline", str(baseline),
+                 "--write-baseline"]) == 0
+    assert "wrote 1 baseline finding(s)" in capsys.readouterr().err
+    assert main(["lint", str(bad), "--baseline", str(baseline)]) == 0
+    captured = capsys.readouterr()
+    assert "0 finding(s)" in captured.out
+    assert "1 baselined" in captured.err
+
+
 # ----------------------------------------------------------------------
 # repro run --sanitize
 

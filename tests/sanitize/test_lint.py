@@ -381,12 +381,19 @@ def test_rep008_nested_def_resets_loop_scope():
 # engine mechanics
 
 
-def test_rule_catalog_is_the_documented_eight():
-    assert sorted(RULES) == ["REP001", "REP002", "REP003", "REP004",
-                             "REP005", "REP006", "REP007", "REP008"]
+def test_rule_catalog_is_the_documented_thirteen():
+    assert sorted(RULES) == [f"REP{n:03d}" for n in range(1, 14)]
     for rule_id, rule in RULES.items():
         assert rule.rule_id == rule_id
         assert rule.description
+
+
+def test_sanitize_docstring_tracks_the_catalog_span():
+    # satellite of PR 10: the package docstring asserts its own rule
+    # span at import time, so this can only fail if someone weakens the
+    # assert itself
+    import repro.sanitize as sanitize
+    assert f"{min(RULES)}–{max(RULES)}" in sanitize.__doc__
 
 
 def test_select_rules_rejects_unknown_ids():
@@ -420,3 +427,26 @@ def test_render_text_and_json():
 def test_shipped_source_tree_is_clean():
     findings = lint_paths([SRC])
     assert findings == [], render_text(findings)
+
+
+def test_shipped_source_tree_is_semantically_clean():
+    # the whole-program pass (REP009-REP013 + suppression hygiene) must
+    # also come back empty on src — pragma-suppressed false positives
+    # are fine, unbaselined findings are not
+    from repro.sanitize.semantic import analyze_paths
+
+    result = analyze_paths([SRC])
+    assert result.findings == [], render_text(result.findings)
+
+
+def test_select_rules_accepts_ranges_and_prefixes():
+    ids = [r.rule_id for r in select_rules(["REP009-REP013"])]
+    assert ids == ["REP009", "REP010", "REP011", "REP012", "REP013"]
+    ids = [r.rule_id for r in select_rules(["REP0"])]
+    assert ids == sorted(RULES)
+    # order preserved, duplicates dropped, exact ids mix in
+    ids = [r.rule_id for r in select_rules(["REP006", "REP001-REP002",
+                                            "REP006"])]
+    assert ids == ["REP006", "REP001", "REP002"]
+    with pytest.raises(ValueError, match="REP42-REP99"):
+        select_rules(["REP42-REP99"])
